@@ -1,0 +1,97 @@
+//===- bench/micro_benchmarks.cpp - google-benchmark kernels --------------===//
+//
+// Micro-benchmarks (google-benchmark) for the individual operations the
+// figure-level benches compose: transducer evaluation, membership,
+// composition, normalization, and solver queries.  These quantify where
+// the figure-level time goes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Deforestation.h"
+#include "apps/Html.h"
+#include "transducers/Run.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fast;
+
+namespace {
+
+/// Transducer evaluation over a list, per element.
+void BM_RunMapCaesar(benchmark::State &State) {
+  Session S;
+  SignatureRef Sig = defo::listSignature();
+  std::shared_ptr<Sttr> Map = defo::makeMapCaesar(S, Sig);
+  TreeRef Input = defo::randomList(S, Sig, State.range(0), /*Seed=*/1);
+  for (auto _ : State) {
+    SttrRunner Runner(*Map, S.Trees);
+    benchmark::DoNotOptimize(Runner.run(Input));
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_RunMapCaesar)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Concrete membership in the well-formed-HTML language.
+void BM_LanguageMembership(benchmark::State &State) {
+  Session S;
+  html::Sanitizer Sani = html::buildSanitizer(S);
+  std::string Error;
+  TreeRef Doc = html::parseHtml(
+      S, Sani.Sig, html::generatePage(State.range(0), /*Seed=*/2), Error);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sani.NodeTree.contains(Doc));
+  State.SetItemsProcessed(State.iterations() * Doc->size());
+}
+BENCHMARK(BM_LanguageMembership)->Arg(8 << 10)->Arg(64 << 10);
+
+/// One composition of the Figure 8 transducers.
+void BM_ComposeMapFilter(benchmark::State &State) {
+  Session S;
+  SignatureRef Sig = defo::listSignature();
+  std::shared_ptr<Sttr> Map = defo::makeMapCaesar(S, Sig);
+  std::shared_ptr<Sttr> Filter = defo::makeFilterEven(S, Sig);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        composeSttr(S.Solv, S.Outputs, *Map, *Filter).Composed);
+}
+BENCHMARK(BM_ComposeMapFilter);
+
+/// Normalization of the (alternating) well-formed-HTML language.
+void BM_NormalizeHtmlLang(benchmark::State &State) {
+  Session S;
+  html::Sanitizer Sani = html::buildSanitizer(S);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(normalize(S.Solv, Sani.NodeTree));
+}
+BENCHMARK(BM_NormalizeHtmlLang);
+
+/// A cached vs uncached satisfiability query.
+void BM_SolverIsSat(benchmark::State &State) {
+  Session S;
+  bool Cached = State.range(0) != 0;
+  S.Solv.setCacheEnabled(Cached);
+  TermRef X = S.Terms.attr(0, Sort::Int, "x");
+  TermRef Pred = S.Terms.mkAnd(
+      S.Terms.mkEq(S.Terms.mkMod(X, S.Terms.intConst(7)), S.Terms.intConst(3)),
+      S.Terms.mkLt(X, S.Terms.intConst(100)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.Solv.isSat(Pred));
+}
+BENCHMARK(BM_SolverIsSat)->Arg(0)->Arg(1);
+
+/// Guard evaluation (no solver) on a concrete label.
+void BM_EvalGuard(benchmark::State &State) {
+  Session S;
+  TermRef X = S.Terms.attr(0, Sort::Int, "x");
+  TermRef Pred = S.Terms.mkAnd(
+      S.Terms.mkEq(S.Terms.mkMod(X, S.Terms.intConst(7)), S.Terms.intConst(3)),
+      S.Terms.mkLt(X, S.Terms.intConst(100)));
+  std::vector<Value> Attrs = {Value::integer(17)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(evalPredicate(Pred, Attrs));
+}
+BENCHMARK(BM_EvalGuard);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+//===- examples/deforestation.cpp - Fusing a functional pipeline ----------===//
+//
+// The Section 5.3/5.4 scenario: run the Figure 8 program through the Fast
+// frontend, fuse pipelines by composition, compare against naive
+// evaluation, and statically prove that map-filter-map-filter deletes
+// every element.
+//
+// Build & run:  ./build/examples/deforestation
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Deforestation.h"
+#include "fast/Fast.h"
+
+#include <chrono>
+#include <iostream>
+
+using namespace fast;
+
+int main() {
+  Session S;
+
+  std::cout << "== The Figure 8 program through the Fast frontend ==\n";
+  const char *Source =
+      "type IList[i : Int] { nil(0), cons(1) }\n"
+      "trans map_caesar : IList -> IList {\n"
+      "  nil() to (nil [0])\n"
+      "| cons(y) to (cons [(i + 5) % 26] (map_caesar y)) }\n"
+      "trans filter_ev : IList -> IList {\n"
+      "  nil() to (nil [0])\n"
+      "| cons(y) where (i % 2 = 0) to (cons [i] (filter_ev y))\n"
+      "| cons(y) where !(i % 2 = 0) to (filter_ev y) }\n"
+      "lang not_emp_list : IList { cons(x) }\n"
+      "def comp : IList -> IList := (compose map_caesar filter_ev)\n"
+      "def comp2 : IList -> IList := (compose comp comp)\n"
+      "def restr : IList -> IList := (restrict-out comp2 not_emp_list)\n"
+      "assert-true (is-empty restr)\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  std::cout << R.DiagText;
+  for (const AssertionOutcome &A : R.Assertions)
+    std::cout << "assertion at " << A.Loc.str() << ": "
+              << (A.passed() ? "PASSED" : "FAILED")
+              << " (comp2 can never output a non-empty list)\n";
+
+  std::cout << "\n== Deforestation: compose once, traverse once ==\n";
+  SignatureRef Sig = defo::listSignature();
+  TreeRef Input = defo::randomList(S, Sig, 4096, /*Seed=*/7);
+
+  for (unsigned N : {16u, 64u, 256u}) {
+    std::vector<std::shared_ptr<Sttr>> Pipeline;
+    for (unsigned I = 0; I < N; ++I)
+      Pipeline.push_back(defo::makeMapCaesar(S, Sig));
+
+    auto T0 = std::chrono::steady_clock::now();
+    TreeRef Naive = defo::runNaive(S, Pipeline, Input);
+    auto T1 = std::chrono::steady_clock::now();
+    // Fusion happens once, offline; evaluation then traverses once.
+    std::shared_ptr<Sttr> Fused = defo::composePipeline(S, Pipeline);
+    auto T2 = std::chrono::steady_clock::now();
+    TreeRef FusedOut = defo::runComposed(S, *Fused, Input);
+    auto T3 = std::chrono::steady_clock::now();
+
+    double NaiveMs =
+        std::chrono::duration<double, std::milli>(T1 - T0).count();
+    double ComposeMs =
+        std::chrono::duration<double, std::milli>(T2 - T1).count();
+    double FusedMs =
+        std::chrono::duration<double, std::milli>(T3 - T2).count();
+    std::cout << N << " composed maps over 4096 elements: naive " << NaiveMs
+              << " ms; fused run " << FusedMs << " ms (one-time fusion "
+              << ComposeMs << " ms, " << Fused->numRules()
+              << " rules); results "
+              << (Naive == FusedOut ? "agree" : "DIFFER") << "\n";
+  }
+  return 0;
+}

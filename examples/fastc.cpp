@@ -1,0 +1,105 @@
+//===- examples/fastc.cpp - Command-line Fast interpreter -----------------===//
+//
+// Runs a .fast program: compiles the declarations, evaluates the defs, and
+// reports every assertion with its witness when one fails.
+//
+// Usage:  fastc [--dump] [--export NAME] <program.fast>
+//   --dump         also print every compiled language automaton and
+//                  transformation (states, rules, guards).
+//   --export NAME  print the named language/transformation as a
+//                  standalone, recompilable Fast program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fast/Export.h"
+#include "fast/Fast.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace fast;
+
+int main(int Argc, char **Argv) {
+  bool Dump = false;
+  const char *ExportName = nullptr;
+  const char *Path = nullptr;
+  bool Bad = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--dump") == 0)
+      Dump = true;
+    else if (std::strcmp(Argv[I], "--export") == 0 && I + 1 < Argc)
+      ExportName = Argv[++I];
+    else if (!Path)
+      Path = Argv[I];
+    else
+      Bad = true;
+  }
+  if (!Path || Bad) {
+    std::cerr << "usage: fastc [--dump] [--export NAME] <program.fast>\n";
+    return 2;
+  }
+  std::ifstream File(Path);
+  if (!File) {
+    std::cerr << "fastc: cannot open '" << Path << "'\n";
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+
+  Session S;
+  FastProgramResult R = runFastProgram(S, Buffer.str());
+  if (!R.DiagText.empty())
+    std::cerr << R.DiagText;
+  if (R.ErrorCount != 0)
+    return 1;
+
+  if (ExportName) {
+    auto It = R.Values.find(ExportName);
+    if (It == R.Values.end()) {
+      std::cerr << "fastc: no language or transformation named '"
+                << ExportName << "'\n";
+      return 2;
+    }
+    if (It->second.K == FastValue::Kind::Lang)
+      std::cout << exportLanguageProgram(ExportName, It->second.Lang);
+    else if (It->second.K == FastValue::Kind::Trans)
+      std::cout << exportSttrProgram(ExportName, *It->second.Trans);
+    else
+      std::cout << It->second.Tree->str() << "\n";
+    return 0;
+  }
+
+  if (Dump) {
+    for (const auto &[Name, V] : R.Values) {
+      if (V.K == FastValue::Kind::Lang) {
+        std::cout << "--- language " << Name << " (roots:";
+        for (unsigned Root : V.Lang.roots())
+          std::cout << ' ' << V.Lang.automaton().stateName(Root);
+        std::cout << ") ---\n" << V.Lang.automaton().str();
+      } else if (V.K == FastValue::Kind::Trans) {
+        std::cout << "--- transformation " << Name << " ---\n"
+                  << V.Trans->str();
+        if (V.Trans->lookahead().numStates() != 0)
+          std::cout << "lookahead " << V.Trans->lookahead().str();
+      } else if (V.K == FastValue::Kind::Tree) {
+        std::cout << "--- tree " << Name << " ---\n"
+                  << V.Tree->str() << "\n";
+      }
+    }
+  }
+
+  for (const AssertionOutcome &A : R.Assertions) {
+    std::cout << Path << ":" << A.Loc.str() << ": assert-"
+              << (A.Expected ? "true" : "false") << " "
+              << (A.passed() ? "PASSED" : "FAILED");
+    if (!A.passed() && !A.Detail.empty())
+      std::cout << "  [" << A.Detail << "]";
+    std::cout << "\n";
+  }
+  unsigned Failed = R.failedAssertions();
+  std::cout << R.Assertions.size() << " assertion(s), " << Failed
+            << " failed\n";
+  return Failed == 0 ? 0 : 1;
+}

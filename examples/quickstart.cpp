@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - First steps with the library -------------===//
+//
+// Builds a tree type, a language, and a transducer through the C++ API,
+// runs the transducer, composes it with itself, and uses the decision
+// procedures: the whole public surface in ~100 lines.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Determinize.h"
+#include "transducers/Ops.h"
+#include "transducers/Run.h"
+#include "transducers/Session.h"
+
+#include <iostream>
+
+using namespace fast;
+
+int main() {
+  // Every analysis shares one Session: the term/tree/output factories and
+  // the Z3-backed solver.
+  Session S;
+
+  // type BT [i : Int] { L(0), N(2) } -- binary trees with an int label.
+  SignatureRef BT =
+      TreeSignature::create("BT", {{"i", Sort::Int}}, {{"L", 0}, {"N", 2}});
+  unsigned L = *BT->findConstructor("L");
+  unsigned N = *BT->findConstructor("N");
+  TermRef I = BT->attrTerm(S.Terms, 0); // the attribute `i` as a term
+
+  // A concrete tree: N[1](L[2], L[5]).
+  TreeRef Leaf2 = S.Trees.makeLeaf(BT, L, {Value::integer(2)});
+  TreeRef Leaf5 = S.Trees.makeLeaf(BT, L, {Value::integer(5)});
+  TreeRef Tree = S.Trees.make(BT, N, {Value::integer(1)}, {Leaf2, Leaf5});
+  std::cout << "input tree:  " << Tree->str() << "\n";
+
+  // lang positive : BT -- every label is positive.
+  auto A = std::make_shared<Sta>(BT);
+  unsigned P = A->addState("positive");
+  TermRef Pos = S.Terms.mkGt(I, S.Terms.intConst(0));
+  A->addRule(P, L, Pos, {});
+  A->addRule(P, N, Pos, {{P}, {P}});
+  TreeLanguage Positive(A, P);
+  std::cout << "tree all-positive? " << (Positive.contains(Tree) ? "yes" : "no")
+            << "\n";
+
+  // trans double : BT -> BT -- doubles every label.
+  auto Doubler = std::make_shared<Sttr>(BT);
+  unsigned Q = Doubler->addState("double");
+  Doubler->setStartState(Q);
+  TermRef Twice = S.Terms.mkMul(I, S.Terms.intConst(2));
+  Doubler->addRule(Q, L, S.Terms.trueTerm(), {},
+                   S.Outputs.mkCons(L, {Twice}, {}));
+  Doubler->addRule(Q, N, S.Terms.trueTerm(), {{}, {}},
+                   S.Outputs.mkCons(N, {Twice},
+                                    {S.Outputs.mkState(Q, 0),
+                                     S.Outputs.mkState(Q, 1)}));
+
+  // Run it.
+  std::vector<TreeRef> Out = runSttr(*Doubler, S.Trees, Tree);
+  std::cout << "doubled:     " << Out.front()->str() << "\n";
+
+  // Compose it with itself: one transducer that quadruples.
+  ComposeResult Quad = composeSttr(S.Solv, S.Outputs, *Doubler, *Doubler);
+  std::cout << "composition exact? " << (Quad.isExact() ? "yes" : "no")
+            << "\n";
+  std::cout << "quadrupled:  "
+            << runSttr(*Quad.Composed, S.Trees, Tree).front()->str() << "\n";
+
+  // Static analysis: doubling a positive tree keeps it positive...
+  bool Preserves = typeCheck(S.Solv, Positive, *Doubler, Positive);
+  std::cout << "double preserves positivity? " << (Preserves ? "yes" : "no")
+            << "\n";
+
+  // ...and the pre-image of "some label is odd" under doubling is empty.
+  auto B = std::make_shared<Sta>(BT);
+  unsigned O = B->addState("someOdd");
+  TermRef Odd = S.Terms.mkEq(S.Terms.mkMod(I, S.Terms.intConst(2)),
+                             S.Terms.intConst(1));
+  B->addRule(O, L, Odd, {});
+  B->addRule(O, N, Odd, {{}, {}});
+  B->addRule(O, N, S.Terms.trueTerm(), {{O}, {}});
+  B->addRule(O, N, S.Terms.trueTerm(), {{}, {O}});
+  TreeLanguage SomeOdd(B, O);
+  TreeLanguage BadInputs = preImageLanguage(S.Solv, *Doubler, SomeOdd);
+  std::cout << "can doubling produce an odd label? "
+            << (isEmptyLanguage(S.Solv, BadInputs) ? "no" : "yes") << "\n";
+
+  // Witness generation: a tree that IS in `SomeOdd`.
+  if (std::optional<TreeRef> W = witness(S.Solv, SomeOdd, S.Trees))
+    std::cout << "a tree with an odd label: " << (*W)->str() << "\n";
+
+  return 0;
+}

@@ -1,0 +1,196 @@
+//===- apps/ArTaggers.cpp - Augmented-reality conflict checking -----------===//
+
+#include "apps/ArTaggers.h"
+
+#include <chrono>
+#include <random>
+
+using namespace fast;
+using namespace fast::ar;
+
+namespace {
+
+constexpr unsigned CtorNil = 0, CtorTag = 1, CtorElem = 2;
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Draws a random guard over (v : Int, w : Real).
+TermRef randomGuard(Session &S, const SignatureRef &Sig, std::mt19937 &Rng,
+                    double NonLinearShare) {
+  TermFactory &F = S.Terms;
+  TermRef V = Sig->attrTerm(F, 0);
+  TermRef W = Sig->attrTerm(F, 1);
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+  if (Unit(Rng) < NonLinearShare) {
+    // Non-linear cubic constraint over the real attribute, the shape the
+    // paper blames for its 33-second outlier.
+    int64_t C = std::uniform_int_distribution<int64_t>(-8, 8)(Rng);
+    return F.mkLt(F.mkMul(F.mkMul(W, W), W), F.realConst(Rational(C)));
+  }
+  // Every guard selects a narrow value band, optionally refined by a
+  // congruence or a real-attribute band, so that two independent guards
+  // overlap with moderate probability and the corpus-level conflict rate
+  // lands near the paper's 222/4,950.
+  int64_t Lo = std::uniform_int_distribution<int64_t>(-40, 31)(Rng);
+  int64_t Hi = Lo + std::uniform_int_distribution<int64_t>(3, 13)(Rng);
+  TermRef Guard =
+      F.mkAnd(F.mkLe(F.intConst(Lo), V), F.mkLe(V, F.intConst(Hi)));
+  switch (std::uniform_int_distribution<int>(0, 3)(Rng)) {
+  case 0: {
+    int64_t M = std::uniform_int_distribution<int64_t>(2, 5)(Rng);
+    int64_t R = std::uniform_int_distribution<int64_t>(0, M - 1)(Rng);
+    Guard = F.mkAnd(Guard, F.mkEq(F.mkMod(V, F.intConst(M)), F.intConst(R)));
+    break;
+  }
+  case 1: {
+    int64_t Num = std::uniform_int_distribution<int64_t>(-24, 16)(Rng);
+    int64_t Width = std::uniform_int_distribution<int64_t>(2, 8)(Rng);
+    Guard = F.mkAnd(Guard, F.mkAnd(F.mkLt(F.realConst(Rational(Num, 2)), W),
+                                   F.mkLt(W, F.realConst(Rational(
+                                                Num + Width, 2)))));
+    break;
+  }
+  default:
+    break;
+  }
+  return Guard;
+}
+
+/// Builds one tagger: a chain of states over the element list; tagging
+/// states prepend one tag to the matched element's tag list.
+std::shared_ptr<Sttr> makeTagger(Session &S, const SignatureRef &Sig,
+                                 std::mt19937 &Rng, const ArOptions &Options) {
+  TermFactory &F = S.Terms;
+  auto T = std::make_shared<Sttr>(Sig);
+  unsigned NumStates = std::uniform_int_distribution<unsigned>(
+      Options.MinStates, Options.MaxStates)(Rng);
+  unsigned Id = T->ensureIdentityState(F, S.Outputs);
+
+  std::vector<unsigned> Chain;
+  Chain.reserve(NumStates);
+  for (unsigned I = 0; I < NumStates; ++I)
+    Chain.push_back(T->addState("s" + std::to_string(I)));
+  T->setStartState(Chain.front());
+
+  // Each chain state tags with probability mean/NumStates, so a tagger
+  // labels MeanTaggedNodes elements on average and each element (visited
+  // by exactly one state) at most once.
+  double TagProb =
+      std::min(1.0, Options.MeanTaggedNodes / static_cast<double>(NumStates));
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+
+  TermRef V = Sig->attrTerm(F, 0);
+  TermRef W = Sig->attrTerm(F, 1);
+  for (unsigned I = 0; I < NumStates; ++I) {
+    unsigned Q = Chain[I];
+    // The last chain state keeps processing the remaining elements.
+    unsigned Next = I + 1 < NumStates ? Chain[I + 1] : Chain[I];
+    OutputRef CopyTags = S.Outputs.mkState(Id, 0);
+    OutputRef RestElems = S.Outputs.mkState(Next, 1);
+    OutputRef CopyElem =
+        S.Outputs.mkCons(CtorElem, {V, W}, {CopyTags, RestElems});
+    // The final state loops over the world's tail; keep it non-tagging
+    // (when possible) so a tagger labels a bounded number of nodes.
+    bool MayTag = NumStates == 1 || I + 1 < NumStates;
+    if (MayTag && Unit(Rng) < TagProb) {
+      TermRef Guard = randomGuard(S, Sig, Rng, Options.NonLinearShare);
+      OutputRef Tagged = S.Outputs.mkCons(
+          CtorElem, {V, W},
+          {S.Outputs.mkCons(CtorTag, {V, W}, {CopyTags}), RestElems});
+      T->addRule(Q, CtorElem, Guard, {{}, {}}, Tagged);
+      T->addRule(Q, CtorElem, F.mkNot(Guard), {{}, {}}, CopyElem);
+    } else {
+      T->addRule(Q, CtorElem, F.trueTerm(), {{}, {}}, CopyElem);
+    }
+    T->addRule(Q, CtorNil, F.trueTerm(), {},
+               S.Outputs.mkCons(CtorNil, {F.intConst(0),
+                                          F.realConst(Rational(0))},
+                                {}));
+  }
+  return T;
+}
+
+} // namespace
+
+SignatureRef fast::ar::arSignature() {
+  return TreeSignature::create("AR", {{"v", Sort::Int}, {"w", Sort::Real}},
+                               {{"nil", 0}, {"tag", 1}, {"elem", 2}});
+}
+
+ArWorkload fast::ar::generateArWorkload(Session &S, unsigned Seed,
+                                        ArOptions Options) {
+  ArWorkload W;
+  W.Sig = arSignature();
+  std::mt19937 Rng(Seed);
+  W.Taggers.reserve(Options.NumTaggers);
+  for (unsigned I = 0; I < Options.NumTaggers; ++I)
+    W.Taggers.push_back(makeTagger(S, W.Sig, Rng, Options));
+
+  TermFactory &F = S.Terms;
+  // Untagged worlds (the paper's 3-state input-restriction language):
+  // world of elements whose tag lists are empty.
+  {
+    auto A = std::make_shared<Sta>(W.Sig);
+    unsigned World = A->addState("untaggedWorld");
+    unsigned NoTags = A->addState("emptyTagList");
+    unsigned Term = A->addState("terminator");
+    A->addRule(World, CtorElem, F.trueTerm(), {{NoTags}, {World}});
+    A->addRule(World, CtorNil, F.trueTerm(), {});
+    A->addRule(NoTags, CtorNil, F.trueTerm(), {});
+    A->addRule(Term, CtorNil, F.trueTerm(), {});
+    W.Untagged = TreeLanguage(std::move(A), World);
+  }
+  // Doubly-tagged worlds (the paper's 5-state output-restriction
+  // language): some element's tag list has length >= 2.
+  {
+    auto A = std::make_shared<Sta>(W.Sig);
+    unsigned Some = A->addState("someDoubleTag");
+    unsigned Two = A->addState("atLeastTwo");
+    unsigned One = A->addState("atLeastOne");
+    unsigned AnyTags = A->addState("anyTagList");
+    unsigned AnyWorld = A->addState("anyWorld");
+    A->addRule(Some, CtorElem, F.trueTerm(), {{Two}, {AnyWorld}});
+    A->addRule(Some, CtorElem, F.trueTerm(), {{AnyTags}, {Some}});
+    A->addRule(Two, CtorTag, F.trueTerm(), {{One}});
+    A->addRule(One, CtorTag, F.trueTerm(), {{AnyTags}});
+    A->addRule(AnyTags, CtorTag, F.trueTerm(), {{AnyTags}});
+    A->addRule(AnyTags, CtorNil, F.trueTerm(), {});
+    A->addRule(AnyWorld, CtorElem, F.trueTerm(), {{AnyTags}, {AnyWorld}});
+    A->addRule(AnyWorld, CtorNil, F.trueTerm(), {});
+    W.DoubleTagged = TreeLanguage(std::move(A), Some);
+  }
+  return W;
+}
+
+ConflictCheck fast::ar::checkConflict(Session &S, const ArWorkload &W,
+                                      unsigned I, unsigned J) {
+  ConflictCheck Result;
+
+  auto T0 = std::chrono::steady_clock::now();
+  ComposeResult Composed =
+      composeSttr(S.Solv, S.Outputs, *W.Taggers[I], *W.Taggers[J]);
+  Result.ComposeMs = msSince(T0);
+  Result.ComposedStates = Composed.Composed->numStates();
+  Result.ComposedRules = Composed.Composed->numRules();
+
+  auto T1 = std::chrono::steady_clock::now();
+  std::shared_ptr<Sttr> InputRestricted =
+      restrictInput(S.Solv, *Composed.Composed, W.Untagged);
+  Result.InputRestrictMs = msSince(T1);
+  Result.RestrictedStates = InputRestricted->numStates();
+  Result.RestrictedRules = InputRestricted->numRules();
+
+  auto T2 = std::chrono::steady_clock::now();
+  ComposeResult OutputRestricted =
+      restrictOutput(S.Solv, S.Outputs, *InputRestricted, W.DoubleTagged);
+  Result.OutputRestrictMs = msSince(T2);
+
+  auto T3 = std::chrono::steady_clock::now();
+  Result.Conflict = !isEmptyTransducer(S.Solv, *OutputRestricted.Composed);
+  Result.EmptinessMs = msSince(T3);
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- apps/ArTaggers.h - Augmented-reality conflict checking ---*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The augmented-reality case study of Section 5.2.  The physical world is
+/// a list of elements, each carrying a list of tags:
+///
+///   type AR [v : Int, w : Real] { nil(0), tag(1), elem(2) }
+///
+/// where elem(tags, next) is one world element with its tag list and the
+/// next element.  A *tagger* walks the element list and labels elements
+/// whose attributes satisfy its guards.  Two taggers conflict if they both
+/// label the same node of some input; the paper's four-step check is
+/// composition, input restriction (to untagged worlds), output restriction
+/// (to worlds with a doubly-tagged node), and transducer emptiness.
+///
+/// The workload generator reproduces the paper's corpus: seeded random
+/// taggers that are non-empty, tag about 3 nodes on average, tag each node
+/// at most once, and range from 1 to 95 states; guards are drawn from
+/// modular/interval integer predicates with a sprinkling of non-linear
+/// (cubic) real constraints — the paper's observed worst case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_APPS_ARTAGGERS_H
+#define FAST_APPS_ARTAGGERS_H
+
+#include "transducers/Ops.h"
+#include "transducers/Session.h"
+
+namespace fast {
+namespace ar {
+
+/// The AR world signature.
+SignatureRef arSignature();
+
+/// The generated corpus plus the two restriction languages.
+struct ArWorkload {
+  SignatureRef Sig;
+  std::vector<std::shared_ptr<Sttr>> Taggers;
+  /// Worlds in which no element carries a tag (input restriction).
+  TreeLanguage Untagged;
+  /// Worlds in which some element carries at least two tags (output
+  /// restriction).
+  TreeLanguage DoubleTagged;
+};
+
+/// Options mirroring the paper's corpus parameters.
+struct ArOptions {
+  unsigned NumTaggers = 100;
+  unsigned MinStates = 1;
+  unsigned MaxStates = 95;
+  /// Expected number of tagging states per tagger.
+  double MeanTaggedNodes = 3.0;
+  /// Probability that a guard is a non-linear (cubic) real constraint.
+  double NonLinearShare = 0.02;
+};
+
+/// Generates a seeded corpus.
+ArWorkload generateArWorkload(Session &S, unsigned Seed, ArOptions Options = {});
+
+/// Timings and outcome of one pairwise conflict check.
+struct ConflictCheck {
+  double ComposeMs = 0;
+  double InputRestrictMs = 0;
+  double OutputRestrictMs = 0;
+  double EmptinessMs = 0;
+  bool Conflict = false;
+  size_t ComposedStates = 0;
+  size_t ComposedRules = 0;
+  size_t RestrictedStates = 0;
+  size_t RestrictedRules = 0;
+};
+
+/// Runs the paper's four-step check on taggers \p I and \p J.
+ConflictCheck checkConflict(Session &S, const ArWorkload &W, unsigned I,
+                            unsigned J);
+
+} // namespace ar
+} // namespace fast
+
+#endif // FAST_APPS_ARTAGGERS_H

@@ -1,0 +1,112 @@
+//===- apps/Classical.cpp - Symbolic vs classical encoding ----------------===//
+
+#include "apps/Classical.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace fast;
+using namespace fast::classical;
+
+namespace {
+
+constexpr unsigned CtorNil = 0, CtorCh = 1;
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+SignatureRef fast::classical::chainSignature() {
+  return TreeSignature::create("Chain", {{"c", Sort::Int}},
+                               {{"nil", 0}, {"ch", 1}});
+}
+
+EncodingStats
+fast::classical::buildClassicalNotWord(Session &S, unsigned AlphabetSize,
+                                       const std::vector<unsigned> &Word,
+                                       TreeLanguage *Out) {
+  assert(!Word.empty() && "empty forbidden word");
+  auto Start = std::chrono::steady_clock::now();
+  TermFactory &F = S.Terms;
+  SignatureRef Sig = chainSignature();
+  auto A = std::make_shared<Sta>(Sig);
+  TermRef C = Sig->attrTerm(F, 0);
+
+  // Chains are read root-to-leaf: state k means "the first k characters
+  // matched the word so far"; D means "already diverged" (accept).  The
+  // "not equal" language accepts unless the whole chain is exactly Word.
+  //
+  // A classical automaton cannot say "any character other than w[k]" in
+  // one rule: it enumerates the alphabet.  That is the blowup this
+  // construction reproduces.
+  std::vector<unsigned> Prefix;
+  for (size_t K = 0; K <= Word.size(); ++K)
+    Prefix.push_back(A->addState("prefix" + std::to_string(K)));
+  unsigned Diverged = A->addState("diverged");
+
+  // Diverged: everything is fine below; still one rule per character.
+  A->addRule(Diverged, CtorNil, F.trueTerm(), {});
+  for (unsigned Ch = 0; Ch < AlphabetSize; ++Ch)
+    A->addRule(Diverged, CtorCh, F.mkEq(C, F.intConst(Ch)), {{Diverged}});
+
+  for (size_t K = 0; K < Word.size(); ++K) {
+    // Ending here means the chain is a proper prefix of Word: accepted.
+    A->addRule(Prefix[K], CtorNil, F.trueTerm(), {});
+    for (unsigned Ch = 0; Ch < AlphabetSize; ++Ch) {
+      unsigned Target = Ch == Word[K] ? Prefix[K + 1] : Diverged;
+      A->addRule(Prefix[K], CtorCh, F.mkEq(C, F.intConst(Ch)), {{Target}});
+    }
+  }
+  // All of Word matched: acceptable only if more characters follow.
+  for (unsigned Ch = 0; Ch < AlphabetSize; ++Ch)
+    A->addRule(Prefix[Word.size()], CtorCh, F.mkEq(C, F.intConst(Ch)),
+               {{Diverged}});
+
+  EncodingStats Stats;
+  Stats.States = A->numStates();
+  Stats.Rules = A->numRules();
+  Stats.BuildMs = msSince(Start);
+  if (Out)
+    *Out = TreeLanguage(std::move(A), Prefix.front());
+  return Stats;
+}
+
+EncodingStats
+fast::classical::buildSymbolicNotWord(Session &S, unsigned AlphabetSize,
+                                      const std::vector<unsigned> &Word,
+                                      TreeLanguage *Out) {
+  assert(!Word.empty() && "empty forbidden word");
+  (void)AlphabetSize; // The symbolic encoding does not depend on it.
+  auto Start = std::chrono::steady_clock::now();
+  TermFactory &F = S.Terms;
+  SignatureRef Sig = chainSignature();
+  auto A = std::make_shared<Sta>(Sig);
+  TermRef C = Sig->attrTerm(F, 0);
+
+  std::vector<unsigned> Prefix;
+  for (size_t K = 0; K <= Word.size(); ++K)
+    Prefix.push_back(A->addState("prefix" + std::to_string(K)));
+  unsigned Diverged = A->addState("diverged");
+
+  A->addRule(Diverged, CtorNil, F.trueTerm(), {});
+  A->addRule(Diverged, CtorCh, F.trueTerm(), {{Diverged}});
+  for (size_t K = 0; K < Word.size(); ++K) {
+    A->addRule(Prefix[K], CtorNil, F.trueTerm(), {});
+    TermRef Match = F.mkEq(C, F.intConst(Word[K]));
+    A->addRule(Prefix[K], CtorCh, Match, {{Prefix[K + 1]}});
+    A->addRule(Prefix[K], CtorCh, F.mkNot(Match), {{Diverged}});
+  }
+  A->addRule(Prefix[Word.size()], CtorCh, F.trueTerm(), {{Diverged}});
+
+  EncodingStats Stats;
+  Stats.States = A->numStates();
+  Stats.Rules = A->numRules();
+  Stats.BuildMs = msSince(Start);
+  if (Out)
+    *Out = TreeLanguage(std::move(A), Prefix.front());
+  return Stats;
+}

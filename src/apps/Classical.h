@@ -1,0 +1,56 @@
+//===- apps/Classical.h - Symbolic vs classical encoding --------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 6 comparison: the `tag != "script"` lookahead of the HTML
+/// sanitizer expressed (a) symbolically — a handful of rules with string
+/// predicates — and (b) classically, where the alphabet must be
+/// enumerated: strings are chains of character symbols, a transition per
+/// character, so the complement automaton of a length-n word needs about
+/// n * |Sigma| rules (the paper's 6 * (2^16 - 1) for UTF-16).  Both sides
+/// build real automata so the benchmark measures actual construction cost
+/// and rule counts across alphabet sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_APPS_CLASSICAL_H
+#define FAST_APPS_CLASSICAL_H
+
+#include "automata/StaOps.h"
+#include "transducers/Session.h"
+
+namespace fast {
+namespace classical {
+
+/// Size and cost of one constructed automaton.
+struct EncodingStats {
+  size_t States = 0;
+  size_t Rules = 0;
+  double BuildMs = 0;
+};
+
+/// Builds the *classical* automaton for "the char-chain differs from the
+/// forbidden word" over an explicit alphabet {0, ..., AlphabetSize-1}:
+/// one rule per (state, character), as a finite-alphabet automaton must.
+/// The constructed STA is returned through \p Out for correctness checks.
+EncodingStats buildClassicalNotWord(Session &S, unsigned AlphabetSize,
+                                    const std::vector<unsigned> &Word,
+                                    TreeLanguage *Out = nullptr);
+
+/// Builds the *symbolic* automaton for the same language: rule guards are
+/// character predicates, so the size is independent of the alphabet.
+EncodingStats buildSymbolicNotWord(Session &S, unsigned AlphabetSize,
+                                   const std::vector<unsigned> &Word,
+                                   TreeLanguage *Out = nullptr);
+
+/// The char-chain signature used by both encodings:
+/// `type Chain [c : Int] { nil(0), ch(1) }`.
+SignatureRef chainSignature();
+
+} // namespace classical
+} // namespace fast
+
+#endif // FAST_APPS_CLASSICAL_H

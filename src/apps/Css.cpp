@@ -1,0 +1,248 @@
+//===- apps/Css.cpp - CSS analysis case study -----------------------------===//
+
+#include "apps/Css.h"
+
+#include "transducers/Compose.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+using namespace fast;
+using namespace fast::css;
+
+namespace {
+constexpr unsigned CtorNil = 0, CtorNode = 1;
+
+/// A tiny tokenizer/parser for the CSS subset.
+class CssParser {
+public:
+  CssParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(std::vector<CssRule> &Rules, std::string &Error) {
+    while (skipTrivia(), Pos < Text.size()) {
+      if (!parseRuleSet(Rules)) {
+        Error = Message + " at offset " + std::to_string(Pos);
+        return false;
+      }
+    }
+    return true;
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      if (std::isspace(static_cast<unsigned char>(Text[Pos]))) {
+        ++Pos;
+        continue;
+      }
+      if (Text.compare(Pos, 2, "/*") == 0) {
+        size_t End = Text.find("*/", Pos + 2);
+        Pos = End == std::string::npos ? Text.size() : End + 2;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string ident() {
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '-' || Text[Pos] == '_'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Message.empty())
+      Message = Msg;
+    return false;
+  }
+
+  bool parseColor(int64_t &Value) {
+    skipTrivia();
+    if (Pos < Text.size() && Text[Pos] == '#') {
+      ++Pos;
+      size_t Start = Pos;
+      while (Pos < Text.size() &&
+             std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      std::string Hex = Text.substr(Start, Pos - Start);
+      if (Hex.size() == 3) {
+        // #rgb expands to #rrggbb.
+        std::string Wide;
+        for (char C : Hex) {
+          Wide += C;
+          Wide += C;
+        }
+        Hex = Wide;
+      }
+      if (Hex.size() != 6)
+        return fail("expected #rgb or #rrggbb color");
+      Value = std::strtol(Hex.c_str(), nullptr, 16);
+      return true;
+    }
+    std::string Name = ident();
+    if (Name == "black")
+      Value = 0x000000;
+    else if (Name == "white")
+      Value = 0xffffff;
+    else if (Name == "red")
+      Value = 0xff0000;
+    else if (Name == "green")
+      Value = 0x008000;
+    else if (Name == "blue")
+      Value = 0x0000ff;
+    else
+      return fail("unknown color '" + Name + "'");
+    return true;
+  }
+
+  bool parseRuleSet(std::vector<CssRule> &Rules) {
+    // Selector: one or two element names.
+    std::vector<std::string> Path;
+    while (true) {
+      skipTrivia();
+      std::string Part = ident();
+      if (Part.empty())
+        break;
+      Path.push_back(Part);
+    }
+    if (Path.empty())
+      return fail("expected a selector");
+    if (Path.size() > 2)
+      return fail("only descendant selectors of depth <= 2 are supported");
+    skipTrivia();
+    if (Pos >= Text.size() || Text[Pos] != '{')
+      return fail("expected '{'");
+    ++Pos;
+    while (true) {
+      skipTrivia();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      std::string Prop = ident();
+      CssProp P;
+      if (Prop == "color")
+        P = CssProp::Color;
+      else if (Prop == "background-color" || Prop == "background")
+        P = CssProp::Background;
+      else
+        return fail("unknown property '" + Prop + "'");
+      skipTrivia();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      int64_t Value;
+      if (!parseColor(Value))
+        return false;
+      skipTrivia();
+      if (Pos < Text.size() && Text[Pos] == ';')
+        ++Pos;
+      Rules.push_back({Path, P, Value});
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Message;
+};
+
+} // namespace
+
+bool fast::css::parseCss(const std::string &Text, std::vector<CssRule> &Rules,
+                         std::string &Error) {
+  return CssParser(Text).parse(Rules, Error);
+}
+
+SignatureRef fast::css::cssSignature() {
+  return TreeSignature::create(
+      "Doc",
+      {{"tag", Sort::String}, {"color", Sort::Int}, {"bg", Sort::Int}},
+      {{"nil", 0}, {"node", 2}});
+}
+
+std::shared_ptr<Sttr> fast::css::compileRule(Session &S,
+                                             const SignatureRef &Sig,
+                                             const CssRule &Rule) {
+  assert(!Rule.SelectorPath.empty() && "empty selector");
+  TermFactory &F = S.Terms;
+  auto T = std::make_shared<Sttr>(Sig);
+  TermRef Tag = Sig->attrTerm(F, 0);
+  TermRef Color = Sig->attrTerm(F, 1);
+  TermRef Bg = Sig->attrTerm(F, 2);
+  TermRef NewValue = F.intConst(Rule.Value);
+  OutputRef NilOut = S.Outputs.mkCons(
+      CtorNil, {F.stringConst(""), F.intConst(0), F.intConst(0)}, {});
+
+  // State k == "k selector components already matched by ancestors".
+  size_t Depth = Rule.SelectorPath.size();
+  std::vector<unsigned> States;
+  for (size_t K = 0; K <= Depth - 1; ++K)
+    States.push_back(T->addState("matched" + std::to_string(K)));
+  T->setStartState(States.front());
+
+  for (size_t K = 0; K < Depth; ++K) {
+    unsigned Q = States[K];
+    TermRef Matches = F.mkEq(Tag, F.stringConst(Rule.SelectorPath[K]));
+    bool Last = K + 1 == Depth;
+    // The child-list descends with one more component matched (capped at
+    // the last state: descendants of a full match can match again); the
+    // sibling keeps this node's context.
+    unsigned ChildState = Last ? Q : States[K + 1];
+    OutputRef MatchedChildren = S.Outputs.mkState(ChildState, 0);
+    OutputRef Sibling = S.Outputs.mkState(Q, 1);
+    if (Last) {
+      // Full match: assign the property on this node.
+      TermRef NewColor = Rule.Prop == CssProp::Color ? NewValue : Color;
+      TermRef NewBg = Rule.Prop == CssProp::Background ? NewValue : Bg;
+      T->addRule(Q, CtorNode, Matches, {{}, {}},
+                 S.Outputs.mkCons(CtorNode, {Tag, NewColor, NewBg},
+                                  {MatchedChildren, Sibling}));
+    } else {
+      T->addRule(Q, CtorNode, Matches, {{}, {}},
+                 S.Outputs.mkCons(CtorNode, {Tag, Color, Bg},
+                                  {MatchedChildren, Sibling}));
+    }
+    T->addRule(Q, CtorNode, F.mkNot(Matches), {{}, {}},
+               S.Outputs.mkCons(CtorNode, {Tag, Color, Bg},
+                                {S.Outputs.mkState(Q, 0), Sibling}));
+    T->addRule(Q, CtorNil, F.trueTerm(), {}, NilOut);
+  }
+  return T;
+}
+
+std::shared_ptr<Sttr>
+fast::css::compileStylesheet(Session &S, const SignatureRef &Sig,
+                             const std::vector<CssRule> &Rules) {
+  assert(!Rules.empty() && "empty stylesheet");
+  std::shared_ptr<Sttr> Sheet = compileRule(S, Sig, Rules.front());
+  for (size_t I = 1; I < Rules.size(); ++I) {
+    std::shared_ptr<Sttr> Next = compileRule(S, Sig, Rules[I]);
+    Sheet = composeSttr(S.Solv, S.Outputs, *Sheet, *Next).Composed;
+  }
+  return Sheet;
+}
+
+TreeLanguage fast::css::unreadableLanguage(Session &S,
+                                           const SignatureRef &Sig) {
+  TermFactory &F = S.Terms;
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Bad = A->addState("unreadable");
+  TermRef Color = Sig->attrTerm(F, 1);
+  TermRef Bg = Sig->attrTerm(F, 2);
+  A->addRule(Bad, CtorNode, F.mkEq(Color, Bg), {{}, {}});
+  A->addRule(Bad, CtorNode, F.trueTerm(), {{Bad}, {}});
+  A->addRule(Bad, CtorNode, F.trueTerm(), {{}, {Bad}});
+  return TreeLanguage(std::move(A), Bad);
+}
+
+std::optional<TreeRef> fast::css::findUnreadableInput(Session &S,
+                                                      const Sttr &Stylesheet) {
+  TreeLanguage Bad =
+      unreadableLanguage(S, Stylesheet.signature());
+  TreeLanguage BadInputs = preImageLanguage(S.Solv, Stylesheet, Bad);
+  return witness(S.Solv, BadInputs, S.Trees);
+}

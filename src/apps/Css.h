@@ -1,0 +1,77 @@
+//===- apps/Css.h - CSS analysis case study ---------------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CSS analysis sketch of Section 5.5.  Styled documents are binary
+/// trees
+///
+///   type Doc [tag : String, color : Int, bg : Int] { nil(0), node(2) }
+///
+/// where node(firstChild, nextSibling) carries the element name and its
+/// computed color / background-color.  A CSS rule `div p { color: v }` is
+/// an STTR whose states track how much of the selector's ancestor path has
+/// matched; a stylesheet is the cascade-ordered composition of its rules.
+/// The readability analysis asks whether some document, after styling, has
+/// a node whose color equals its background — note the *relation* between
+/// two attributes, which is exactly what the paper says tree logics with
+/// explicit alphabets cannot express at this scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_APPS_CSS_H
+#define FAST_APPS_CSS_H
+
+#include "transducers/Ops.h"
+#include "transducers/Session.h"
+
+#include <optional>
+
+namespace fast {
+namespace css {
+
+/// The styled-document signature.
+SignatureRef cssSignature();
+
+/// Which property a rule assigns.
+enum class CssProp { Color, Background };
+
+/// One CSS rule: a descendant selector path (e.g. {"div", "p"}) and an
+/// assignment `Prop: Value`.
+struct CssRule {
+  std::vector<std::string> SelectorPath;
+  CssProp Prop = CssProp::Color;
+  int64_t Value = 0;
+};
+
+/// Parses a small CSS subset into rules: `selector { prop: value; ... }`
+/// where a selector is one or two element names (descendant combinator),
+/// properties are `color` / `background-color`, and values are `#rgb`,
+/// `#rrggbb`, or a named color (black/white/red/green/blue).  Returns
+/// false and fills \p Error on malformed input; comments `/* */` are
+/// skipped.
+bool parseCss(const std::string &Text, std::vector<CssRule> &Rules,
+              std::string &Error);
+
+/// Compiles one rule to an STTR (deterministic, linear, total).
+std::shared_ptr<Sttr> compileRule(Session &S, const SignatureRef &Sig,
+                                  const CssRule &Rule);
+
+/// Compiles a stylesheet: rules composed in cascade order (later rules
+/// see — and can override — the effects of earlier ones).
+std::shared_ptr<Sttr> compileStylesheet(Session &S, const SignatureRef &Sig,
+                                        const std::vector<CssRule> &Rules);
+
+/// Documents containing a node with color == bg (unreadable text).
+TreeLanguage unreadableLanguage(Session &S, const SignatureRef &Sig);
+
+/// Returns an input document that \p Stylesheet styles into an unreadable
+/// one, or nullopt if no such document exists.
+std::optional<TreeRef> findUnreadableInput(Session &S, const Sttr &Stylesheet);
+
+} // namespace css
+} // namespace fast
+
+#endif // FAST_APPS_CSS_H

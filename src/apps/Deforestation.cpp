@@ -1,0 +1,107 @@
+//===- apps/Deforestation.cpp - Deforestation case study ------------------===//
+
+#include "apps/Deforestation.h"
+
+#include <cassert>
+#include <random>
+
+using namespace fast;
+using namespace fast::defo;
+
+namespace {
+constexpr unsigned CtorNil = 0, CtorCons = 1;
+} // namespace
+
+SignatureRef fast::defo::listSignature() {
+  return TreeSignature::create("IList", {{"i", Sort::Int}},
+                               {{"nil", 0}, {"cons", 1}});
+}
+
+std::shared_ptr<Sttr> fast::defo::makeMapCaesar(Session &S,
+                                                const SignatureRef &Sig) {
+  TermFactory &F = S.Terms;
+  auto T = std::make_shared<Sttr>(Sig);
+  unsigned Q = T->addState("map_caesar");
+  T->setStartState(Q);
+  TermRef I = Sig->attrTerm(F, 0);
+  TermRef Shifted = F.mkMod(F.mkAdd(I, F.intConst(5)), F.intConst(26));
+  T->addRule(Q, CtorNil, F.trueTerm(), {},
+             S.Outputs.mkCons(CtorNil, {F.intConst(0)}, {}));
+  T->addRule(Q, CtorCons, F.trueTerm(), {{}},
+             S.Outputs.mkCons(CtorCons, {Shifted}, {S.Outputs.mkState(Q, 0)}));
+  return T;
+}
+
+std::shared_ptr<Sttr> fast::defo::makeFilterEven(Session &S,
+                                                 const SignatureRef &Sig) {
+  TermFactory &F = S.Terms;
+  auto T = std::make_shared<Sttr>(Sig);
+  unsigned Q = T->addState("filter_ev");
+  T->setStartState(Q);
+  TermRef I = Sig->attrTerm(F, 0);
+  TermRef Even = F.mkEq(F.mkMod(I, F.intConst(2)), F.intConst(0));
+  T->addRule(Q, CtorNil, F.trueTerm(), {},
+             S.Outputs.mkCons(CtorNil, {F.intConst(0)}, {}));
+  T->addRule(Q, CtorCons, Even, {{}},
+             S.Outputs.mkCons(CtorCons, {I}, {S.Outputs.mkState(Q, 0)}));
+  T->addRule(Q, CtorCons, F.mkNot(Even), {{}}, S.Outputs.mkState(Q, 0));
+  return T;
+}
+
+TreeRef fast::defo::makeList(Session &S, const SignatureRef &Sig,
+                             const std::vector<int64_t> &Values) {
+  TreeRef List = S.Trees.makeLeaf(Sig, CtorNil, {Value::integer(0)});
+  for (auto It = Values.rbegin(); It != Values.rend(); ++It)
+    List = S.Trees.make(Sig, CtorCons, {Value::integer(*It)}, {List});
+  return List;
+}
+
+std::vector<int64_t> fast::defo::readList(TreeRef List) {
+  std::vector<int64_t> Values;
+  while (List->ctorId() == CtorCons) {
+    Values.push_back(List->attr(0).getInt());
+    List = List->child(0);
+  }
+  return Values;
+}
+
+TreeRef fast::defo::randomList(Session &S, const SignatureRef &Sig,
+                               size_t Length, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::vector<int64_t> Values(Length);
+  for (int64_t &V : Values)
+    V = std::uniform_int_distribution<int64_t>(0, 25)(Rng);
+  return makeList(S, Sig, Values);
+}
+
+TreeRef fast::defo::runNaive(Session &S,
+                             const std::vector<std::shared_ptr<Sttr>> &Pipeline,
+                             TreeRef Input) {
+  TreeRef Current = Input;
+  for (const std::shared_ptr<Sttr> &T : Pipeline) {
+    // A fresh runner per pass: the naive evaluator cannot share anything
+    // across passes, which is precisely the inefficiency deforestation
+    // removes.
+    SttrRunner Runner(*T, S.Trees);
+    std::vector<TreeRef> Out = Runner.run(Current);
+    assert(Out.size() == 1 && "pipeline stages must be deterministic");
+    Current = Out.front();
+  }
+  return Current;
+}
+
+std::shared_ptr<Sttr> fast::defo::composePipeline(
+    Session &S, const std::vector<std::shared_ptr<Sttr>> &Pipeline) {
+  assert(!Pipeline.empty() && "empty pipeline");
+  std::shared_ptr<Sttr> Current = Pipeline.front();
+  for (size_t I = 1; I < Pipeline.size(); ++I)
+    Current = composeSttr(S.Solv, S.Outputs, *Current, *Pipeline[I]).Composed;
+  return Current;
+}
+
+TreeRef fast::defo::runComposed(Session &S, const Sttr &T, TreeRef Input) {
+  SttrRunner Runner(T, S.Trees);
+  std::vector<TreeRef> Out = Runner.run(Input);
+  assert(Out.size() == 1 && "composed pipeline must be deterministic");
+  return Out.front();
+}

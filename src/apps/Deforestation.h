@@ -1,0 +1,61 @@
+//===- apps/Deforestation.h - Deforestation case study ----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deforestation case study of Section 5.3 (Figure 7): evaluating n
+/// composed copies of map_caesar over an integer list either naively (n
+/// passes, materializing every intermediate list) or the Fast way (compose
+/// the transducers once, then traverse the input a single time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_APPS_DEFORESTATION_H
+#define FAST_APPS_DEFORESTATION_H
+
+#include "transducers/Ops.h"
+#include "transducers/Run.h"
+#include "transducers/Session.h"
+
+namespace fast {
+namespace defo {
+
+/// `type IList [i : Int] { nil(0), cons(1) }` (Figure 8).
+SignatureRef listSignature();
+
+/// The map_caesar transducer: x -> (x + 5) % 26 on every element.
+std::shared_ptr<Sttr> makeMapCaesar(Session &S, const SignatureRef &Sig);
+
+/// The filter_ev transducer: keeps even elements.
+std::shared_ptr<Sttr> makeFilterEven(Session &S, const SignatureRef &Sig);
+
+/// Builds a list tree from \p Values.
+TreeRef makeList(Session &S, const SignatureRef &Sig,
+                 const std::vector<int64_t> &Values);
+
+/// Reads a list tree back.
+std::vector<int64_t> readList(TreeRef List);
+
+/// A deterministic random list of \p Length values in [0, 26).
+TreeRef randomList(Session &S, const SignatureRef &Sig, size_t Length,
+                   unsigned Seed);
+
+/// Runs \p Pipeline naively: pass k's output list is pass k+1's input.
+/// Every intermediate list is materialized, as in the un-deforested
+/// program.  Returns the final list.
+TreeRef runNaive(Session &S, const std::vector<std::shared_ptr<Sttr>> &Pipeline,
+                 TreeRef Input);
+
+/// Composes \p Pipeline into one transducer (left to right).
+std::shared_ptr<Sttr>
+composePipeline(Session &S, const std::vector<std::shared_ptr<Sttr>> &Pipeline);
+
+/// Runs a single (composed) transducer once.
+TreeRef runComposed(Session &S, const Sttr &T, TreeRef Input);
+
+} // namespace defo
+} // namespace fast
+
+#endif // FAST_APPS_DEFORESTATION_H

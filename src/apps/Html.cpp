@@ -1,0 +1,583 @@
+//===- apps/Html.cpp - HTML sanitization case study -----------------------===//
+
+#include "apps/Html.h"
+
+#include "support/StringUtils.h"
+#include "transducers/Run.h"
+
+#include <cassert>
+#include <cctype>
+#include <random>
+
+using namespace fast;
+using namespace fast::html;
+
+SignatureRef fast::html::htmlSignature() {
+  return TreeSignature::create(
+      "HtmlE", {{"tag", Sort::String}},
+      {{"nil", 0}, {"val", 1}, {"attr", 2}, {"node", 3}});
+}
+
+std::string fast::html::sanitizerFastSource(bool FixBug) {
+  std::string ScriptCase =
+      FixBug ? "| node(x1, x2, x3) where (tag = \"script\") to (remScript x3)\n"
+             : "| node(x1, x2, x3) where (tag = \"script\") to x3\n";
+  return std::string(
+             "// Figure 2: implementation and analysis of an HTML sanitizer.\n"
+             "type HtmlE[tag : String] { nil(0), val(1), attr(2), node(3) }\n"
+             "lang nodeTree : HtmlE {\n"
+             "  node(x1, x2, x3) given (attrTree x1) (nodeTree x2) "
+             "(nodeTree x3)\n"
+             "| nil() where (tag = \"\") }\n"
+             "lang attrTree : HtmlE {\n"
+             "  attr(x1, x2) given (valTree x1) (attrTree x2)\n"
+             "| nil() where (tag = \"\") }\n"
+             "lang valTree : HtmlE {\n"
+             "  val(x1) where (tag != \"\") given (valTree x1)\n"
+             "| nil() where (tag = \"\") }\n"
+             "trans remScript : HtmlE -> HtmlE {\n"
+             "  node(x1, x2, x3) where (tag != \"script\")\n"
+             "    to (node [tag] x1 (remScript x2) (remScript x3))\n") +
+         ScriptCase +
+         "| nil() to (nil [tag]) }\n"
+         "trans esc : HtmlE -> HtmlE {\n"
+         "  node(x1, x2, x3) to (node [tag] (esc x1) (esc x2) (esc x3))\n"
+         "| attr(x1, x2) to (attr [tag] (esc x1) (esc x2))\n"
+         "| val(x1) where (tag = \"'\" || tag = \"\\\"\")\n"
+         "    to (val [\"\\\\\"] (val [tag] (esc x1)))\n"
+         "| val(x1) where (tag != \"'\" && tag != \"\\\"\")\n"
+         "    to (val [tag] (esc x1))\n"
+         "| nil() to (nil [tag]) }\n"
+         "def rem_esc : HtmlE -> HtmlE := (compose remScript esc)\n"
+         "def sani : HtmlE -> HtmlE := (restrict rem_esc nodeTree)\n"
+         "lang badOutput : HtmlE {\n"
+         "  node(x1, x2, x3) where (tag = \"script\")\n"
+         "| node(x1, x2, x3) given (badOutput x2)\n"
+         "| node(x1, x2, x3) given (badOutput x3) }\n";
+}
+
+Sanitizer fast::html::buildSanitizer(Session &S, bool FixBug) {
+  FastProgramResult R = runFastProgram(S, sanitizerFastSource(FixBug));
+  assert(R.ErrorCount == 0 && "embedded Figure 2 program failed to compile");
+  Sanitizer Result;
+  Result.Sig = R.Types.at("HtmlE");
+  Result.RemScript = R.transducer("remScript");
+  Result.Esc = R.transducer("esc");
+  Result.RemEsc = R.transducer("rem_esc");
+  Result.Sani = R.transducer("sani");
+  Result.NodeTree = *R.language("nodeTree");
+  Result.BadOutput = *R.language("badOutput");
+  assert(Result.RemScript && Result.Esc && Result.RemEsc && Result.Sani &&
+         "embedded Figure 2 program is missing definitions");
+  return Result;
+}
+
+std::string fast::html::sanitizerPipelineFastSource() {
+  return std::string(
+      "// A multi-stage sanitizer: each concern is its own transformation.\n"
+      "type HtmlE[tag : String] { nil(0), val(1), attr(2), node(3) }\n"
+      // Stage 1: remove script elements (the fixed Figure 2 remScript).
+      "trans remScript : HtmlE -> HtmlE {\n"
+      "  node(x1, x2, x3) where (tag != \"script\")\n"
+      "    to (node [tag] x1 (remScript x2) (remScript x3))\n"
+      "| node(x1, x2, x3) where (tag = \"script\") to (remScript x3)\n"
+      "| nil() to (nil [tag]) }\n"
+      // Stage 2: remove embed-like elements.
+      "trans remEmbeds : HtmlE -> HtmlE {\n"
+      "  node(x1, x2, x3) where (tag != \"iframe\" && tag != \"object\" && "
+      "tag != \"embed\" && tag != \"form\")\n"
+      "    to (node [tag] x1 (remEmbeds x2) (remEmbeds x3))\n"
+      "| node(x1, x2, x3) where (tag = \"iframe\" || tag = \"object\" || "
+      "tag = \"embed\" || tag = \"form\")\n"
+      "    to (remEmbeds x3)\n"
+      "| nil() to (nil [tag]) }\n"
+      // Stage 3: strip inline event-handler attributes.
+      "trans remHandlers : HtmlE -> HtmlE {\n"
+      "  node(x1, x2, x3)\n"
+      "    to (node [tag] (remHandlers x1) (remHandlers x2) "
+      "(remHandlers x3))\n"
+      "| attr(x1, x2) where (tag = \"onclick\" || tag = \"onload\" || "
+      "tag = \"onerror\" || tag = \"onmouseover\")\n"
+      "    to (remHandlers x2)\n"
+      "| attr(x1, x2) where !(tag = \"onclick\" || tag = \"onload\" || "
+      "tag = \"onerror\" || tag = \"onmouseover\")\n"
+      "    to (attr [tag] x1 (remHandlers x2))\n"
+      "| val(x1) to (val [tag] (remHandlers x1))\n"
+      "| nil() to (nil [tag]) }\n"
+      // Stage 4: escape quotes (Figure 2's esc).
+      "trans esc : HtmlE -> HtmlE {\n"
+      "  node(x1, x2, x3) to (node [tag] (esc x1) (esc x2) (esc x3))\n"
+      "| attr(x1, x2) to (attr [tag] (esc x1) (esc x2))\n"
+      "| val(x1) where (tag = \"'\" || tag = \"\\\"\")\n"
+      "    to (val [\"\\\\\"] (val [tag] (esc x1)))\n"
+      "| val(x1) where (tag != \"'\" && tag != \"\\\"\")\n"
+      "    to (val [tag] (esc x1))\n"
+      "| nil() to (nil [tag]) }\n"
+      // The fused pipeline: one traversal of the input document.
+      "def stage12 : HtmlE -> HtmlE := (compose remScript remEmbeds)\n"
+      "def stage123 : HtmlE -> HtmlE := (compose stage12 remHandlers)\n"
+      "def pipeline : HtmlE -> HtmlE := (compose stage123 esc)\n");
+}
+
+SanitizerPipeline fast::html::buildSanitizerPipeline(Session &S) {
+  FastProgramResult R = runFastProgram(S, sanitizerPipelineFastSource());
+  assert(R.ErrorCount == 0 && "embedded pipeline program failed to compile");
+  SanitizerPipeline Result;
+  Result.Sig = R.Types.at("HtmlE");
+  for (const char *Stage : {"remScript", "remEmbeds", "remHandlers", "esc"})
+    Result.Stages.push_back(R.transducer(Stage));
+  Result.Composed = R.transducer("pipeline");
+  assert(Result.Composed && "pipeline definition missing");
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// HTML <-> HtmlE (the Figure 3 encoding)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Intermediate DOM used between text and the binary HtmlE encoding.
+struct DomNode {
+  std::string Tag;
+  std::vector<std::pair<std::string, std::string>> Attrs;
+  std::vector<DomNode> Children;
+};
+
+constexpr unsigned CtorNil = 0, CtorVal = 1, CtorAttr = 2, CtorNode = 3;
+
+bool isVoidTag(const std::string &Tag) {
+  static const char *Voids[] = {"br",   "img",  "hr",    "meta",
+                                "link", "input", "area", "col"};
+  for (const char *V : Voids)
+    if (Tag == V)
+      return true;
+  return false;
+}
+
+class HtmlParser {
+public:
+  HtmlParser(const std::string &Html) : Html(Html) {}
+
+  bool parse(std::vector<DomNode> &Roots, std::string &Error) {
+    parseNodes(Roots, "");
+    if (!Message.empty()) {
+      Error = Message + " at offset " + std::to_string(ErrorPos);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (Message.empty()) {
+      Message = Msg;
+      ErrorPos = Pos;
+    }
+  }
+
+  void skipSpace() {
+    while (Pos < Html.size() &&
+           std::isspace(static_cast<unsigned char>(Html[Pos])))
+      ++Pos;
+  }
+
+  std::string parseName() {
+    size_t Start = Pos;
+    while (Pos < Html.size() &&
+           (std::isalnum(static_cast<unsigned char>(Html[Pos])) ||
+            Html[Pos] == '-' || Html[Pos] == '_'))
+      ++Pos;
+    return Html.substr(Start, Pos - Start);
+  }
+
+  /// Parses siblings until `</Stop` or end of input.
+  void parseNodes(std::vector<DomNode> &Out, const std::string &Stop) {
+    while (Pos < Html.size() && Message.empty()) {
+      if (Html[Pos] == '<') {
+        if (Html.compare(Pos, 4, "<!--") == 0) {
+          size_t End = Html.find("-->", Pos);
+          Pos = End == std::string::npos ? Html.size() : End + 3;
+          continue;
+        }
+        if (Pos + 1 < Html.size() && Html[Pos + 1] == '/') {
+          // Closing tag: ours or an ancestor's.
+          if (!Stop.empty() &&
+              Html.compare(Pos + 2, Stop.size(), Stop) == 0) {
+            Pos += 2 + Stop.size();
+            while (Pos < Html.size() && Html[Pos] != '>')
+              ++Pos;
+            if (Pos < Html.size())
+              ++Pos;
+          } else {
+            fail("unexpected closing tag");
+          }
+          return;
+        }
+        DomNode Node;
+        if (!parseElement(Node))
+          return;
+        Out.push_back(std::move(Node));
+        continue;
+      }
+      // Text run: becomes a "text" pseudo-attribute on the parent; at the
+      // top level whitespace-only runs are dropped.
+      size_t Start = Pos;
+      while (Pos < Html.size() && Html[Pos] != '<')
+        ++Pos;
+      std::string Text = Html.substr(Start, Pos - Start);
+      bool AllSpace = true;
+      for (char C : Text)
+        AllSpace &= std::isspace(static_cast<unsigned char>(C)) != 0;
+      if (!AllSpace) {
+        DomNode TextNode;
+        TextNode.Tag = ""; // marker: text
+        TextNode.Attrs.push_back({"text", Text});
+        Out.push_back(std::move(TextNode));
+      }
+    }
+  }
+
+  bool parseElement(DomNode &Node) {
+    ++Pos; // '<'
+    Node.Tag = parseName();
+    if (Node.Tag.empty()) {
+      fail("expected element name");
+      return false;
+    }
+    // Attributes.
+    while (true) {
+      skipSpace();
+      if (Pos >= Html.size()) {
+        fail("unterminated tag");
+        return false;
+      }
+      if (Html[Pos] == '>' || (Html[Pos] == '/' && Pos + 1 < Html.size() &&
+                               Html[Pos + 1] == '>'))
+        break;
+      std::string Name = parseName();
+      if (Name.empty()) {
+        fail("expected attribute name");
+        return false;
+      }
+      std::string ValueText;
+      skipSpace();
+      if (Pos < Html.size() && Html[Pos] == '=') {
+        ++Pos;
+        skipSpace();
+        if (Pos < Html.size() && (Html[Pos] == '"' || Html[Pos] == '\'')) {
+          char Quote = Html[Pos++];
+          size_t Start = Pos;
+          while (Pos < Html.size() && Html[Pos] != Quote)
+            ++Pos;
+          if (Pos >= Html.size()) {
+            fail("unterminated attribute value");
+            return false;
+          }
+          ValueText = Html.substr(Start, Pos - Start);
+          ++Pos;
+        } else {
+          size_t Start = Pos;
+          while (Pos < Html.size() && !std::isspace(static_cast<unsigned char>(
+                                          Html[Pos])) &&
+                 Html[Pos] != '>')
+            ++Pos;
+          ValueText = Html.substr(Start, Pos - Start);
+        }
+      }
+      Node.Attrs.push_back({std::move(Name), std::move(ValueText)});
+    }
+    if (Html[Pos] == '/') {
+      Pos += 2; // "/>"
+      return true;
+    }
+    ++Pos; // '>'
+    if (isVoidTag(Node.Tag))
+      return true;
+    parseNodes(Node.Children, Node.Tag);
+    return Message.empty();
+  }
+
+  const std::string &Html;
+  size_t Pos = 0;
+  std::string Message;
+  size_t ErrorPos = 0;
+};
+
+/// Encodes a string as a val-chain ending in nil (Figure 3).
+TreeRef encodeString(Session &S, const SignatureRef &Sig,
+                     const std::string &Text) {
+  TreeRef Chain = S.Trees.makeLeaf(Sig, CtorNil, {Value::string("")});
+  for (auto It = Text.rbegin(); It != Text.rend(); ++It)
+    Chain = S.Trees.make(Sig, CtorVal, {Value::string(std::string(1, *It))},
+                         {Chain});
+  return Chain;
+}
+
+TreeRef encodeNodes(Session &S, const SignatureRef &Sig,
+                    const std::vector<DomNode> &Nodes, size_t Index);
+
+/// Encodes the attribute list (including "text" pseudo-attributes gathered
+/// from text children).
+TreeRef encodeAttrs(Session &S, const SignatureRef &Sig, const DomNode &Node,
+                    size_t Index) {
+  if (Index >= Node.Attrs.size())
+    return S.Trees.makeLeaf(Sig, CtorNil, {Value::string("")});
+  const auto &[Name, Text] = Node.Attrs[Index];
+  return S.Trees.make(Sig, CtorAttr, {Value::string(Name)},
+                      {encodeString(S, Sig, Text),
+                       encodeAttrs(S, Sig, Node, Index + 1)});
+}
+
+TreeRef encodeNode(Session &S, const SignatureRef &Sig, const DomNode &Node,
+                   TreeRef NextSibling) {
+  // Text pseudo-nodes become elements tagged "text" holding the run as a
+  // text attribute, so the document stays a single uniform tree.
+  std::string Tag = Node.Tag.empty() ? "text" : Node.Tag;
+  return S.Trees.make(Sig, CtorNode, {Value::string(Tag)},
+                      {encodeAttrs(S, Sig, Node, 0),
+                       encodeNodes(S, Sig, Node.Children, 0), NextSibling});
+}
+
+TreeRef encodeNodes(Session &S, const SignatureRef &Sig,
+                    const std::vector<DomNode> &Nodes, size_t Index) {
+  if (Index >= Nodes.size())
+    return S.Trees.makeLeaf(Sig, CtorNil, {Value::string("")});
+  return encodeNode(S, Sig, Nodes[Index],
+                    encodeNodes(S, Sig, Nodes, Index + 1));
+}
+
+std::string decodeString(TreeRef Chain) {
+  std::string Text;
+  while (Chain->ctorId() == CtorVal) {
+    Text += Chain->attr(0).getString();
+    Chain = Chain->child(0);
+  }
+  return Text;
+}
+
+void renderNode(TreeRef Node, std::string &Out);
+
+void renderAttrs(TreeRef Attr, std::string &Out, std::string &TextRuns) {
+  while (Attr->ctorId() == CtorAttr) {
+    const std::string &Name = Attr->attr(0).getString();
+    std::string Text = decodeString(Attr->child(0));
+    if (Name == "text") {
+      TextRuns += Text;
+    } else {
+      Out += ' ';
+      Out += Name;
+      Out += "=\"";
+      Out += Text;
+      Out += '"';
+    }
+    Attr = Attr->child(1);
+  }
+}
+
+void renderSiblings(TreeRef Node, std::string &Out) {
+  while (Node->ctorId() == CtorNode) {
+    renderNode(Node, Out);
+    Node = Node->child(2);
+  }
+}
+
+void renderNode(TreeRef Node, std::string &Out) {
+  const std::string &Tag = Node->attr(0).getString();
+  std::string TextRuns;
+  if (Tag == "text") {
+    std::string Dummy;
+    renderAttrs(Node->child(0), Dummy, TextRuns);
+    Out += TextRuns;
+    return;
+  }
+  Out += '<';
+  Out += Tag;
+  renderAttrs(Node->child(0), Out, TextRuns);
+  bool Empty = Node->child(1)->ctorId() == CtorNil && TextRuns.empty();
+  if (Empty && isVoidTag(Tag)) {
+    Out += " />";
+    return;
+  }
+  Out += '>';
+  Out += TextRuns;
+  renderSiblings(Node->child(1), Out);
+  Out += "</";
+  Out += Tag;
+  Out += '>';
+}
+
+} // namespace
+
+TreeRef fast::html::parseHtml(Session &S, const SignatureRef &Sig,
+                              const std::string &Html, std::string &Error) {
+  std::vector<DomNode> Roots;
+  HtmlParser Parser(Html);
+  if (!Parser.parse(Roots, Error))
+    return nullptr;
+  return encodeNodes(S, Sig, Roots, 0);
+}
+
+std::string fast::html::renderHtml(TreeRef Doc) {
+  std::string Out;
+  renderSiblings(Doc, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic page generation (the Section 5.1 workload)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class PageGenerator {
+public:
+  PageGenerator(unsigned Seed) : Rng(Seed) {}
+
+  std::string generate(size_t TargetBytes) {
+    std::string Out = "<html><head><title>synthetic page</title></head><body>";
+    while (Out.size() + 64 < TargetBytes)
+      emitElement(Out, /*Depth=*/0, TargetBytes);
+    Out += "</body></html>";
+    return Out;
+  }
+
+private:
+  unsigned pick(unsigned Bound) {
+    return std::uniform_int_distribution<unsigned>(0, Bound - 1)(Rng);
+  }
+
+  std::string word() {
+    static const char *Words[] = {"lorem", "ipsum",  "dolor", "sit",
+                                  "amet",  "beach",  "crime", "estate",
+                                  "map",   "layer",  "tag",   "point"};
+    return Words[pick(std::size(Words))];
+  }
+
+  void emitText(std::string &Out) {
+    unsigned N = 3 + pick(8);
+    for (unsigned I = 0; I < N; ++I) {
+      Out += word();
+      // Quote characters exercise the esc transducer.
+      if (pick(12) == 0)
+        Out += pick(2) ? '\'' : '"';
+      Out += ' ';
+    }
+  }
+
+  void emitElement(std::string &Out, unsigned Depth, size_t TargetBytes) {
+    static const char *Tags[] = {"div", "span", "p",  "table", "tr",
+                                 "td",  "ul",   "li", "b",     "a"};
+    // A sprinkling of active content for the sanitizer stages to remove.
+    if (pick(20) == 0) {
+      Out += "<script>alert('x');</script>";
+      return;
+    }
+    if (pick(40) == 0) {
+      Out += "<iframe src=\"http://ads.example/f\"></iframe>";
+      return;
+    }
+    const char *Tag = Tags[pick(std::size(Tags))];
+    Out += '<';
+    Out += Tag;
+    if (pick(2)) {
+      Out += " id=\"n";
+      Out += std::to_string(pick(10000));
+      Out += '"';
+    }
+    if (pick(3) == 0) {
+      Out += " class=\"c";
+      Out += std::to_string(pick(50));
+      Out += '"';
+    }
+    if (pick(10) == 0)
+      Out += " onclick=\"steal()\"";
+    Out += '>';
+    unsigned Kids = Depth >= 6 ? 0 : pick(3);
+    for (unsigned I = 0; I < Kids && Out.size() + 64 < TargetBytes; ++I)
+      emitElement(Out, Depth + 1, TargetBytes);
+    emitText(Out);
+    Out += "</";
+    Out += Tag;
+    Out += '>';
+  }
+
+  std::mt19937 Rng;
+};
+
+} // namespace
+
+std::string fast::html::generatePage(size_t TargetBytes, unsigned Seed) {
+  return PageGenerator(Seed).generate(TargetBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Monolithic baseline (the HTML Purifier stand-in)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One-pass recursive sanitizer mirroring remScript-then-esc semantics.
+class MonolithicSanitizer {
+public:
+  MonolithicSanitizer(Session &S, const SignatureRef &Sig) : S(S), Sig(Sig) {}
+
+  TreeRef sanitizeNode(TreeRef Node) {
+    if (Node->ctorId() == CtorNil)
+      return Node;
+    assert(Node->ctorId() == CtorNode && "expected a node chain");
+    // Script elements vanish; processing continues with the next sibling.
+    if (Node->attr(0).getString() == "script")
+      return sanitizeNode(Node->child(2));
+    return S.Trees.make(Sig, CtorNode, {Node->attr(0)},
+                        {escapeAttrs(Node->child(0)),
+                         sanitizeNode(Node->child(1)),
+                         sanitizeNode(Node->child(2))});
+  }
+
+private:
+  TreeRef escapeAttrs(TreeRef Attr) {
+    if (Attr->ctorId() == CtorNil)
+      return Attr;
+    assert(Attr->ctorId() == CtorAttr && "expected an attr chain");
+    return S.Trees.make(Sig, CtorAttr, {Attr->attr(0)},
+                        {escapeValue(Attr->child(0)),
+                         escapeAttrs(Attr->child(1))});
+  }
+
+  TreeRef escapeValue(TreeRef Val) {
+    if (Val->ctorId() == CtorNil)
+      return Val;
+    const std::string &C = Val->attr(0).getString();
+    TreeRef Rest = escapeValue(Val->child(0));
+    TreeRef Kept = S.Trees.make(Sig, CtorVal, {Val->attr(0)}, {Rest});
+    if (C == "'" || C == "\"")
+      return S.Trees.make(Sig, CtorVal, {Value::string("\\")}, {Kept});
+    return Kept;
+  }
+
+  Session &S;
+  const SignatureRef &Sig;
+};
+
+} // namespace
+
+TreeRef fast::html::monolithicSanitize(Session &S, const SignatureRef &Sig,
+                                       TreeRef Doc) {
+  return MonolithicSanitizer(S, Sig).sanitizeNode(Doc);
+}
+
+std::optional<std::string>
+fast::html::sanitizeHtmlString(Session &S, const Sanitizer &Sani,
+                               const std::string &Html, std::string &Error) {
+  TreeRef Doc = parseHtml(S, Sani.Sig, Html, Error);
+  if (!Doc)
+    return std::nullopt;
+  SttrRunner Runner(*Sani.Sani, S.Trees);
+  std::vector<TreeRef> Out = Runner.run(Doc);
+  if (Out.empty()) {
+    Error = "input is outside the sanitizer's domain";
+    return std::nullopt;
+  }
+  return renderHtml(Out.front());
+}

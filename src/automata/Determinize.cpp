@@ -1,0 +1,313 @@
+//===- automata/Determinize.cpp - Determinization & friends ---------------===//
+
+#include "automata/Determinize.h"
+
+#include "smt/Minterms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace fast;
+
+StateSet DeterminizedSta::acceptingFor(const StateSet &Roots) const {
+  StateSet Result;
+  for (unsigned Id = 0; Id < StateSets.size(); ++Id) {
+    bool Intersects = false;
+    for (unsigned Q : StateSets[Id])
+      if (std::binary_search(Roots.begin(), Roots.end(), Q)) {
+        Intersects = true;
+        break;
+      }
+    if (Intersects)
+      Result.push_back(Id);
+  }
+  return Result;
+}
+
+DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
+  assert(A.isNormalized() && "determinization requires a normalized STA");
+  const SignatureRef &Sig = A.signature();
+
+  DeterminizedSta Result;
+  Result.Automaton = std::make_shared<Sta>(Sig);
+  Sta &Out = *Result.Automaton;
+
+  std::map<StateSet, unsigned> Ids;
+  auto GetState = [&](StateSet Set) {
+    canonicalizeStateSet(Set);
+    auto It = Ids.find(Set);
+    if (It != Ids.end())
+      return It->second;
+    std::string Name = "{";
+    for (size_t I = 0; I < Set.size(); ++I) {
+      if (I != 0)
+        Name += ",";
+      Name += A.stateName(Set[I]);
+    }
+    Name += "}";
+    unsigned Id = Out.addState(std::move(Name));
+    Ids.emplace(Set, Id);
+    Result.StateSets.push_back(std::move(Set));
+    return Id;
+  };
+
+  // Group A's rules by constructor for the applicability scan.
+  std::vector<std::vector<const StaRule *>> RulesByCtor(Sig->numConstructors());
+  for (const StaRule &R : A.rules())
+    RulesByCtor[R.CtorId].push_back(&R);
+
+  std::set<std::pair<unsigned, std::vector<unsigned>>> Processed;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      unsigned Rank = Sig->rank(CtorId);
+      size_t NumDet = Result.StateSets.size();
+      if (Rank > 0 && NumDet == 0)
+        continue;
+
+      // Enumerate all Rank-tuples over the currently discovered det states.
+      std::vector<unsigned> Tuple(Rank, 0);
+      bool MoreTuples = true;
+      while (MoreTuples) {
+        auto Key = std::make_pair(CtorId, Tuple);
+        if (!Processed.insert(Key).second) {
+          // Already handled; advance the odometer below.
+        } else {
+          Changed = true;
+          // Applicable rules: each child's singleton lookahead state must be
+          // in the child's det state set.
+          std::vector<std::pair<TermRef, unsigned>> Applicable;
+          for (const StaRule *R : RulesByCtor[CtorId]) {
+            bool Ok = true;
+            for (unsigned I = 0; I < Rank && Ok; ++I) {
+              const StateSet &ChildSet = Result.StateSets[Tuple[I]];
+              Ok = std::binary_search(ChildSet.begin(), ChildSet.end(),
+                                      R->Lookahead[I].front());
+            }
+            if (Ok)
+              Applicable.push_back({R->Guard, R->State});
+          }
+
+          // Split the label space on the minterms of the applicable guards.
+          std::vector<TermRef> Guards;
+          for (const auto &[Guard, Target] : Applicable)
+            Guards.push_back(Guard);
+          std::sort(Guards.begin(), Guards.end());
+          Guards.erase(std::unique(Guards.begin(), Guards.end()), Guards.end());
+          std::map<TermRef, unsigned> GuardIndex;
+          for (unsigned I = 0; I < Guards.size(); ++I)
+            GuardIndex[Guards[I]] = I;
+
+          std::vector<StateSet> ChildSets(Rank);
+          for (unsigned I = 0; I < Rank; ++I)
+            ChildSets[I] = {Tuple[I]};
+
+          for (const Minterm &M : computeMinterms(S, Guards)) {
+            StateSet Target;
+            for (const auto &[Guard, Q] : Applicable)
+              if (M.Polarity[GuardIndex[Guard]])
+                Target.push_back(Q);
+            unsigned TargetId = GetState(std::move(Target));
+            Out.addRule(TargetId, CtorId, M.Predicate, ChildSets);
+          }
+        }
+
+        // Advance the odometer over det states known at loop entry.
+        MoreTuples = false;
+        for (unsigned I = 0; I < Rank; ++I) {
+          if (++Tuple[I] < NumDet) {
+            MoreTuples = true;
+            break;
+          }
+          Tuple[I] = 0;
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+TreeLanguage fast::complementLanguage(Solver &S, const TreeLanguage &L) {
+  // Clean first: determinization enumerates child-state tuples, so
+  // removing unproductive/unreachable states up front shrinks the subset
+  // construction's base exponentially.
+  TreeLanguage N = cleanLanguage(S, L);
+  DeterminizedSta D = determinize(S, N.automaton());
+  StateSet Accepting = D.acceptingFor(N.roots());
+  StateSet Complement;
+  for (unsigned Id = 0; Id < D.StateSets.size(); ++Id)
+    if (!std::binary_search(Accepting.begin(), Accepting.end(), Id))
+      Complement.push_back(Id);
+  if (Complement.empty())
+    return emptyLanguage(L.signature());
+  return TreeLanguage(std::move(D.Automaton), std::move(Complement));
+}
+
+TreeLanguage fast::differenceLanguages(Solver &S, const TreeLanguage &A,
+                                       const TreeLanguage &B) {
+  return intersectLanguages(S, A, complementLanguage(S, B));
+}
+
+bool fast::isSubsetLanguage(Solver &S, const TreeLanguage &A,
+                            const TreeLanguage &B) {
+  return isEmptyLanguage(S, differenceLanguages(S, A, B));
+}
+
+bool fast::areEquivalentLanguages(Solver &S, const TreeLanguage &A,
+                                  const TreeLanguage &B) {
+  return isSubsetLanguage(S, A, B) && isSubsetLanguage(S, B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// Minimization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Transition view of a deterministic automaton: for each constructor, maps
+/// a child-state tuple to its (guard, target) partition of the label space.
+struct TransitionTable {
+  std::vector<std::map<std::vector<unsigned>, std::vector<std::pair<TermRef, unsigned>>>>
+      ByCtor;
+
+  explicit TransitionTable(const Sta &A) {
+    ByCtor.resize(A.signature()->numConstructors());
+    for (const StaRule &R : A.rules()) {
+      std::vector<unsigned> Tuple;
+      Tuple.reserve(R.Lookahead.size());
+      for (const StateSet &Set : R.Lookahead)
+        Tuple.push_back(Set.front());
+      ByCtor[R.CtorId][Tuple].push_back({R.Guard, R.State});
+    }
+  }
+};
+
+/// True if states \p P and \p Q react distinguishably (w.r.t. \p Block) for
+/// some constructor, position, and sibling assignment.
+bool distinguishable(Solver &S, const Sta &A, const TransitionTable &Table,
+                     const std::vector<int> &Block, unsigned P, unsigned Q) {
+  const SignatureRef &Sig = A.signature();
+  unsigned NumStates = A.numStates();
+  for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+    unsigned Rank = Sig->rank(CtorId);
+    if (Rank == 0)
+      continue;
+    // Enumerate sibling assignments; position I holds P or Q.
+    for (unsigned I = 0; I < Rank; ++I) {
+      std::vector<unsigned> Siblings(Rank - 1, 0);
+      bool More = true;
+      while (More) {
+        std::vector<unsigned> TupleP, TupleQ;
+        unsigned SiblingIndex = 0;
+        for (unsigned J = 0; J < Rank; ++J) {
+          if (J == I) {
+            TupleP.push_back(P);
+            TupleQ.push_back(Q);
+          } else {
+            TupleP.push_back(Siblings[SiblingIndex]);
+            TupleQ.push_back(Siblings[SiblingIndex]);
+            ++SiblingIndex;
+          }
+        }
+        auto ItP = Table.ByCtor[CtorId].find(TupleP);
+        auto ItQ = Table.ByCtor[CtorId].find(TupleQ);
+        // Complete automata have transitions for every tuple.
+        if (ItP != Table.ByCtor[CtorId].end() &&
+            ItQ != Table.ByCtor[CtorId].end()) {
+          for (const auto &[GuardP, TargetP] : ItP->second)
+            for (const auto &[GuardQ, TargetQ] : ItQ->second) {
+              if (Block[TargetP] == Block[TargetQ])
+                continue;
+              if (S.isSat(S.factory().mkAnd(GuardP, GuardQ)))
+                return true;
+            }
+        }
+        More = false;
+        for (unsigned J = 0; J + 1 < Rank; ++J) {
+          if (++Siblings[J] < NumStates) {
+            More = true;
+            break;
+          }
+          Siblings[J] = 0;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+TreeLanguage fast::minimizeLanguage(Solver &S, const TreeLanguage &L) {
+  TreeLanguage N = cleanLanguage(S, L);
+  DeterminizedSta D = determinize(S, N.automaton());
+  const Sta &A = *D.Automaton;
+  unsigned NumStates = A.numStates();
+  StateSet Accepting = D.acceptingFor(N.roots());
+
+  // Initial partition: accepting vs non-accepting.
+  std::vector<int> Block(NumStates, 0);
+  for (unsigned Id : Accepting)
+    Block[Id] = 1;
+  int NumBlocks = 2;
+
+  TransitionTable Table(A);
+
+  // Moore refinement: split members that disagree with their block's
+  // representative; iterate to a fixpoint.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<int> Representative(NumBlocks, -1);
+    std::vector<int> SplitTarget(NumBlocks, -1);
+    for (unsigned Q = 0; Q < NumStates; ++Q) {
+      int B = Block[Q];
+      if (Representative[B] < 0) {
+        Representative[B] = static_cast<int>(Q);
+        continue;
+      }
+      if (!distinguishable(S, A, Table, Block,
+                           static_cast<unsigned>(Representative[B]), Q))
+        continue;
+      if (SplitTarget[B] < 0)
+        SplitTarget[B] = NumBlocks++;
+      Block[Q] = SplitTarget[B];
+      Changed = true;
+    }
+  }
+
+  // Quotient automaton: one state per block; merge parallel guards.
+  auto Out = std::make_shared<Sta>(A.signature());
+  std::vector<unsigned> BlockState(NumBlocks, ~0u);
+  for (unsigned Q = 0; Q < NumStates; ++Q)
+    if (BlockState[Block[Q]] == ~0u)
+      BlockState[Block[Q]] = Out->addState(A.stateName(Q));
+
+  std::map<std::tuple<unsigned, unsigned, std::vector<unsigned>>,
+           std::vector<TermRef>>
+      Grouped;
+  for (const StaRule &R : A.rules()) {
+    std::vector<unsigned> Children;
+    for (const StateSet &Set : R.Lookahead)
+      Children.push_back(BlockState[Block[Set.front()]]);
+    Grouped[{BlockState[Block[R.State]], R.CtorId, std::move(Children)}]
+        .push_back(R.Guard);
+  }
+  for (auto &[Key, Guards] : Grouped) {
+    auto &[State, CtorId, Children] = Key;
+    std::vector<StateSet> Lookahead;
+    Lookahead.reserve(Children.size());
+    for (unsigned Child : Children)
+      Lookahead.push_back({Child});
+    Out->addRule(State, CtorId, S.factory().mkOr(Guards), std::move(Lookahead));
+  }
+
+  StateSet Roots;
+  for (unsigned Id : Accepting)
+    Roots.push_back(BlockState[Block[Id]]);
+  canonicalizeStateSet(Roots);
+  return TreeLanguage(std::move(Out), std::move(Roots));
+}

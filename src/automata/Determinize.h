@@ -1,0 +1,64 @@
+//===- automata/Determinize.h - Determinization & friends -------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up determinization of symbolic tree automata with mintermized
+/// guards, and the operations built on it: complement, difference,
+/// inclusion, equivalence, and minimization (the `complement`,
+/// `difference`, `minimize`, and `l1 == l2` operations of Section 3.5).
+///
+/// A normalized STA is exactly a nondeterministic bottom-up tree automaton
+/// whose transitions carry predicates; the subset construction assigns
+/// each tree t the set D(t) = {q | t in L_q}, splitting the label space of
+/// every (constructor, child-tuple) pair into the satisfiable minterms of
+/// the applicable guards.  The resulting automaton is deterministic and
+/// complete: every tree reaches exactly one state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_AUTOMATA_DETERMINIZE_H
+#define FAST_AUTOMATA_DETERMINIZE_H
+
+#include "automata/StaOps.h"
+
+namespace fast {
+
+/// A determinized, complete STA.  State i of Automaton represents the set
+/// StateSets[i] of states of the input automaton.
+struct DeterminizedSta {
+  std::shared_ptr<Sta> Automaton;
+  std::vector<StateSet> StateSets;
+
+  /// Ids of determinized states whose set intersects \p Roots, i.e. the
+  /// accepting states for a language with those roots.
+  StateSet acceptingFor(const StateSet &Roots) const;
+};
+
+/// Determinizes the *normalized* automaton \p A.
+DeterminizedSta determinize(Solver &S, const Sta &A);
+
+/// Complement of \p L over its signature's full tree universe.
+TreeLanguage complementLanguage(Solver &S, const TreeLanguage &L);
+
+/// A \ B.
+TreeLanguage differenceLanguages(Solver &S, const TreeLanguage &A,
+                                 const TreeLanguage &B);
+
+/// Language inclusion L(A) subseteq L(B).
+bool isSubsetLanguage(Solver &S, const TreeLanguage &A, const TreeLanguage &B);
+
+/// Language equivalence.
+bool areEquivalentLanguages(Solver &S, const TreeLanguage &A,
+                            const TreeLanguage &B);
+
+/// Minimization: determinizes, merges indistinguishable states (Moore
+/// refinement lifted to predicates), and unions parallel transition guards.
+/// The result is deterministic, complete, and minimal for its language.
+TreeLanguage minimizeLanguage(Solver &S, const TreeLanguage &L);
+
+} // namespace fast
+
+#endif // FAST_AUTOMATA_DETERMINIZE_H

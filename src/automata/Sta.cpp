@@ -1,0 +1,149 @@
+//===- automata/Sta.cpp - Alternating symbolic tree automata --------------===//
+
+#include "automata/Sta.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fast;
+
+void fast::canonicalizeStateSet(StateSet &States) {
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+}
+
+unsigned Sta::addState(std::string Name) {
+  unsigned Id = numStates();
+  if (Name.empty())
+    Name = "q" + std::to_string(Id);
+  StateNames.push_back(std::move(Name));
+  RulesByState.emplace_back();
+  return Id;
+}
+
+void Sta::addRule(unsigned State, unsigned CtorId, TermRef Guard,
+                  std::vector<StateSet> Lookahead) {
+  assert(State < numStates() && "rule from unknown state");
+  assert(CtorId < Sig->numConstructors() && "rule on unknown constructor");
+  assert(Lookahead.size() == Sig->rank(CtorId) &&
+         "lookahead arity does not match constructor rank");
+  assert(Guard->sort() == Sort::Bool && "guard must be a predicate");
+  for (StateSet &Set : Lookahead) {
+    canonicalizeStateSet(Set);
+    for ([[maybe_unused]] unsigned Q : Set)
+      assert(Q < numStates() && "lookahead mentions unknown state");
+  }
+  unsigned Index = static_cast<unsigned>(Rules.size());
+  Rules.push_back({State, CtorId, Guard, std::move(Lookahead)});
+  RulesByState[State].push_back(Index);
+  RulesByStateCtor[{State, CtorId}].push_back(Index);
+}
+
+const std::vector<unsigned> &Sta::rulesFrom(unsigned State,
+                                            unsigned CtorId) const {
+  static const std::vector<unsigned> Empty;
+  auto It = RulesByStateCtor.find({State, CtorId});
+  return It == RulesByStateCtor.end() ? Empty : It->second;
+}
+
+const std::vector<unsigned> &Sta::rulesFrom(unsigned State) const {
+  return RulesByState[State];
+}
+
+bool Sta::isNormalized() const {
+  for (const StaRule &R : Rules)
+    for (const StateSet &Set : R.Lookahead)
+      if (Set.size() != 1)
+        return false;
+  return true;
+}
+
+unsigned Sta::import(const Sta &Other) {
+  assert(Sig->isCompatibleWith(*Other.signature()) &&
+         "importing automaton over an incompatible signature");
+  unsigned Offset = numStates();
+  for (unsigned Q = 0; Q < Other.numStates(); ++Q)
+    addState(Other.stateName(Q));
+  for (const StaRule &R : Other.rules()) {
+    std::vector<StateSet> Lookahead = R.Lookahead;
+    for (StateSet &Set : Lookahead)
+      for (unsigned &Q : Set)
+        Q += Offset;
+    addRule(R.State + Offset, R.CtorId, R.Guard, std::move(Lookahead));
+  }
+  return Offset;
+}
+
+std::string Sta::str() const {
+  std::string Result = "STA over " + Sig->typeName() + " (" +
+                       std::to_string(numStates()) + " states, " +
+                       std::to_string(Rules.size()) + " rules)\n";
+  for (const StaRule &R : Rules) {
+    Result += "  " + StateNames[R.State] + " --" + Sig->ctorName(R.CtorId);
+    Result += "[" + R.Guard->str() + "](";
+    for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
+      if (I != 0)
+        Result += ", ";
+      Result += '{';
+      for (unsigned J = 0; J < R.Lookahead[I].size(); ++J) {
+        if (J != 0)
+          Result += ", ";
+        Result += StateNames[R.Lookahead[I][J]];
+      }
+      Result += '}';
+    }
+    Result += ")\n";
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete membership
+//===----------------------------------------------------------------------===//
+
+bool StaMembership::accepts(unsigned State, TreeRef Tree) {
+  auto Key = std::make_pair(State, Tree);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  bool Result = false;
+  for (unsigned Index : A.rulesFrom(State, Tree->ctorId())) {
+    const StaRule &R = A.rule(Index);
+    if (!evalPredicate(R.Guard, Tree->attrs()))
+      continue;
+    bool AllChildrenOk = true;
+    for (unsigned I = 0; I < R.Lookahead.size() && AllChildrenOk; ++I)
+      AllChildrenOk = acceptsAll(R.Lookahead[I], Tree->child(I));
+    if (AllChildrenOk) {
+      Result = true;
+      break;
+    }
+  }
+  Memo.emplace(Key, Result);
+  return Result;
+}
+
+bool StaMembership::acceptsAll(const StateSet &States, TreeRef Tree) {
+  for (unsigned Q : States)
+    if (!accepts(Q, Tree))
+      return false;
+  return true;
+}
+
+bool fast::staAccepts(const Sta &A, unsigned State, TreeRef Tree) {
+  StaMembership M(A);
+  return M.accepts(State, Tree);
+}
+
+bool fast::staAcceptsAll(const Sta &A, const StateSet &States, TreeRef Tree) {
+  StaMembership M(A);
+  return M.acceptsAll(States, Tree);
+}
+
+bool TreeLanguage::contains(TreeRef Tree) const {
+  StaMembership M(*Automaton);
+  for (unsigned Root : Roots)
+    if (M.accepts(Root, Tree))
+      return true;
+  return false;
+}

@@ -1,0 +1,158 @@
+//===- automata/Sta.h - Alternating symbolic tree automata ------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alternating Symbolic Tree Automata (Definition 1 of the paper): a finite
+/// set of states plus rules (q, f, phi, lbar) where phi is a predicate over
+/// the node's attribute tuple and lbar assigns each child a *set* of states
+/// whose languages must all accept the subtree (conjunction).  Several
+/// rules from the same state give a disjunction of cases, so the automaton
+/// is "almost alternating" exactly as in Section 3.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_AUTOMATA_STA_H
+#define FAST_AUTOMATA_STA_H
+
+#include "support/Hashing.h"
+#include "trees/Tree.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fast {
+
+/// A sorted set of states, used both for rule lookahead and for merged
+/// states during normalization.
+using StateSet = std::vector<unsigned>;
+
+/// Sorts and dedups \p States in place, producing a canonical StateSet.
+void canonicalizeStateSet(StateSet &States);
+
+/// One rule (q, f, phi, lbar) of an alternating STA.
+struct StaRule {
+  unsigned State;
+  unsigned CtorId;
+  TermRef Guard;
+  /// One (possibly empty) conjunction of states per child; size == rank(f).
+  std::vector<StateSet> Lookahead;
+};
+
+/// An alternating symbolic tree automaton over one tree signature.
+///
+/// States are dense unsigned ids.  The automaton owns its rules; the guards
+/// are interned in the TermFactory shared by the whole analysis session.
+class Sta {
+public:
+  explicit Sta(SignatureRef Sig) : Sig(std::move(Sig)) {}
+
+  const SignatureRef &signature() const { return Sig; }
+
+  /// Adds a fresh state and returns its id.  \p Name is for debugging and
+  /// witness printing only.
+  unsigned addState(std::string Name = "");
+  unsigned numStates() const { return static_cast<unsigned>(StateNames.size()); }
+  const std::string &stateName(unsigned State) const { return StateNames[State]; }
+  void setStateName(unsigned State, std::string Name) {
+    StateNames[State] = std::move(Name);
+  }
+
+  /// Adds the rule (State, CtorId, Guard, Lookahead).  The lookahead vector
+  /// must have rank(CtorId) entries; each entry is canonicalized.
+  void addRule(unsigned State, unsigned CtorId, TermRef Guard,
+               std::vector<StateSet> Lookahead);
+
+  const std::vector<StaRule> &rules() const { return Rules; }
+  const StaRule &rule(unsigned Index) const { return Rules[Index]; }
+  size_t numRules() const { return Rules.size(); }
+
+  /// Indices of the rules with source \p State and constructor \p CtorId.
+  const std::vector<unsigned> &rulesFrom(unsigned State, unsigned CtorId) const;
+  /// Indices of all rules with source \p State.
+  const std::vector<unsigned> &rulesFrom(unsigned State) const;
+
+  /// True if every lookahead entry of every rule is a singleton
+  /// (Definition 3).
+  bool isNormalized() const;
+
+  /// Imports every state and rule of \p Other (same signature) into this
+  /// automaton; returns the state-id offset added to Other's states.
+  unsigned import(const Sta &Other);
+
+  /// Multi-line dump of states and rules, for debugging and golden tests.
+  std::string str() const;
+
+private:
+  SignatureRef Sig;
+  std::vector<std::string> StateNames;
+  std::vector<StaRule> Rules;
+  std::vector<std::vector<unsigned>> RulesByState;
+  // Keyed by (state, ctor); values index into Rules.
+  std::map<std::pair<unsigned, unsigned>, std::vector<unsigned>> RulesByStateCtor;
+};
+
+/// A tree language: an automaton together with root states, with *union*
+/// semantics over the roots (a tree is in the language if some root state
+/// accepts it).  Intersections are expressed through normalization of
+/// merged states, as in the paper.
+class TreeLanguage {
+public:
+  TreeLanguage() = default;
+  TreeLanguage(std::shared_ptr<const Sta> Automaton, unsigned Root)
+      : Automaton(std::move(Automaton)), Roots{Root} {}
+  TreeLanguage(std::shared_ptr<const Sta> Automaton, StateSet Roots)
+      : Automaton(std::move(Automaton)), Roots(std::move(Roots)) {
+    canonicalizeStateSet(this->Roots);
+  }
+
+  const Sta &automaton() const { return *Automaton; }
+  const std::shared_ptr<const Sta> &automatonPtr() const { return Automaton; }
+  const StateSet &roots() const { return Roots; }
+  const SignatureRef &signature() const { return Automaton->signature(); }
+
+  /// Concrete membership; evaluates guards, never calls the solver.
+  bool contains(TreeRef Tree) const;
+
+private:
+  std::shared_ptr<const Sta> Automaton;
+  StateSet Roots;
+};
+
+/// Concrete membership of \p Tree in the language of \p State.
+bool staAccepts(const Sta &A, unsigned State, TreeRef Tree);
+
+/// Concrete membership in the *conjunction* of \p States (all must accept;
+/// the empty set accepts everything, as in Definition 2).
+bool staAcceptsAll(const Sta &A, const StateSet &States, TreeRef Tree);
+
+/// Memoized concrete membership for repeated queries against one automaton,
+/// e.g. the lookahead checks performed on every node while running an STTR.
+class StaMembership {
+public:
+  explicit StaMembership(const Sta &A) : A(A) {}
+
+  bool accepts(unsigned State, TreeRef Tree);
+  bool acceptsAll(const StateSet &States, TreeRef Tree);
+
+private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<unsigned, TreeRef> &K) const {
+      std::size_t Seed = K.first;
+      hashCombineValue(Seed, K.second);
+      return Seed;
+    }
+  };
+
+  const Sta &A;
+  std::unordered_map<std::pair<unsigned, TreeRef>, bool, KeyHash> Memo;
+};
+
+} // namespace fast
+
+#endif // FAST_AUTOMATA_STA_H

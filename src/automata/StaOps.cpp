@@ -1,0 +1,383 @@
+//===- automata/StaOps.cpp - Core STA operations --------------------------===//
+
+#include "automata/StaOps.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace fast;
+
+//===----------------------------------------------------------------------===//
+// Normalization (Section 3.2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A merged rule under construction: conjoined guard plus pointwise-unioned
+/// child state-sets (the `!` merge of the paper).
+struct MergedRule {
+  TermRef Guard;
+  std::vector<StateSet> Lookahead;
+};
+
+/// Pointwise union X ]] Y of two k-tuples of state sets.
+std::vector<StateSet> unionLookahead(const std::vector<StateSet> &X,
+                                     const std::vector<StateSet> &Y) {
+  assert(X.size() == Y.size() && "rank mismatch in lookahead union");
+  std::vector<StateSet> Result(X.size());
+  for (size_t I = 0; I < X.size(); ++I) {
+    Result[I] = X[I];
+    Result[I].insert(Result[I].end(), Y[I].begin(), Y[I].end());
+    canonicalizeStateSet(Result[I]);
+  }
+  return Result;
+}
+
+} // namespace
+
+NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
+                                  std::span<const StateSet> Seeds) {
+  TermFactory &F = S.factory();
+  const SignatureRef &Sig = A.signature();
+  auto Out = std::make_shared<Sta>(Sig);
+
+  // Merged states, identified by their canonical member set.
+  std::map<StateSet, unsigned> MergedIds;
+  std::deque<StateSet> Worklist;
+
+  auto NameOf = [&](const StateSet &Set) {
+    std::string Name = "{";
+    for (size_t I = 0; I < Set.size(); ++I) {
+      if (I != 0)
+        Name += ",";
+      Name += A.stateName(Set[I]);
+    }
+    return Name + "}";
+  };
+
+  auto GetState = [&](StateSet Set) {
+    canonicalizeStateSet(Set);
+    auto It = MergedIds.find(Set);
+    if (It != MergedIds.end())
+      return It->second;
+    unsigned Id = Out->addState(NameOf(Set));
+    MergedIds.emplace(Set, Id);
+    Worklist.push_back(std::move(Set));
+    return Id;
+  };
+
+  NormalizedSta Result;
+  for (const StateSet &Seed : Seeds)
+    Result.SeedStates.push_back(GetState(Seed));
+
+  while (!Worklist.empty()) {
+    StateSet Merged = std::move(Worklist.front());
+    Worklist.pop_front();
+    unsigned Source = MergedIds.at(Merged);
+
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      unsigned Rank = Sig->rank(CtorId);
+      // delta_f(emptyset): one unconstrained rule; delta_f(p u {q}) merges
+      // each accumulated rule with each rule of q on f.
+      std::vector<MergedRule> Accumulated = {
+          {F.trueTerm(), std::vector<StateSet>(Rank)}};
+      for (unsigned Q : Merged) {
+        const std::vector<unsigned> &QRules = A.rulesFrom(Q, CtorId);
+        std::vector<MergedRule> Next;
+        for (const MergedRule &Acc : Accumulated) {
+          for (unsigned RuleIndex : QRules) {
+            const StaRule &R = A.rule(RuleIndex);
+            TermRef Guard = F.mkAnd(Acc.Guard, R.Guard);
+            if (!S.isSat(Guard))
+              continue; // Eager elimination (footnote 7).
+            Next.push_back({Guard, unionLookahead(Acc.Lookahead, R.Lookahead)});
+          }
+        }
+        Accumulated = std::move(Next);
+        if (Accumulated.empty())
+          break;
+      }
+      for (const MergedRule &MR : Accumulated) {
+        std::vector<StateSet> Children(Rank);
+        for (unsigned I = 0; I < Rank; ++I)
+          Children[I] = {GetState(MR.Lookahead[I])};
+        Out->addRule(Source, CtorId, MR.Guard, std::move(Children));
+      }
+    }
+  }
+
+  Result.Automaton = std::move(Out);
+  return Result;
+}
+
+TreeLanguage fast::normalize(Solver &S, const TreeLanguage &L) {
+  std::vector<StateSet> Seeds;
+  for (unsigned Root : L.roots())
+    Seeds.push_back({Root});
+  NormalizedSta N = normalizeSets(S, L.automaton(), Seeds);
+  return TreeLanguage(std::move(N.Automaton), StateSet(N.SeedStates.begin(),
+                                                       N.SeedStates.end()));
+}
+
+//===----------------------------------------------------------------------===//
+// Emptiness and witnesses (Proposition 1)
+//===----------------------------------------------------------------------===//
+
+std::vector<bool> fast::productiveStates(Solver &S, const Sta &A) {
+  assert(A.isNormalized() && "productivity fixpoint requires normalized STA");
+  std::vector<bool> Productive(A.numStates(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const StaRule &R : A.rules()) {
+      if (Productive[R.State])
+        continue;
+      bool ChildrenOk = true;
+      for (const StateSet &Set : R.Lookahead)
+        if (!Productive[Set.front()]) {
+          ChildrenOk = false;
+          break;
+        }
+      if (!ChildrenOk || !S.isSat(R.Guard))
+        continue;
+      Productive[R.State] = true;
+      Changed = true;
+    }
+  }
+  return Productive;
+}
+
+std::vector<bool> fast::universalStates(Solver &S, const Sta &A) {
+  TermFactory &F = S.factory();
+  const SignatureRef &Sig = A.signature();
+  std::vector<bool> Universal(A.numStates(), true);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      if (!Universal[Q])
+        continue;
+      for (unsigned CtorId = 0; CtorId < Sig->numConstructors() && Universal[Q];
+           ++CtorId) {
+        std::vector<TermRef> Guards;
+        for (unsigned Index : A.rulesFrom(Q, CtorId)) {
+          const StaRule &R = A.rule(Index);
+          bool ChildrenUniversal = true;
+          for (const StateSet &Set : R.Lookahead)
+            for (unsigned Child : Set)
+              ChildrenUniversal &= Universal[Child];
+          if (ChildrenUniversal)
+            Guards.push_back(R.Guard);
+        }
+        if (!S.isValid(F.mkOr(Guards))) {
+          Universal[Q] = false;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Universal;
+}
+
+bool fast::isEmptyLanguage(Solver &S, const TreeLanguage &L) {
+  TreeLanguage N = normalize(S, L);
+  std::vector<bool> Productive = productiveStates(S, N.automaton());
+  for (unsigned Root : N.roots())
+    if (Productive[Root])
+      return false;
+  return true;
+}
+
+std::optional<std::vector<Value>> fast::modelAttrs(Solver &S,
+                                                   const SignatureRef &Sig,
+                                                   TermRef Guard) {
+  std::optional<AttrModel> Model = S.getModel(Guard);
+  if (!Model)
+    return std::nullopt;
+  std::vector<Value> Attrs;
+  Attrs.reserve(Sig->numAttrs());
+  for (unsigned I = 0; I < Sig->numAttrs(); ++I) {
+    TermRef Attr = Sig->attrTerm(S.factory(), I);
+    auto It = Model->find(Attr);
+    if (It != Model->end()) {
+      Attrs.push_back(It->second);
+      continue;
+    }
+    switch (Sig->attrSpec(I).TheSort) {
+    case Sort::Bool:
+      Attrs.push_back(Value::boolean(false));
+      break;
+    case Sort::Int:
+      Attrs.push_back(Value::integer(0));
+      break;
+    case Sort::Real:
+      Attrs.push_back(Value::real(Rational(0)));
+      break;
+    case Sort::String:
+      Attrs.push_back(Value::string(""));
+      break;
+    }
+  }
+  return Attrs;
+}
+
+std::optional<TreeRef> fast::witness(Solver &S, const TreeLanguage &L,
+                                     TreeFactory &Trees) {
+  TreeLanguage N = normalize(S, L);
+  const Sta &A = N.automaton();
+  const SignatureRef &Sig = A.signature();
+
+  // Bottom-up fixpoint that records a witness per state as it becomes
+  // productive; iterating until stable yields small witnesses first.
+  std::vector<TreeRef> Witness(A.numStates(), nullptr);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const StaRule &R : A.rules()) {
+      if (Witness[R.State])
+        continue;
+      std::vector<TreeRef> Children;
+      Children.reserve(R.Lookahead.size());
+      bool ChildrenOk = true;
+      for (const StateSet &Set : R.Lookahead) {
+        TreeRef Child = Witness[Set.front()];
+        if (!Child) {
+          ChildrenOk = false;
+          break;
+        }
+        Children.push_back(Child);
+      }
+      if (!ChildrenOk)
+        continue;
+      std::optional<std::vector<Value>> Attrs = modelAttrs(S, Sig, R.Guard);
+      if (!Attrs)
+        continue;
+      Witness[R.State] =
+          Trees.make(Sig, R.CtorId, std::move(*Attrs), std::move(Children));
+      Changed = true;
+    }
+  }
+
+  TreeRef Best = nullptr;
+  for (unsigned Root : N.roots())
+    if (Witness[Root] && (!Best || Witness[Root]->size() < Best->size()))
+      Best = Witness[Root];
+  if (!Best)
+    return std::nullopt;
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean combinations
+//===----------------------------------------------------------------------===//
+
+TreeLanguage fast::intersectLanguages(Solver &S, const TreeLanguage &A,
+                                      const TreeLanguage &B) {
+  assert(A.signature()->isCompatibleWith(*B.signature()) &&
+         "intersection over incompatible signatures");
+  Sta Combined(A.signature());
+  unsigned OffA = Combined.import(A.automaton());
+  unsigned OffB = Combined.import(B.automaton());
+  std::vector<StateSet> Seeds;
+  for (unsigned RA : A.roots())
+    for (unsigned RB : B.roots())
+      Seeds.push_back({RA + OffA, RB + OffB});
+  NormalizedSta N = normalizeSets(S, Combined, Seeds);
+  return TreeLanguage(std::move(N.Automaton),
+                      StateSet(N.SeedStates.begin(), N.SeedStates.end()));
+}
+
+TreeLanguage fast::unionLanguages(const TreeLanguage &A, const TreeLanguage &B) {
+  assert(A.signature()->isCompatibleWith(*B.signature()) &&
+         "union over incompatible signatures");
+  auto Combined = std::make_shared<Sta>(A.signature());
+  unsigned OffA = Combined->import(A.automaton());
+  unsigned OffB = Combined->import(B.automaton());
+  StateSet Roots;
+  for (unsigned RA : A.roots())
+    Roots.push_back(RA + OffA);
+  for (unsigned RB : B.roots())
+    Roots.push_back(RB + OffB);
+  return TreeLanguage(std::move(Combined), std::move(Roots));
+}
+
+TreeLanguage fast::universalLanguage(TermFactory &F, SignatureRef Sig) {
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Top = A->addState("top");
+  for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId)
+    A->addRule(Top, CtorId, F.trueTerm(),
+               std::vector<StateSet>(Sig->rank(CtorId), StateSet{Top}));
+  return TreeLanguage(std::move(A), Top);
+}
+
+TreeLanguage fast::emptyLanguage(SignatureRef Sig) {
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Dead = A->addState("dead");
+  return TreeLanguage(std::move(A), Dead);
+}
+
+TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
+  TreeLanguage N = normalize(S, L);
+  const Sta &A = N.automaton();
+  std::vector<bool> Productive = productiveStates(S, A);
+
+  // Reachability from the roots through rules with all-productive children.
+  std::vector<bool> Reachable(A.numStates(), false);
+  std::deque<unsigned> Worklist;
+  for (unsigned Root : N.roots())
+    if (Productive[Root] && !Reachable[Root]) {
+      Reachable[Root] = true;
+      Worklist.push_back(Root);
+    }
+  while (!Worklist.empty()) {
+    unsigned Q = Worklist.front();
+    Worklist.pop_front();
+    for (unsigned Index : A.rulesFrom(Q)) {
+      const StaRule &R = A.rule(Index);
+      bool Viable = S.isSat(R.Guard);
+      for (const StateSet &Set : R.Lookahead)
+        Viable = Viable && Productive[Set.front()];
+      if (!Viable)
+        continue;
+      for (const StateSet &Set : R.Lookahead) {
+        unsigned Child = Set.front();
+        if (!Reachable[Child]) {
+          Reachable[Child] = true;
+          Worklist.push_back(Child);
+        }
+      }
+    }
+  }
+
+  // Rebuild with only useful states.
+  auto Out = std::make_shared<Sta>(A.signature());
+  std::vector<unsigned> Remap(A.numStates(), ~0u);
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    if (Reachable[Q])
+      Remap[Q] = Out->addState(A.stateName(Q));
+  for (const StaRule &R : A.rules()) {
+    if (!Reachable[R.State] || !S.isSat(R.Guard))
+      continue;
+    bool Viable = true;
+    std::vector<StateSet> Lookahead;
+    for (const StateSet &Set : R.Lookahead) {
+      if (!Reachable[Set.front()]) {
+        Viable = false;
+        break;
+      }
+      Lookahead.push_back({Remap[Set.front()]});
+    }
+    if (Viable)
+      Out->addRule(Remap[R.State], R.CtorId, R.Guard, std::move(Lookahead));
+  }
+  StateSet Roots;
+  for (unsigned Root : N.roots())
+    if (Reachable[Root])
+      Roots.push_back(Remap[Root]);
+  if (Roots.empty()) {
+    // Empty language; keep one dead root so the handle stays well-formed.
+    Roots.push_back(Out->addState("dead"));
+  }
+  return TreeLanguage(std::move(Out), std::move(Roots));
+}

@@ -1,0 +1,94 @@
+//===- automata/StaOps.h - Core STA operations ------------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core operations on symbolic tree automata from Sections 3.2 and 3.5:
+/// normalization (the merged-state construction with the rule-merge `!`,
+/// computed lazily from the reachable merged states as footnote 7
+/// prescribes), emptiness with witness generation (Proposition 1),
+/// union/intersection, and cleaning (removal of useless states).
+///
+/// Complementation, determinization, minimization and the decision
+/// procedures built on them live in Determinize.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_AUTOMATA_STAOPS_H
+#define FAST_AUTOMATA_STAOPS_H
+
+#include "automata/Sta.h"
+#include "smt/Solver.h"
+
+#include <optional>
+#include <span>
+
+namespace fast {
+
+/// Result of normalizing an STA from a set of seed merged-states.
+struct NormalizedSta {
+  std::shared_ptr<Sta> Automaton;
+  /// The state of Automaton representing each input seed (same order).
+  std::vector<unsigned> SeedStates;
+};
+
+/// Normalizes \p A lazily from the given seed state-sets.
+///
+/// Each seed set S is given a concrete state with L = the *intersection*
+/// of the languages of S's members (Definition 2's extension to 2^Q); the
+/// construction explores only merged states reachable from the seeds and
+/// eliminates unsatisfiable merged guards eagerly.  The result has
+/// singleton lookaheads everywhere (Definition 3).
+NormalizedSta normalizeSets(Solver &S, const Sta &A,
+                            std::span<const StateSet> Seeds);
+
+/// Normalizes a language (one seed per root; union semantics preserved).
+TreeLanguage normalize(Solver &S, const TreeLanguage &L);
+
+/// Marks the productive (non-empty-language) states of a *normalized* STA.
+std::vector<bool> productiveStates(Solver &S, const Sta &A);
+
+/// Marks states whose language is the full tree universe, by greatest
+/// fixpoint: a state stays universal while, for every constructor, the
+/// union of its rule guards with all-universal child constraints covers
+/// the whole label space.  Sound but not complete (a complete check would
+/// be a universality decision); used to prune vacuous lookahead
+/// constraints after composition.
+std::vector<bool> universalStates(Solver &S, const Sta &A);
+
+/// Decides emptiness of \p L (Proposition 1).
+bool isEmptyLanguage(Solver &S, const TreeLanguage &L);
+
+/// Returns a smallest-effort witness tree in \p L, or nullopt if empty.
+/// Attribute values come from solver models; attributes unconstrained by
+/// the guard default to false/0/"".
+std::optional<TreeRef> witness(Solver &S, const TreeLanguage &L,
+                               TreeFactory &Trees);
+
+/// Language intersection via merged-state normalization.
+TreeLanguage intersectLanguages(Solver &S, const TreeLanguage &A,
+                                const TreeLanguage &B);
+
+/// Language union (pure nondeterminism; no solver needed).
+TreeLanguage unionLanguages(const TreeLanguage &A, const TreeLanguage &B);
+
+/// The language of all trees over \p Sig (guards built in \p F).
+TreeLanguage universalLanguage(TermFactory &F, SignatureRef Sig);
+
+/// The empty language over \p Sig.
+TreeLanguage emptyLanguage(SignatureRef Sig);
+
+/// Normalizes, removes unproductive states and rules, then removes states
+/// unreachable from the roots.  The result accepts the same language.
+TreeLanguage cleanLanguage(Solver &S, const TreeLanguage &L);
+
+/// Builds the attribute tuple of a node satisfying \p Guard, or nullopt if
+/// \p Guard is unsatisfiable.  Unconstrained attributes get sort defaults.
+std::optional<std::vector<Value>> modelAttrs(Solver &S, const SignatureRef &Sig,
+                                             TermRef Guard);
+
+} // namespace fast
+
+#endif // FAST_AUTOMATA_STAOPS_H

@@ -1,0 +1,186 @@
+//===- fast/Ast.h - Abstract syntax for Fast programs -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the Fast grammar of Figure 4.  Attribute expressions, tree
+/// patterns, language/transformation rules, and the program-level
+/// operation language (L / T / TR / A) are each small tagged trees; the
+/// compiler lowers them onto STAs and STTRs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_AST_H
+#define FAST_FAST_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fast {
+
+//===----------------------------------------------------------------------===//
+// Attribute expressions (Aexp)
+//===----------------------------------------------------------------------===//
+
+/// Operator of an attribute-expression node.
+enum class AexpOp {
+  Const,   // literal (Text holds the spelling; Kind the literal class)
+  Name,    // attribute reference
+  Eq, Neq, Lt, Le, Gt, Ge,
+  Add, Sub, Mul, Mod, Div, NegOp, Ite,
+  And, Or, NotOp,
+};
+
+/// Literal classes for AexpOp::Const.
+enum class AexpLit { None, Int, Real, String, Bool };
+
+/// One attribute-expression node.
+struct Aexp {
+  AexpOp Op = AexpOp::Const;
+  AexpLit Lit = AexpLit::None;
+  SourceLoc Loc;
+  std::string Text; // literal spelling or attribute name
+  std::vector<std::unique_ptr<Aexp>> Args;
+};
+
+using AexpPtr = std::unique_ptr<Aexp>;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// `type T [x:S, ...] { c1(k1), ... }`.
+struct TypeDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Attrs; // (name, sort)
+  std::vector<std::pair<std::string, unsigned>> Ctors;    // (name, rank)
+};
+
+/// One `given` constraint `(p y)`.
+struct GivenClause {
+  SourceLoc Loc;
+  std::string LangName;
+  std::string VarName;
+};
+
+/// The shared left-hand side of language and transformation rules:
+/// `c(y1, ..., yk) (where Aexp)? (given ((p y))+)?`.
+struct RulePattern {
+  SourceLoc Loc;
+  std::string CtorName;
+  std::vector<std::string> Vars;
+  AexpPtr Where; // null = true
+  std::vector<GivenClause> Givens;
+};
+
+/// Output term of a transformation rule (Tout).
+struct ToutNode {
+  SourceLoc Loc;
+  /// Empty CtorName and empty StateName: bare variable `y` (verbatim copy).
+  /// Empty CtorName, non-empty StateName: `(q y)`.
+  /// Non-empty CtorName: `(c [e...] t...)`.
+  std::string CtorName;
+  std::string StateName;
+  std::string VarName;
+  std::vector<AexpPtr> LabelExprs;
+  std::vector<std::unique_ptr<ToutNode>> Children;
+};
+
+using ToutPtr = std::unique_ptr<ToutNode>;
+
+/// `lang p : T { rule | ... }`.
+struct LangDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::string TypeName;
+  std::vector<RulePattern> Rules;
+};
+
+/// One transformation rule `pattern to tout`.
+struct TransRule {
+  RulePattern Pattern;
+  ToutPtr Out;
+};
+
+/// `trans q : T -> T { rule | ... }`.
+struct TransDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::string InType;
+  std::string OutType;
+  std::vector<TransRule> Rules;
+};
+
+//===----------------------------------------------------------------------===//
+// Program-level expressions (L, T, TR, A of Figure 4)
+//===----------------------------------------------------------------------===//
+
+/// Operation of a program-level expression.
+enum class OpKind {
+  Name,        // reference to a lang / trans / tree definition
+  Intersect, Union, Complement, Difference, Minimize,  // -> language
+  Domain, PreImage,                                    // -> language
+  Compose, Restrict, RestrictOut,                      // -> transformation
+  Apply, GetWitness, TreeLiteral,                      // -> tree
+  IsEmpty, LangEq, Member, TypeCheck,                  // -> assertion bool
+};
+
+/// One program-level expression node.
+struct OpExpr {
+  OpKind Kind = OpKind::Name;
+  SourceLoc Loc;
+  std::string Name;        // for Name
+  std::string TreeText;    // for TreeLiteral: the tree in witness syntax
+  std::string CtorName;    // for TreeLiteral built from constructor syntax
+  std::vector<AexpPtr> LabelExprs;             // TreeLiteral attributes
+  std::vector<std::unique_ptr<OpExpr>> Args;   // operands / literal children
+};
+
+using OpExprPtr = std::unique_ptr<OpExpr>;
+
+/// `def name : T := L` or `def name : T -> T := T`.
+struct DefDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::string InType;
+  std::string OutType; // empty for language defs
+  OpExprPtr Body;
+};
+
+/// `tree name : T := TR`.
+struct TreeDecl {
+  SourceLoc Loc;
+  std::string Name;
+  std::string TypeName;
+  OpExprPtr Body;
+};
+
+/// `assert-true A` / `assert-false A`.
+struct AssertDecl {
+  SourceLoc Loc;
+  bool ExpectTrue = true;
+  OpExprPtr Condition;
+};
+
+/// A whole Fast program, in declaration order.
+struct Program {
+  std::vector<TypeDecl> Types;
+  std::vector<LangDecl> Langs;
+  std::vector<TransDecl> Transes;
+  std::vector<DefDecl> Defs;
+  std::vector<TreeDecl> Trees;
+  std::vector<AssertDecl> Asserts;
+  /// Declaration order across all six vectors: (kind tag, index).
+  enum class DeclKind { Type, Lang, Trans, Def, Tree, Assert };
+  std::vector<std::pair<DeclKind, unsigned>> Order;
+};
+
+} // namespace fast
+
+#endif // FAST_FAST_AST_H

@@ -1,0 +1,524 @@
+//===- fast/Compiler.cpp - Lowering Fast declarations ---------------------===//
+
+#include "fast/Compiler.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace fast;
+
+namespace {
+
+std::optional<Sort> parseSortName(const std::string &Name) {
+  if (Name == "Bool")
+    return Sort::Bool;
+  if (Name == "Int")
+    return Sort::Int;
+  if (Name == "Real")
+    return Sort::Real;
+  if (Name == "String")
+    return Sort::String;
+  return std::nullopt;
+}
+
+} // namespace
+
+bool FastCompiler::compile(const Program &P) {
+  unsigned ErrorsBefore = Diags.errorCount();
+  for (const TypeDecl &D : P.Types)
+    compileType(D);
+  compileLangs(P);
+  // Embed each type's language STA into its master lookahead at offset 0,
+  // so lang states double as lookahead states.
+  for (auto &[Name, T] : Types) {
+    (void)Name;
+    if (T.Langs->numStates() != 0) {
+      [[maybe_unused]] unsigned Off = T.Master->lookahead().import(*T.Langs);
+      assert(Off == 0 && "lang states must keep their ids in the lookahead");
+    }
+  }
+  preRegisterTrans(P);
+  return Diags.errorCount() == ErrorsBefore;
+}
+
+void FastCompiler::registerDefLanguage(const std::string &Name,
+                                       const TreeLanguage &L) {
+  DefLangs.emplace(Name, L);
+}
+
+std::optional<unsigned>
+FastCompiler::lookaheadStateFor(const std::string &Name, CompiledType &T,
+                                SourceLoc Loc) {
+  auto LangIt = T.LangStates.find(Name);
+  if (LangIt != T.LangStates.end())
+    return LangIt->second;
+  auto Cached = ImportedDefLangs.find({T.Sig->typeName(), Name});
+  if (Cached != ImportedDefLangs.end())
+    return Cached->second;
+  auto DefIt = DefLangs.find(Name);
+  if (DefIt == DefLangs.end()) {
+    Diags.error(Loc, "unknown language '" + Name + "' in given");
+    return std::nullopt;
+  }
+  const TreeLanguage &L = DefIt->second;
+  if (!L.signature()->isCompatibleWith(*T.Sig)) {
+    Diags.error(Loc, "language '" + Name + "' is over type '" +
+                         L.signature()->typeName() + "', not '" +
+                         T.Sig->typeName() + "'");
+    return std::nullopt;
+  }
+  // Import the def's automaton into the master lookahead.  Lookahead
+  // entries are single states with conjunction semantics, so a multi-root
+  // (union) language gets a fresh state carrying every root's rules.
+  Sta &LA = T.Master->lookahead();
+  unsigned Offset = LA.import(L.automaton());
+  unsigned State;
+  if (L.roots().size() == 1) {
+    State = L.roots().front() + Offset;
+  } else {
+    State = LA.addState(Name);
+    for (unsigned Root : L.roots())
+      for (unsigned Index : L.automaton().rulesFrom(Root)) {
+        const StaRule &R = L.automaton().rule(Index);
+        std::vector<StateSet> Children = R.Lookahead;
+        for (StateSet &Set : Children)
+          for (unsigned &Q : Set)
+            Q += Offset;
+        LA.addRule(State, R.CtorId, R.Guard, std::move(Children));
+      }
+  }
+  ImportedDefLangs.emplace(std::make_pair(T.Sig->typeName(), Name), State);
+  return State;
+}
+
+bool FastCompiler::compileType(const TypeDecl &D) {
+  if (Types.count(D.Name)) {
+    Diags.error(D.Loc, "type '" + D.Name + "' redefined");
+    return false;
+  }
+  std::vector<AttrSpec> Attrs;
+  for (const auto &[AttrName, SortName] : D.Attrs) {
+    std::optional<Sort> S = parseSortName(SortName);
+    if (!S) {
+      Diags.error(D.Loc, "unknown sort '" + SortName + "' for attribute '" +
+                             AttrName + "'");
+      return false;
+    }
+    Attrs.push_back({AttrName, *S});
+  }
+  bool HasNullary = false;
+  std::vector<Constructor> Ctors;
+  for (const auto &[CtorName, Rank] : D.Ctors) {
+    Ctors.push_back({CtorName, Rank});
+    HasNullary |= Rank == 0;
+  }
+  if (Ctors.empty() || !HasNullary) {
+    Diags.error(D.Loc, "type '" + D.Name +
+                           "' needs at least one rank-0 constructor");
+    return false;
+  }
+  for (size_t I = 0; I < Ctors.size(); ++I)
+    for (size_t J = I + 1; J < Ctors.size(); ++J)
+      if (Ctors[I].Name == Ctors[J].Name) {
+        Diags.error(D.Loc, "constructor '" + Ctors[I].Name + "' redefined");
+        return false;
+      }
+
+  CompiledType T;
+  T.Sig = TreeSignature::create(D.Name, std::move(Attrs), std::move(Ctors));
+  T.Langs = std::make_shared<Sta>(T.Sig);
+  T.Master = std::make_shared<Sttr>(T.Sig);
+  Types.emplace(D.Name, std::move(T));
+  return true;
+}
+
+TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
+                                  bool ConstOnly) {
+  TermFactory &F = S.Terms;
+  switch (E.Op) {
+  case AexpOp::Const:
+    switch (E.Lit) {
+    case AexpLit::Int:
+      return F.intConst(std::strtoll(E.Text.c_str(), nullptr, 10));
+    case AexpLit::Real: {
+      Rational R;
+      if (!Rational::parse(E.Text, R)) {
+        Diags.error(E.Loc, "malformed real literal '" + E.Text + "'");
+        return nullptr;
+      }
+      return F.realConst(R);
+    }
+    case AexpLit::String:
+      return F.stringConst(E.Text);
+    case AexpLit::Bool:
+      return F.boolConst(E.Text == "true");
+    case AexpLit::None:
+      break;
+    }
+    Diags.error(E.Loc, "malformed literal");
+    return nullptr;
+  case AexpOp::Name: {
+    std::optional<unsigned> Index = Sig->findAttr(E.Text);
+    if (!Index) {
+      Diags.error(E.Loc, "unknown attribute '" + E.Text + "' of type '" +
+                             Sig->typeName() + "'");
+      return nullptr;
+    }
+    if (ConstOnly) {
+      Diags.error(E.Loc, "attribute '" + E.Text +
+                             "' not allowed in a constant context");
+      return nullptr;
+    }
+    return Sig->attrTerm(F, *Index);
+  }
+  default:
+    break;
+  }
+
+  std::vector<TermRef> Args;
+  Args.reserve(E.Args.size());
+  for (const AexpPtr &Arg : E.Args) {
+    TermRef T = compileAexp(*Arg, Sig, ConstOnly);
+    if (!T)
+      return nullptr;
+    Args.push_back(T);
+  }
+
+  auto RequireArity = [&](size_t N) {
+    if (Args.size() == N)
+      return true;
+    Diags.error(E.Loc, "operator expects " + std::to_string(N) +
+                           " argument(s), got " + std::to_string(Args.size()));
+    return false;
+  };
+  auto RequireSameSort = [&]() {
+    for (size_t I = 1; I < Args.size(); ++I)
+      if (Args[I]->sort() != Args[0]->sort()) {
+        Diags.error(E.Loc, "operands have different sorts");
+        return false;
+      }
+    return true;
+  };
+  auto RequireNumeric = [&]() {
+    for (TermRef A : Args)
+      if (!isNumericSort(A->sort())) {
+        Diags.error(E.Loc, "operator needs numeric operands");
+        return false;
+      }
+    return RequireSameSort();
+  };
+  auto RequireBool = [&]() {
+    for (TermRef A : Args)
+      if (A->sort() != Sort::Bool) {
+        Diags.error(E.Loc, "operator needs boolean operands");
+        return false;
+      }
+    return true;
+  };
+  auto RequireInt = [&]() {
+    for (TermRef A : Args)
+      if (A->sort() != Sort::Int) {
+        Diags.error(E.Loc, "operator needs integer operands");
+        return false;
+      }
+    return true;
+  };
+
+  switch (E.Op) {
+  case AexpOp::Eq:
+    return RequireArity(2) && RequireSameSort()
+               ? F.mkEq(Args[0], Args[1])
+               : nullptr;
+  case AexpOp::Neq:
+    return RequireArity(2) && RequireSameSort()
+               ? F.mkNeq(Args[0], Args[1])
+               : nullptr;
+  case AexpOp::Lt:
+    return RequireArity(2) && RequireNumeric() ? F.mkLt(Args[0], Args[1])
+                                               : nullptr;
+  case AexpOp::Le:
+    return RequireArity(2) && RequireNumeric() ? F.mkLe(Args[0], Args[1])
+                                               : nullptr;
+  case AexpOp::Gt:
+    return RequireArity(2) && RequireNumeric() ? F.mkGt(Args[0], Args[1])
+                                               : nullptr;
+  case AexpOp::Ge:
+    return RequireArity(2) && RequireNumeric() ? F.mkGe(Args[0], Args[1])
+                                               : nullptr;
+  case AexpOp::Add:
+    return !Args.empty() && RequireNumeric() ? F.mkAdd(Args) : nullptr;
+  case AexpOp::Sub:
+    return RequireArity(2) && RequireNumeric() ? F.mkSub(Args[0], Args[1])
+                                               : nullptr;
+  case AexpOp::Mul:
+    return !Args.empty() && RequireNumeric() ? F.mkMul(Args) : nullptr;
+  case AexpOp::Mod:
+    return RequireArity(2) && RequireInt() ? F.mkMod(Args[0], Args[1])
+                                           : nullptr;
+  case AexpOp::Div:
+    return RequireArity(2) && RequireInt() ? F.mkDiv(Args[0], Args[1])
+                                           : nullptr;
+  case AexpOp::NegOp:
+    return RequireArity(1) && RequireNumeric() ? F.mkNeg(Args[0]) : nullptr;
+  case AexpOp::And:
+    return !Args.empty() && RequireBool() ? F.mkAnd(Args) : nullptr;
+  case AexpOp::Or:
+    return !Args.empty() && RequireBool() ? F.mkOr(Args) : nullptr;
+  case AexpOp::NotOp:
+    return RequireArity(1) && RequireBool() ? F.mkNot(Args[0]) : nullptr;
+  case AexpOp::Ite: {
+    if (!RequireArity(3))
+      return nullptr;
+    if (Args[0]->sort() != Sort::Bool) {
+      Diags.error(E.Loc, "ite condition must be boolean");
+      return nullptr;
+    }
+    if (Args[1]->sort() != Args[2]->sort()) {
+      Diags.error(E.Loc, "ite branches have different sorts");
+      return nullptr;
+    }
+    return F.mkIte(Args[0], Args[1], Args[2]);
+  }
+  default:
+    Diags.error(E.Loc, "malformed attribute expression");
+    return nullptr;
+  }
+}
+
+bool FastCompiler::compilePattern(const RulePattern &R, CompiledType &T,
+                                  unsigned &CtorId, TermRef &Guard,
+                                  std::vector<StateSet> &Lookahead,
+                                  std::map<std::string, unsigned> &VarIndex) {
+  std::optional<unsigned> Ctor = T.Sig->findConstructor(R.CtorName);
+  if (!Ctor) {
+    Diags.error(R.Loc, "unknown constructor '" + R.CtorName + "' of type '" +
+                           T.Sig->typeName() + "'");
+    return false;
+  }
+  CtorId = *Ctor;
+  unsigned Rank = T.Sig->rank(CtorId);
+  if (R.Vars.size() != Rank) {
+    Diags.error(R.Loc, "constructor '" + R.CtorName + "' has rank " +
+                           std::to_string(Rank) + ", pattern binds " +
+                           std::to_string(R.Vars.size()) + " variable(s)");
+    return false;
+  }
+  VarIndex.clear();
+  for (unsigned I = 0; I < Rank; ++I) {
+    if (!VarIndex.emplace(R.Vars[I], I).second) {
+      Diags.error(R.Loc, "duplicate subtree variable '" + R.Vars[I] + "'");
+      return false;
+    }
+  }
+
+  Guard = S.Terms.trueTerm();
+  if (R.Where) {
+    Guard = compileAexp(*R.Where, T.Sig, /*ConstOnly=*/false);
+    if (!Guard)
+      return false;
+    if (Guard->sort() != Sort::Bool) {
+      Diags.error(R.Where->Loc, "where-clause must be a predicate");
+      return false;
+    }
+  }
+
+  Lookahead.assign(Rank, {});
+  for (const GivenClause &G : R.Givens) {
+    std::optional<unsigned> State = lookaheadStateFor(G.LangName, T, G.Loc);
+    if (!State)
+      return false;
+    auto VarIt = VarIndex.find(G.VarName);
+    if (VarIt == VarIndex.end()) {
+      Diags.error(G.Loc, "given references unbound variable '" + G.VarName +
+                             "'");
+      return false;
+    }
+    Lookahead[VarIt->second].push_back(*State);
+  }
+  return true;
+}
+
+bool FastCompiler::compileLangs(const Program &P) {
+  // Pre-register every language state so mutually recursive langs resolve.
+  for (const LangDecl &D : P.Langs) {
+    auto TypeIt = Types.find(D.TypeName);
+    if (TypeIt == Types.end()) {
+      Diags.error(D.Loc, "unknown type '" + D.TypeName + "' in lang '" +
+                             D.Name + "'");
+      continue;
+    }
+    if (LangType.count(D.Name)) {
+      Diags.error(D.Loc, "language '" + D.Name + "' redefined");
+      continue;
+    }
+    LangType.emplace(D.Name, D.TypeName);
+    TypeIt->second.LangStates.emplace(D.Name,
+                                      TypeIt->second.Langs->addState(D.Name));
+  }
+  for (const LangDecl &D : P.Langs) {
+    auto TypeIt = Types.find(D.TypeName);
+    if (TypeIt == Types.end())
+      continue;
+    CompiledType &T = TypeIt->second;
+    auto StateIt = T.LangStates.find(D.Name);
+    if (StateIt == T.LangStates.end())
+      continue;
+    for (const RulePattern &R : D.Rules) {
+      unsigned CtorId;
+      TermRef Guard;
+      std::vector<StateSet> Lookahead;
+      std::map<std::string, unsigned> VarIndex;
+      if (!compilePattern(R, T, CtorId, Guard, Lookahead, VarIndex))
+        continue;
+      T.Langs->addRule(StateIt->second, CtorId, Guard, std::move(Lookahead));
+    }
+  }
+  return true;
+}
+
+OutputRef FastCompiler::compileTout(
+    const ToutNode &N, CompiledType &T,
+    const std::map<std::string, unsigned> &VarIndex) {
+  // Bare variable: verbatim copy, desugared to the identity state.
+  if (N.CtorName.empty() && N.StateName.empty()) {
+    auto VarIt = VarIndex.find(N.VarName);
+    if (VarIt == VarIndex.end()) {
+      Diags.error(N.Loc, "output references unbound variable '" + N.VarName +
+                             "'");
+      return nullptr;
+    }
+    unsigned Id = T.Master->ensureIdentityState(S.Terms, S.Outputs);
+    return S.Outputs.mkState(Id, VarIt->second);
+  }
+  // (q y): transformation state applied to a subtree.
+  if (N.CtorName.empty()) {
+    auto StateIt = T.TransStates.find(N.StateName);
+    if (StateIt == T.TransStates.end()) {
+      Diags.error(N.Loc, "unknown transformation '" + N.StateName +
+                             "' in output");
+      return nullptr;
+    }
+    auto VarIt = VarIndex.find(N.VarName);
+    if (VarIt == VarIndex.end()) {
+      Diags.error(N.Loc, "output references unbound variable '" + N.VarName +
+                             "'");
+      return nullptr;
+    }
+    return S.Outputs.mkState(StateIt->second, VarIt->second);
+  }
+  // (c [e...] t...).
+  std::optional<unsigned> CtorId = T.Sig->findConstructor(N.CtorName);
+  if (!CtorId) {
+    Diags.error(N.Loc, "unknown constructor '" + N.CtorName + "' in output");
+    return nullptr;
+  }
+  if (N.LabelExprs.size() != T.Sig->numAttrs()) {
+    Diags.error(N.Loc, "constructor '" + N.CtorName + "' needs " +
+                           std::to_string(T.Sig->numAttrs()) +
+                           " attribute expression(s), got " +
+                           std::to_string(N.LabelExprs.size()));
+    return nullptr;
+  }
+  if (N.Children.size() != T.Sig->rank(*CtorId)) {
+    Diags.error(N.Loc, "constructor '" + N.CtorName + "' has rank " +
+                           std::to_string(T.Sig->rank(*CtorId)) + ", got " +
+                           std::to_string(N.Children.size()) + " child(ren)");
+    return nullptr;
+  }
+  std::vector<TermRef> LabelExprs;
+  for (unsigned I = 0; I < N.LabelExprs.size(); ++I) {
+    TermRef E = compileAexp(*N.LabelExprs[I], T.Sig, /*ConstOnly=*/false);
+    if (!E)
+      return nullptr;
+    if (E->sort() != T.Sig->attrSpec(I).TheSort) {
+      Diags.error(N.LabelExprs[I]->Loc,
+                  "attribute expression has sort " +
+                      std::string(sortName(E->sort())) + ", attribute '" +
+                      T.Sig->attrSpec(I).Name + "' needs " +
+                      sortName(T.Sig->attrSpec(I).TheSort));
+      return nullptr;
+    }
+    LabelExprs.push_back(E);
+  }
+  std::vector<OutputRef> Children;
+  for (const ToutPtr &Child : N.Children) {
+    OutputRef C = compileTout(*Child, T, VarIndex);
+    if (!C)
+      return nullptr;
+    Children.push_back(C);
+  }
+  return S.Outputs.mkCons(*CtorId, std::move(LabelExprs), std::move(Children));
+}
+
+void FastCompiler::preRegisterTrans(const Program &P) {
+  for (const TransDecl &D : P.Transes) {
+    auto TypeIt = Types.find(D.InType);
+    if (TypeIt == Types.end()) {
+      Diags.error(D.Loc, "unknown type '" + D.InType + "' in trans '" +
+                             D.Name + "'");
+      continue;
+    }
+    if (D.InType != D.OutType) {
+      // The theory assumes a combined tree type covering input and output
+      // (Section 3.3); we require the declaration to use it explicitly.
+      Diags.error(D.Loc, "trans '" + D.Name +
+                             "': input and output types must match (declare "
+                             "a combined type covering both)");
+      continue;
+    }
+    if (TransType.count(D.Name)) {
+      Diags.error(D.Loc, "transformation '" + D.Name + "' redefined");
+      continue;
+    }
+    CompiledType &T = TypeIt->second;
+    TransType.emplace(D.Name, D.InType);
+    T.TransStates.emplace(D.Name, T.Master->addState(D.Name));
+  }
+}
+
+void FastCompiler::compileTransDecl(const TransDecl &D) {
+  auto TypeIt = Types.find(D.InType);
+  if (TypeIt == Types.end() || D.InType != D.OutType)
+    return;
+  CompiledType &T = TypeIt->second;
+  auto StateIt = T.TransStates.find(D.Name);
+  if (StateIt == T.TransStates.end())
+    return;
+  for (const TransRule &R : D.Rules) {
+    unsigned CtorId;
+    TermRef Guard;
+    std::vector<StateSet> Lookahead;
+    std::map<std::string, unsigned> VarIndex;
+    if (!compilePattern(R.Pattern, T, CtorId, Guard, Lookahead, VarIndex))
+      continue;
+    OutputRef Out = compileTout(*R.Out, T, VarIndex);
+    if (!Out)
+      continue;
+    T.Master->addRule(StateIt->second, CtorId, Guard, std::move(Lookahead),
+                      Out);
+  }
+}
+
+const CompiledType *FastCompiler::findType(const std::string &Name) const {
+  auto It = Types.find(Name);
+  return It == Types.end() ? nullptr : &It->second;
+}
+
+std::optional<TreeLanguage>
+FastCompiler::langLanguage(const std::string &Name) const {
+  auto TypeNameIt = LangType.find(Name);
+  if (TypeNameIt == LangType.end())
+    return std::nullopt;
+  const CompiledType &T = Types.at(TypeNameIt->second);
+  return TreeLanguage(T.Langs, T.LangStates.at(Name));
+}
+
+std::shared_ptr<Sttr> FastCompiler::transSttr(const std::string &Name) const {
+  auto TypeNameIt = TransType.find(Name);
+  if (TypeNameIt == TransType.end())
+    return nullptr;
+  const CompiledType &T = Types.at(TypeNameIt->second);
+  std::shared_ptr<Sttr> View = cloneSttr(*T.Master);
+  View->setStartState(T.TransStates.at(Name));
+  return View;
+}

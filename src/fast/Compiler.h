@@ -1,0 +1,104 @@
+//===- fast/Compiler.h - Lowering Fast declarations -------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers Fast `type`, `lang`, and `trans` declarations onto the symbolic
+/// machinery: each tree type gets one STA holding every `lang` of that
+/// type (they may be mutually recursive, like Figure 2's nodeTree /
+/// attrTree) and one master STTR holding every `trans` plus the implicit
+/// identity state used to desugar bare-variable outputs.  A named
+/// transformation is the master with its start state set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_COMPILER_H
+#define FAST_FAST_COMPILER_H
+
+#include "fast/Ast.h"
+#include "transducers/Ops.h"
+#include "transducers/Session.h"
+
+#include <map>
+
+namespace fast {
+
+/// The compiled artifacts of one tree type.
+struct CompiledType {
+  SignatureRef Sig;
+  /// All languages of this type share one STA.
+  std::shared_ptr<Sta> Langs;
+  std::map<std::string, unsigned> LangStates;
+  /// All transformations of this type share one master STTR whose
+  /// lookahead STA embeds Langs at offset 0.
+  std::shared_ptr<Sttr> Master;
+  std::map<std::string, unsigned> TransStates;
+};
+
+/// Compiles the declaration half of a Fast program.
+///
+/// Types and languages are compiled up front (languages may be mutually
+/// recursive, so their states are pre-registered).  Transformations are
+/// compiled one declaration at a time by the evaluator, *in program
+/// order*, because their `given` clauses may reference languages built by
+/// earlier `def`s (the paper's Example 5 guards a rule with
+/// `def evenRoot := (complement oddRoot)`); the evaluator registers each
+/// language def through registerDefLanguage.
+class FastCompiler {
+public:
+  FastCompiler(Session &S, DiagnosticEngine &Diags) : S(S), Diags(Diags) {}
+
+  /// Compiles every type and lang of \p P and pre-registers every trans
+  /// state; returns false if any diagnostics were produced.
+  bool compile(const Program &P);
+
+  /// Compiles the rules of one trans declaration (called in program
+  /// order).
+  void compileTransDecl(const TransDecl &D);
+
+  /// Makes a `def`-bound language available to later `given` clauses.
+  void registerDefLanguage(const std::string &Name, const TreeLanguage &L);
+
+  const CompiledType *findType(const std::string &Name) const;
+  /// The language of `lang Name`, if declared.
+  std::optional<TreeLanguage> langLanguage(const std::string &Name) const;
+  /// The transformation of `trans Name` (master clone with start state).
+  std::shared_ptr<Sttr> transSttr(const std::string &Name) const;
+
+  /// Compiles an attribute expression against \p Sig (names resolve to
+  /// attributes).  Returns null and reports on error; when \p ConstOnly,
+  /// attribute references are rejected (tree-literal context).
+  TermRef compileAexp(const Aexp &E, const SignatureRef &Sig, bool ConstOnly);
+
+  const std::map<std::string, CompiledType> &types() const { return Types; }
+
+private:
+  bool compileType(const TypeDecl &D);
+  bool compileLangs(const Program &P);
+  void preRegisterTrans(const Program &P);
+  bool compilePattern(const RulePattern &R, CompiledType &T, unsigned &CtorId,
+                      TermRef &Guard, std::vector<StateSet> &Lookahead,
+                      std::map<std::string, unsigned> &VarIndex);
+  OutputRef compileTout(const ToutNode &N, CompiledType &T,
+                        const std::map<std::string, unsigned> &VarIndex);
+  /// Resolves a `given` language name to a state of \p T's master
+  /// lookahead STA: a declared lang, or a def-language imported on first
+  /// use.  Returns nullopt and reports if unknown.
+  std::optional<unsigned> lookaheadStateFor(const std::string &Name,
+                                            CompiledType &T, SourceLoc Loc);
+
+  Session &S;
+  DiagnosticEngine &Diags;
+  std::map<std::string, CompiledType> Types;
+  std::map<std::string, std::string> LangType;  // lang name -> type name
+  std::map<std::string, std::string> TransType; // trans name -> type name
+  std::map<std::string, TreeLanguage> DefLangs; // def name -> language
+  // (type, def name) -> imported lookahead state.
+  std::map<std::pair<std::string, std::string>, unsigned> ImportedDefLangs;
+};
+
+} // namespace fast
+
+#endif // FAST_FAST_COMPILER_H

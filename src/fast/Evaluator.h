@@ -1,0 +1,94 @@
+//===- fast/Evaluator.h - Evaluating Fast programs --------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates the program half of Fast: `def`, `tree`, and assertion
+/// declarations, in program order.  Values are tree languages (STAs with
+/// roots), transformations (STTRs), and concrete trees; the operations of
+/// Section 3.5 map directly onto the library calls.  Failing `is-empty`
+/// assertions come back with a witness tree — this is how Figure 2's
+/// sanitizer bug surfaces its counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_EVALUATOR_H
+#define FAST_FAST_EVALUATOR_H
+
+#include "fast/Compiler.h"
+
+namespace fast {
+
+/// A program-level value: a language, a transformation, or a tree.
+struct FastValue {
+  enum class Kind { None, Lang, Trans, Tree } K = Kind::None;
+  TreeLanguage Lang;
+  std::shared_ptr<Sttr> Trans;
+  TreeRef Tree = nullptr;
+
+  static FastValue ofLang(TreeLanguage L) {
+    FastValue V;
+    V.K = Kind::Lang;
+    V.Lang = std::move(L);
+    return V;
+  }
+  static FastValue ofTrans(std::shared_ptr<Sttr> T) {
+    FastValue V;
+    V.K = Kind::Trans;
+    V.Trans = std::move(T);
+    return V;
+  }
+  static FastValue ofTree(TreeRef T) {
+    FastValue V;
+    V.K = Kind::Tree;
+    V.Tree = T;
+    return V;
+  }
+};
+
+/// Outcome of one assert-true / assert-false declaration.
+struct AssertionOutcome {
+  SourceLoc Loc;
+  bool Expected = true;
+  bool Actual = false;
+  /// Witness / counterexample text when available (e.g. a non-empty
+  /// language in a failing `is-empty`).
+  std::string Detail;
+
+  bool passed() const { return Expected == Actual; }
+};
+
+/// Result of running a whole Fast program.
+struct FastProgramResult {
+  /// True when the program parsed, compiled, evaluated, and every
+  /// assertion passed.
+  bool ok() const { return ErrorCount == 0 && failedAssertions() == 0; }
+  unsigned failedAssertions() const {
+    unsigned N = 0;
+    for (const AssertionOutcome &A : Assertions)
+      N += !A.passed();
+    return N;
+  }
+
+  unsigned ErrorCount = 0;
+  std::string DiagText;
+  std::vector<AssertionOutcome> Assertions;
+
+  /// Named entities for host-program use (examples and benchmarks pull
+  /// compiled transducers out of Fast sources through these).
+  std::map<std::string, SignatureRef> Types;
+  std::map<std::string, FastValue> Values;
+
+  std::optional<TreeLanguage> language(const std::string &Name) const;
+  std::shared_ptr<Sttr> transducer(const std::string &Name) const;
+  TreeRef tree(const std::string &Name) const;
+};
+
+/// Parses, compiles, and evaluates \p Source within \p S.
+FastProgramResult runFastProgram(Session &S, const std::string &Source);
+
+} // namespace fast
+
+#endif // FAST_FAST_EVALUATOR_H

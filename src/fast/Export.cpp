@@ -1,0 +1,231 @@
+//===- fast/Export.cpp - Rendering compiled objects as Fast ---------------===//
+
+#include "fast/Export.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace fast;
+
+namespace {
+
+/// `c(y1, ..., yk)` pattern text.
+std::string patternText(const TreeSignature &Sig, unsigned CtorId) {
+  std::string Out = Sig.ctorName(CtorId) + "(";
+  for (unsigned I = 0; I < Sig.rank(CtorId); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += "y" + std::to_string(I + 1);
+  }
+  return Out + ")";
+}
+
+/// ` where <guard>` unless the guard is trivially true.
+std::string whereText(TermRef Guard) {
+  if (Guard->isTrue())
+    return "";
+  return " where " + Guard->str();
+}
+
+/// ` given (p y1) (q y2) ...` from per-child state sets and a naming map.
+std::string
+givenText(const std::vector<StateSet> &Lookahead,
+          const std::function<std::string(unsigned)> &LangName) {
+  std::string Out;
+  bool Any = false;
+  for (unsigned I = 0; I < Lookahead.size(); ++I)
+    for (unsigned Q : Lookahead[I]) {
+      Out += Any ? " " : " given ";
+      Any = true;
+      Out += "(" + LangName(Q) + " y" + std::to_string(I + 1) + ")";
+    }
+  return Out;
+}
+
+/// Lang declarations for an entire STA, named by \p LangName, restricted
+/// to the states marked in \p Emit.
+std::string exportStaStates(const Sta &A, const std::vector<bool> &Emit,
+                            const std::function<std::string(unsigned)> &LangName) {
+  const SignatureRef &Sig = A.signature();
+  std::string Out;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    if (!Emit[Q])
+      continue;
+    Out += "lang " + LangName(Q) + " : " + Sig->typeName() + " {\n";
+    bool First = true;
+    for (unsigned Index : A.rulesFrom(Q)) {
+      const StaRule &R = A.rule(Index);
+      Out += First ? "  " : "| ";
+      First = false;
+      Out += patternText(*Sig, R.CtorId) + whereText(R.Guard) +
+             givenText(R.Lookahead, LangName) + "\n";
+    }
+    if (First) {
+      // A state with no rules accepts nothing; Fast has no empty rule
+      // list, so emit an unsatisfiable leaf rule on the first rank-0
+      // constructor.
+      unsigned Leaf = 0;
+      while (Sig->rank(Leaf) != 0)
+        ++Leaf;
+      Out += "  " + patternText(*Sig, Leaf) + " where false\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+/// Output term text: `(q yI)` or `(c [e...] t...)`.
+std::string toutText(const Sttr &T, OutputRef Node,
+                     const std::function<std::string(unsigned)> &TransName) {
+  if (Node->isState())
+    return "(" + TransName(Node->state()) + " y" +
+           std::to_string(Node->childIndex() + 1) + ")";
+  const SignatureRef &Sig = T.signature();
+  std::string Out = "(" + Sig->ctorName(Node->ctorId()) + " [";
+  auto Exprs = Node->labelExprs();
+  for (size_t I = 0; I < Exprs.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Exprs[I]->str();
+  }
+  Out += "]";
+  for (OutputRef Child : Node->children())
+    Out += " " + toutText(T, Child, TransName);
+  return Out + ")";
+}
+
+} // namespace
+
+std::string fast::exportTypeDecl(const TreeSignature &Sig) {
+  std::string Out = "type " + Sig.typeName();
+  if (Sig.numAttrs() != 0) {
+    Out += "[";
+    for (unsigned I = 0; I < Sig.numAttrs(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Sig.attrSpec(I).Name + " : " +
+             sortName(Sig.attrSpec(I).TheSort);
+    }
+    Out += "]";
+  }
+  Out += " { ";
+  for (unsigned C = 0; C < Sig.numConstructors(); ++C) {
+    if (C != 0)
+      Out += ", ";
+    Out += Sig.ctorName(C) + "(" + std::to_string(Sig.rank(C)) + ")";
+  }
+  return Out + " }\n";
+}
+
+std::string fast::exportLanguage(const std::string &Name,
+                                 const TreeLanguage &L) {
+  const Sta &A = L.automaton();
+  bool SingleRoot = L.roots().size() == 1;
+  unsigned TheRoot = SingleRoot ? L.roots().front() : ~0u;
+  auto LangName = [&](unsigned Q) {
+    if (SingleRoot && Q == TheRoot)
+      return Name;
+    return Name + "_q" + std::to_string(Q);
+  };
+  std::string Out =
+      exportStaStates(A, std::vector<bool>(A.numStates(), true), LangName);
+  if (!SingleRoot) {
+    // Union entry: duplicate every root's rules under the entry name.
+    Out += "lang " + Name + " : " + A.signature()->typeName() + " {\n";
+    bool First = true;
+    for (unsigned Root : L.roots()) {
+      for (unsigned Index : A.rulesFrom(Root)) {
+        const StaRule &R = A.rule(Index);
+        Out += First ? "  " : "| ";
+        First = false;
+        Out += patternText(*A.signature(), R.CtorId) + whereText(R.Guard) +
+               givenText(R.Lookahead, LangName) + "\n";
+      }
+    }
+    if (First) {
+      unsigned Leaf = 0;
+      while (A.signature()->rank(Leaf) != 0)
+        ++Leaf;
+      Out += "  " + patternText(*A.signature(), Leaf) + " where false\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+std::string fast::exportSttr(const std::string &Name, const Sttr &T) {
+  const SignatureRef &Sig = T.signature();
+  // Emit only the lookahead states actually referenced (transitively).
+  const Sta &LA = T.lookahead();
+  std::vector<bool> Referenced(LA.numStates(), false);
+  for (const SttrRule &R : T.rules())
+    for (const StateSet &Set : R.Lookahead)
+      for (unsigned Q : Set)
+        Referenced[Q] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const StaRule &R : LA.rules()) {
+      if (!Referenced[R.State])
+        continue;
+      for (const StateSet &Set : R.Lookahead)
+        for (unsigned Q : Set)
+          if (!Referenced[Q]) {
+            Referenced[Q] = true;
+            Changed = true;
+          }
+    }
+  }
+  auto LangName = [&](unsigned Q) { return Name + "_la" + std::to_string(Q); };
+  std::string Out = exportStaStates(LA, Referenced, LangName);
+
+  auto TransName = [&](unsigned Q) {
+    if (Q == T.startState())
+      return Name;
+    return Name + "_q" + std::to_string(Q);
+  };
+  for (unsigned Q = 0; Q < T.numStates(); ++Q) {
+    // Gather this state's rules in declaration order.
+    std::vector<const SttrRule *> Rules;
+    for (const SttrRule &R : T.rules())
+      if (R.State == Q)
+        Rules.push_back(&R);
+    Out += "trans " + TransName(Q) + " : " + Sig->typeName() + " -> " +
+           Sig->typeName() + " {\n";
+    if (Rules.empty()) {
+      // No rules: an everywhere-undefined transformation.  Fast rule
+      // lists are non-empty, so emit a leaf rule with an unsatisfiable
+      // guard (the output copies the attributes; it can never fire).
+      unsigned Leaf = 0;
+      while (Sig->rank(Leaf) != 0)
+        ++Leaf;
+      Out += "  " + patternText(*Sig, Leaf) + " where false to (" +
+             Sig->ctorName(Leaf) + " [";
+      for (unsigned I = 0; I < Sig->numAttrs(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += Sig->attrSpec(I).Name;
+      }
+      Out += "])\n";
+    }
+    bool First = true;
+    for (const SttrRule *R : Rules) {
+      Out += First ? "  " : "| ";
+      First = false;
+      Out += patternText(*Sig, R->CtorId) + whereText(R->Guard) +
+             givenText(R->Lookahead, LangName) + "\n    to " +
+             toutText(T, R->Out, TransName) + "\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+std::string fast::exportLanguageProgram(const std::string &Name,
+                                        const TreeLanguage &L) {
+  return exportTypeDecl(*L.signature()) + exportLanguage(Name, L);
+}
+
+std::string fast::exportSttrProgram(const std::string &Name, const Sttr &T) {
+  return exportTypeDecl(*T.signature()) + exportSttr(Name, T);
+}

@@ -1,0 +1,52 @@
+//===- fast/Export.h - Rendering compiled objects as Fast -------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of the compiler: renders compiled STAs and STTRs back to
+/// Fast source.  Together with runFastProgram this gives a persistence
+/// format for analysis artifacts — a composed sanitizer pipeline or a
+/// pre-image automaton can be exported, stored, inspected, edited, and
+/// recompiled.  Round-tripping is behaviour-preserving (tested on random
+/// automata/transducers and on the paper's case studies).
+///
+/// State names are sanitized to Fast identifiers: the entry state keeps
+/// the given name, the others become `<name>_qN` (and lookahead states
+/// `<name>_laN`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_EXPORT_H
+#define FAST_FAST_EXPORT_H
+
+#include "transducers/Sttr.h"
+
+#include <string>
+
+namespace fast {
+
+/// `type T[a : S, ...] { c(k), ... }` for \p Sig.
+std::string exportTypeDecl(const TreeSignature &Sig);
+
+/// The lang declarations for \p L: one per automaton state plus, for
+/// multi-root languages, a union entry.  The entry lang is named \p Name.
+/// Does not include the type declaration.
+std::string exportLanguage(const std::string &Name, const TreeLanguage &L);
+
+/// The trans declarations (one per transduction state, entry named
+/// \p Name) plus lang declarations for the referenced lookahead states.
+/// Does not include the type declaration.
+std::string exportSttr(const std::string &Name, const Sttr &T);
+
+/// A complete runnable program: type declaration + exportLanguage.
+std::string exportLanguageProgram(const std::string &Name,
+                                  const TreeLanguage &L);
+
+/// A complete runnable program: type declaration + exportSttr.
+std::string exportSttrProgram(const std::string &Name, const Sttr &T);
+
+} // namespace fast
+
+#endif // FAST_FAST_EXPORT_H

@@ -1,0 +1,26 @@
+//===- fast/Fast.h - Umbrella header for the Fast frontend ------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One include for embedding the Fast language: parse + compile + evaluate
+/// a program with runFastProgram, then pull compiled languages and
+/// transformations out of the result.
+///
+/// \code
+///   fast::Session S;
+///   fast::FastProgramResult R = fast::runFastProgram(S, Source);
+///   if (!R.ok()) { ... R.DiagText ... }
+///   std::shared_ptr<fast::Sttr> Sani = R.transducer("sani");
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_FAST_H
+#define FAST_FAST_FAST_H
+
+#include "fast/Evaluator.h"
+
+#endif // FAST_FAST_FAST_H

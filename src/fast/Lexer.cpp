@@ -1,0 +1,269 @@
+//===- fast/Lexer.cpp - Tokenizer for the Fast language -------------------===//
+
+#include "fast/Lexer.h"
+
+#include <cctype>
+
+using namespace fast;
+
+namespace {
+
+class Lexer {
+public:
+  Lexer(const std::string &Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      Token T = next();
+      bool Done = T.is(TokKind::Eof);
+      Tokens.push_back(std::move(T));
+      if (Done)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (Pos < Source.size()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (Pos < Source.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokKind Kind, SourceLoc Loc, std::string Text) {
+    return {Kind, Loc, std::move(Text)};
+  }
+
+  Token next() {
+    skipTrivia();
+    SourceLoc Loc{Line, Column};
+    if (Pos >= Source.size())
+      return make(TokKind::Eof, Loc, "");
+
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier(Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Loc);
+    if (C == '"')
+      return lexString(Loc);
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Loc, "(");
+    case ')':
+      return make(TokKind::RParen, Loc, ")");
+    case '[':
+      return make(TokKind::LBracket, Loc, "[");
+    case ']':
+      return make(TokKind::RBracket, Loc, "]");
+    case '{':
+      return make(TokKind::LBrace, Loc, "{");
+    case '}':
+      return make(TokKind::RBrace, Loc, "}");
+    case ',':
+      return make(TokKind::Comma, Loc, ",");
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::OrOr, Loc, "||");
+      }
+      return make(TokKind::Pipe, Loc, "|");
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Assign, Loc, ":=");
+      }
+      return make(TokKind::Colon, Loc, ":");
+    case '-':
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Arrow, Loc, "->");
+      }
+      return make(TokKind::Minus, Loc, "-");
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Loc, "==");
+      }
+      return make(TokKind::Eq, Loc, "=");
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Neq, Loc, "!=");
+      }
+      return make(TokKind::Not, Loc, "!");
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Loc, "<=");
+      }
+      return make(TokKind::Lt, Loc, "<");
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Loc, ">=");
+      }
+      return make(TokKind::Gt, Loc, ">");
+    case '+':
+      return make(TokKind::Plus, Loc, "+");
+    case '*':
+      return make(TokKind::Star, Loc, "*");
+    case '%':
+      return make(TokKind::Percent, Loc, "%");
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AndAnd, Loc, "&&");
+      }
+      break;
+    default:
+      break;
+    }
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+
+  Token lexIdentifier(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+            peek() == '.'))
+      advance();
+    std::string Text = Source.substr(Start, Pos - Start);
+    // Hyphenated operation names like pre-image, restrict-out, is-empty,
+    // type-check, get-witness, assert-true: glue `-ident` on.
+    while (peek() == '-' && std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      // Don't swallow the arrow of `a->b` (handled before: '>' not alpha).
+      size_t Mark = Pos;
+      advance(); // '-'
+      size_t WordStart = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_'))
+        advance();
+      std::string Word = Source.substr(WordStart, Pos - WordStart);
+      static const char *Glued[] = {"image",   "out",     "empty", "check",
+                                    "witness", "true",    "false", "in"};
+      bool Known = false;
+      for (const char *G : Glued)
+        Known |= Word == G;
+      if (!Known) {
+        // Not a hyphenated keyword: rewind; `-` lexes as minus next time.
+        Pos = Mark;
+        break;
+      }
+      Text += "-" + Word;
+    }
+    if (Text == "true" || Text == "false")
+      return make(TokKind::BoolLiteral, Loc, std::move(Text));
+    if (Text == "and")
+      return make(TokKind::AndAnd, Loc, std::move(Text));
+    if (Text == "or")
+      return make(TokKind::OrOr, Loc, std::move(Text));
+    if (Text == "not")
+      return make(TokKind::Not, Loc, std::move(Text));
+    if (Text == "in")
+      return make(TokKind::In, Loc, std::move(Text));
+    return make(TokKind::Identifier, Loc, std::move(Text));
+  }
+
+  Token lexNumber(SourceLoc Loc) {
+    size_t Start = Pos;
+    bool IsReal = false;
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsReal = true;
+      advance();
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else if (peek() == '/' &&
+               std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      // Exact rational literal n/d (there is no division operator, so the
+      // slash is unambiguous; comments were consumed as trivia already).
+      IsReal = true;
+      advance();
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    return make(IsReal ? TokKind::RealLiteral : TokKind::IntLiteral, Loc,
+                Source.substr(Start, Pos - Start));
+  }
+
+  Token lexString(SourceLoc Loc) {
+    advance(); // opening quote
+    std::string Text;
+    while (Pos < Source.size() && peek() != '"') {
+      char C = advance();
+      if (C == '\\' && Pos < Source.size()) {
+        char E = advance();
+        switch (E) {
+        case 'n':
+          C = '\n';
+          break;
+        case 't':
+          C = '\t';
+          break;
+        case 'r':
+          C = '\r';
+          break;
+        default:
+          C = E;
+          break;
+        }
+      }
+      Text += C;
+    }
+    if (Pos >= Source.size()) {
+      Diags.error(Loc, "unterminated string literal");
+      return make(TokKind::Eof, Loc, "");
+    }
+    advance(); // closing quote
+    return make(TokKind::StringLiteral, Loc, std::move(Text));
+  }
+
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> fast::tokenizeFast(const std::string &Source,
+                                      DiagnosticEngine &Diags) {
+  return Lexer(Source, Diags).run();
+}

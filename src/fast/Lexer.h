@@ -1,0 +1,80 @@
+//===- fast/Lexer.h - Tokenizer for the Fast language -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for Fast's concrete syntax (Figure 4).  The paper's
+/// typographic operators have ASCII spellings: `!=` for the slashed
+/// equality, `&&`/`and` and `||`/`or` for the connectives, `!`/`not` for
+/// negation.  Comments run from `//` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_LEXER_H
+#define FAST_FAST_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace fast {
+
+/// Token kinds of the Fast grammar.
+enum class TokKind {
+  Eof,
+  Identifier, // also keywords; Lexer keeps them as Identifier + text
+  IntLiteral,
+  RealLiteral,
+  StringLiteral,
+  BoolLiteral, // true / false
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Colon,
+  Pipe,
+  Arrow,      // ->
+  Assign,     // :=
+  EqEq,       // ==
+  Eq,         // =
+  Neq,        // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Percent,
+  AndAnd, // && (the keyword `and` is normalized to this)
+  OrOr,   // ||
+  Not,    // !  (keyword `not`)
+  In,     // keyword `in` (element-of)
+};
+
+/// One token with its source location and text.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isKeyword(const char *KW) const {
+    return Kind == TokKind::Identifier && Text == KW;
+  }
+};
+
+/// Tokenizes \p Source, reporting malformed input to \p Diags.
+/// Always ends the stream with an Eof token.
+std::vector<Token> tokenizeFast(const std::string &Source,
+                                DiagnosticEngine &Diags);
+
+} // namespace fast
+
+#endif // FAST_FAST_LEXER_H

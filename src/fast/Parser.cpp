@@ -1,0 +1,782 @@
+//===- fast/Parser.cpp - Parser for the Fast language ---------------------===//
+
+#include "fast/Parser.h"
+
+#include <cstdlib>
+
+using namespace fast;
+
+namespace {
+
+/// True if \p Name is one of the program-level operation names of Fig. 4.
+bool isOperationName(const std::string &Name) {
+  static const char *Ops[] = {"intersect",   "union",       "complement",
+                              "difference",  "minimize",    "domain",
+                              "pre-image",   "compose",     "restrict",
+                              "restrict-out", "apply",      "get-witness",
+                              "is-empty",    "type-check",  "member"};
+  for (const char *Op : Ops)
+    if (Name == Op)
+      return true;
+  return false;
+}
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Program run() {
+    Program P;
+    while (!peek().is(TokKind::Eof)) {
+      if (!parseDecl(P))
+        synchronize();
+    }
+    return P;
+  }
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+    return Tokens[I];
+  }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool consume(TokKind K) {
+    if (!peek().is(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *What) {
+    if (consume(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + What + ", got '" +
+                                (peek().is(TokKind::Eof) ? "<eof>"
+                                                         : peek().Text) +
+                                "'");
+    return false;
+  }
+  bool expectIdentifier(std::string &Out, const char *What) {
+    if (peek().is(TokKind::Identifier)) {
+      Out = advance().Text;
+      return true;
+    }
+    Diags.error(peek().Loc, std::string("expected ") + What);
+    return false;
+  }
+
+  /// Skips to the next top-level declaration keyword.
+  void synchronize() {
+    while (!peek().is(TokKind::Eof)) {
+      const Token &T = peek();
+      if (T.isKeyword("type") || T.isKeyword("lang") || T.isKeyword("trans") ||
+          T.isKeyword("def") || T.isKeyword("tree") ||
+          T.isKeyword("assert-true") || T.isKeyword("assert-false"))
+        return;
+      advance();
+    }
+  }
+
+  bool parseDecl(Program &P) {
+    const Token &T = peek();
+    if (T.isKeyword("type")) {
+      advance();
+      return parseType(P);
+    }
+    if (T.isKeyword("lang")) {
+      advance();
+      return parseLang(P);
+    }
+    if (T.isKeyword("trans")) {
+      advance();
+      return parseTrans(P);
+    }
+    if (T.isKeyword("def")) {
+      advance();
+      return parseDef(P);
+    }
+    if (T.isKeyword("tree")) {
+      advance();
+      return parseTree(P);
+    }
+    if (T.isKeyword("assert-true") || T.isKeyword("assert-false")) {
+      bool ExpectTrue = T.Text == "assert-true";
+      advance();
+      return parseAssert(P, ExpectTrue);
+    }
+    Diags.error(T.Loc, "expected a declaration (type/lang/trans/def/tree/"
+                       "assert-true/assert-false)");
+    advance();
+    return false;
+  }
+
+  // type T [x : S, ...] { c(k), ... } -- also accepts `|` between ctors.
+  bool parseType(Program &P) {
+    TypeDecl D;
+    D.Loc = peek().Loc;
+    if (!expectIdentifier(D.Name, "type name"))
+      return false;
+    if (consume(TokKind::LBracket)) {
+      do {
+        std::string AttrName, SortName;
+        if (!expectIdentifier(AttrName, "attribute name") ||
+            !expect(TokKind::Colon, "':'") ||
+            !expectIdentifier(SortName, "attribute sort"))
+          return false;
+        D.Attrs.emplace_back(std::move(AttrName), std::move(SortName));
+      } while (consume(TokKind::Comma));
+      if (!expect(TokKind::RBracket, "']'"))
+        return false;
+    }
+    if (!expect(TokKind::LBrace, "'{'"))
+      return false;
+    do {
+      std::string CtorName;
+      if (!expectIdentifier(CtorName, "constructor name") ||
+          !expect(TokKind::LParen, "'('"))
+        return false;
+      if (!peek().is(TokKind::IntLiteral)) {
+        Diags.error(peek().Loc, "expected constructor rank");
+        return false;
+      }
+      unsigned Rank = static_cast<unsigned>(std::strtoul(
+          advance().Text.c_str(), nullptr, 10));
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      D.Ctors.emplace_back(std::move(CtorName), Rank);
+    } while (consume(TokKind::Comma) || consume(TokKind::Pipe));
+    if (!expect(TokKind::RBrace, "'}'"))
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Type,
+                         static_cast<unsigned>(P.Types.size()));
+    P.Types.push_back(std::move(D));
+    return true;
+  }
+
+  // lang p : T { rule | rule | ... }
+  bool parseLang(Program &P) {
+    LangDecl D;
+    D.Loc = peek().Loc;
+    if (!expectIdentifier(D.Name, "language name") ||
+        !expect(TokKind::Colon, "':'") ||
+        !expectIdentifier(D.TypeName, "type name") ||
+        !expect(TokKind::LBrace, "'{'"))
+      return false;
+    do {
+      RulePattern R;
+      if (!parsePattern(R))
+        return false;
+      D.Rules.push_back(std::move(R));
+    } while (consume(TokKind::Pipe));
+    if (!expect(TokKind::RBrace, "'}'"))
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Lang,
+                         static_cast<unsigned>(P.Langs.size()));
+    P.Langs.push_back(std::move(D));
+    return true;
+  }
+
+  // trans q : T -> T { pattern to tout | ... }
+  bool parseTrans(Program &P) {
+    TransDecl D;
+    D.Loc = peek().Loc;
+    if (!expectIdentifier(D.Name, "transformation name") ||
+        !expect(TokKind::Colon, "':'") ||
+        !expectIdentifier(D.InType, "input type") ||
+        !expect(TokKind::Arrow, "'->'") ||
+        !expectIdentifier(D.OutType, "output type") ||
+        !expect(TokKind::LBrace, "'{'"))
+      return false;
+    do {
+      TransRule R;
+      if (!parsePattern(R.Pattern))
+        return false;
+      if (!peek().isKeyword("to")) {
+        Diags.error(peek().Loc, "expected 'to' in transformation rule");
+        return false;
+      }
+      advance();
+      R.Out = parseTout();
+      if (!R.Out)
+        return false;
+      D.Rules.push_back(std::move(R));
+    } while (consume(TokKind::Pipe));
+    if (!expect(TokKind::RBrace, "'}'"))
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Trans,
+                         static_cast<unsigned>(P.Transes.size()));
+    P.Transes.push_back(std::move(D));
+    return true;
+  }
+
+  // c(y1, ..., yk) (where Aexp)? (given ((p y))+)?
+  bool parsePattern(RulePattern &R) {
+    R.Loc = peek().Loc;
+    if (!expectIdentifier(R.CtorName, "constructor name") ||
+        !expect(TokKind::LParen, "'('"))
+      return false;
+    if (!peek().is(TokKind::RParen)) {
+      do {
+        std::string Var;
+        if (!expectIdentifier(Var, "subtree variable"))
+          return false;
+        R.Vars.push_back(std::move(Var));
+      } while (consume(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+    if (peek().isKeyword("where")) {
+      advance();
+      R.Where = parseAexp();
+      if (!R.Where)
+        return false;
+    }
+    if (peek().isKeyword("given")) {
+      advance();
+      while (peek().is(TokKind::LParen)) {
+        advance();
+        GivenClause G;
+        G.Loc = peek().Loc;
+        if (!expectIdentifier(G.LangName, "language name in given") ||
+            !expectIdentifier(G.VarName, "subtree variable in given") ||
+            !expect(TokKind::RParen, "')'"))
+          return false;
+        R.Givens.push_back(std::move(G));
+      }
+      if (R.Givens.empty()) {
+        Diags.error(peek().Loc, "expected at least one (lang var) after "
+                                "'given'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Tout ::= y | (q y) | (c [Aexp*] Tout*)
+  ToutPtr parseTout() {
+    auto Node = std::make_unique<ToutNode>();
+    Node->Loc = peek().Loc;
+    if (peek().is(TokKind::Identifier)) {
+      Node->VarName = advance().Text;
+      return Node;
+    }
+    if (!expect(TokKind::LParen, "output term"))
+      return nullptr;
+    std::string Head;
+    if (!expectIdentifier(Head, "state or constructor name"))
+      return nullptr;
+    if (peek().is(TokKind::LBracket)) {
+      // Constructor form.
+      advance();
+      Node->CtorName = std::move(Head);
+      while (!peek().is(TokKind::RBracket)) {
+        AexpPtr E = parseAexp();
+        if (!E)
+          return nullptr;
+        Node->LabelExprs.push_back(std::move(E));
+        consume(TokKind::Comma); // optional separators
+        if (peek().is(TokKind::Eof))
+          return nullptr;
+      }
+      advance(); // ']'
+      while (!peek().is(TokKind::RParen)) {
+        ToutPtr Child = parseTout();
+        if (!Child)
+          return nullptr;
+        Node->Children.push_back(std::move(Child));
+        consume(TokKind::Comma);
+        if (peek().is(TokKind::Eof))
+          return nullptr;
+      }
+      advance(); // ')'
+      return Node;
+    }
+    // (q y) form.
+    Node->StateName = std::move(Head);
+    if (!expectIdentifier(Node->VarName, "subtree variable") ||
+        !expect(TokKind::RParen, "')'"))
+      return nullptr;
+    return Node;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Attribute expressions: infix with precedence, plus Fig. 4's prefix form
+  // `(op e1 e2 ...)`.
+  //===--------------------------------------------------------------------===//
+
+  AexpPtr makeAexp(AexpOp Op, SourceLoc Loc) {
+    auto E = std::make_unique<Aexp>();
+    E->Op = Op;
+    E->Loc = Loc;
+    return E;
+  }
+
+  AexpPtr parseAexp() { return parseOrExpr(); }
+
+  AexpPtr parseOrExpr() {
+    AexpPtr Lhs = parseAndExpr();
+    while (Lhs && peek().is(TokKind::OrOr)) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Rhs = parseAndExpr();
+      if (!Rhs)
+        return nullptr;
+      AexpPtr E = makeAexp(AexpOp::Or, Loc);
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  AexpPtr parseAndExpr() {
+    AexpPtr Lhs = parseCmpExpr();
+    while (Lhs && peek().is(TokKind::AndAnd)) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Rhs = parseCmpExpr();
+      if (!Rhs)
+        return nullptr;
+      AexpPtr E = makeAexp(AexpOp::And, Loc);
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  AexpPtr parseCmpExpr() {
+    AexpPtr Lhs = parseAddExpr();
+    if (!Lhs)
+      return nullptr;
+    AexpOp Op;
+    switch (peek().Kind) {
+    case TokKind::Eq:
+      Op = AexpOp::Eq;
+      break;
+    case TokKind::Neq:
+      Op = AexpOp::Neq;
+      break;
+    case TokKind::Lt:
+      Op = AexpOp::Lt;
+      break;
+    case TokKind::Le:
+      Op = AexpOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = AexpOp::Gt;
+      break;
+    case TokKind::Ge:
+      Op = AexpOp::Ge;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advance().Loc;
+    AexpPtr Rhs = parseAddExpr();
+    if (!Rhs)
+      return nullptr;
+    AexpPtr E = makeAexp(Op, Loc);
+    E->Args.push_back(std::move(Lhs));
+    E->Args.push_back(std::move(Rhs));
+    return E;
+  }
+
+  AexpPtr parseAddExpr() {
+    AexpPtr Lhs = parseMulExpr();
+    while (Lhs &&
+           (peek().is(TokKind::Plus) || peek().is(TokKind::Minus))) {
+      AexpOp Op = peek().is(TokKind::Plus) ? AexpOp::Add : AexpOp::Sub;
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Rhs = parseMulExpr();
+      if (!Rhs)
+        return nullptr;
+      AexpPtr E = makeAexp(Op, Loc);
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  AexpPtr parseMulExpr() {
+    AexpPtr Lhs = parseUnaryExpr();
+    while (Lhs &&
+           (peek().is(TokKind::Star) || peek().is(TokKind::Percent))) {
+      AexpOp Op = peek().is(TokKind::Star) ? AexpOp::Mul : AexpOp::Mod;
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Rhs = parseUnaryExpr();
+      if (!Rhs)
+        return nullptr;
+      AexpPtr E = makeAexp(Op, Loc);
+      E->Args.push_back(std::move(Lhs));
+      E->Args.push_back(std::move(Rhs));
+      Lhs = std::move(E);
+    }
+    return Lhs;
+  }
+
+  AexpPtr parseUnaryExpr() {
+    if (peek().is(TokKind::Not)) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Arg = parseUnaryExpr();
+      if (!Arg)
+        return nullptr;
+      AexpPtr E = makeAexp(AexpOp::NotOp, Loc);
+      E->Args.push_back(std::move(Arg));
+      return E;
+    }
+    if (peek().is(TokKind::Minus)) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr Arg = parseUnaryExpr();
+      if (!Arg)
+        return nullptr;
+      AexpPtr E = makeAexp(AexpOp::NegOp, Loc);
+      E->Args.push_back(std::move(Arg));
+      return E;
+    }
+    return parseAtom();
+  }
+
+  AexpPtr parseAtom() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::IntLiteral:
+    case TokKind::RealLiteral:
+    case TokKind::StringLiteral:
+    case TokKind::BoolLiteral: {
+      AexpPtr E = makeAexp(AexpOp::Const, T.Loc);
+      E->Lit = T.is(TokKind::IntLiteral)    ? AexpLit::Int
+               : T.is(TokKind::RealLiteral) ? AexpLit::Real
+               : T.is(TokKind::StringLiteral) ? AexpLit::String
+                                              : AexpLit::Bool;
+      E->Text = T.Text;
+      advance();
+      return E;
+    }
+    case TokKind::Identifier: {
+      AexpPtr E = makeAexp(AexpOp::Name, T.Loc);
+      E->Text = T.Text;
+      advance();
+      return E;
+    }
+    case TokKind::LParen: {
+      advance();
+      // Fig. 4 prefix form `(op e...)` or a parenthesized infix expression.
+      AexpPtr E = parsePrefixOrParen();
+      return E;
+    }
+    default:
+      Diags.error(T.Loc, "expected attribute expression");
+      return nullptr;
+    }
+  }
+
+  AexpPtr parsePrefixOrParen() {
+    // Already consumed '('.
+    const Token &T = peek();
+    AexpOp Op;
+    bool IsPrefix = true;
+    // `div` and `ite` are prefix-only operators spelled as identifiers.
+    if (T.isKeyword("div")) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr E = makeAexp(AexpOp::Div, Loc);
+      for (int I = 0; I < 2; ++I) {
+        AexpPtr Arg = parseAexp();
+        if (!Arg)
+          return nullptr;
+        E->Args.push_back(std::move(Arg));
+      }
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    if (T.isKeyword("ite")) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr E = makeAexp(AexpOp::Ite, Loc);
+      for (int I = 0; I < 3; ++I) {
+        AexpPtr Arg = parseAexp();
+        if (!Arg)
+          return nullptr;
+        E->Args.push_back(std::move(Arg));
+      }
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    switch (T.Kind) {
+    case TokKind::Plus:
+      Op = AexpOp::Add;
+      break;
+    case TokKind::Star:
+      Op = AexpOp::Mul;
+      break;
+    case TokKind::Percent:
+      Op = AexpOp::Mod;
+      break;
+    case TokKind::Eq:
+      Op = AexpOp::Eq;
+      break;
+    case TokKind::Neq:
+      Op = AexpOp::Neq;
+      break;
+    case TokKind::Lt:
+      Op = AexpOp::Lt;
+      break;
+    case TokKind::Le:
+      Op = AexpOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = AexpOp::Gt;
+      break;
+    case TokKind::Ge:
+      Op = AexpOp::Ge;
+      break;
+    case TokKind::AndAnd:
+      Op = AexpOp::And;
+      break;
+    case TokKind::OrOr:
+      Op = AexpOp::Or;
+      break;
+    case TokKind::Not:
+      Op = AexpOp::NotOp;
+      break;
+    default:
+      IsPrefix = false;
+      Op = AexpOp::Const;
+      break;
+    }
+    if (IsPrefix) {
+      SourceLoc Loc = advance().Loc;
+      AexpPtr E = makeAexp(Op, Loc);
+      while (!peek().is(TokKind::RParen)) {
+        AexpPtr Arg = parseAexp();
+        if (!Arg)
+          return nullptr;
+        E->Args.push_back(std::move(Arg));
+        if (peek().is(TokKind::Eof)) {
+          Diags.error(peek().Loc, "unterminated prefix expression");
+          return nullptr;
+        }
+      }
+      advance(); // ')'
+      if (E->Args.empty()) {
+        Diags.error(Loc, "prefix operator needs at least one argument");
+        return nullptr;
+      }
+      return E;
+    }
+    AexpPtr Inner = parseAexp();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokKind::RParen, "')'"))
+      return nullptr;
+    return Inner;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Program-level expressions
+  //===--------------------------------------------------------------------===//
+
+  bool parseDef(Program &P) {
+    DefDecl D;
+    D.Loc = peek().Loc;
+    if (!expectIdentifier(D.Name, "definition name") ||
+        !expect(TokKind::Colon, "':'") ||
+        !expectIdentifier(D.InType, "type name"))
+      return false;
+    if (consume(TokKind::Arrow)) {
+      if (!expectIdentifier(D.OutType, "output type"))
+        return false;
+    }
+    if (!expect(TokKind::Assign, "':='"))
+      return false;
+    D.Body = parseOpExpr();
+    if (!D.Body)
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Def,
+                         static_cast<unsigned>(P.Defs.size()));
+    P.Defs.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseTree(Program &P) {
+    TreeDecl D;
+    D.Loc = peek().Loc;
+    if (!expectIdentifier(D.Name, "tree name") ||
+        !expect(TokKind::Colon, "':'") ||
+        !expectIdentifier(D.TypeName, "type name") ||
+        !expect(TokKind::Assign, "':='"))
+      return false;
+    D.Body = parseOpExpr();
+    if (!D.Body)
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Tree,
+                         static_cast<unsigned>(P.Trees.size()));
+    P.Trees.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseAssert(Program &P, bool ExpectTrue) {
+    AssertDecl D;
+    D.Loc = peek().Loc;
+    D.ExpectTrue = ExpectTrue;
+    D.Condition = parseAssertion();
+    if (!D.Condition)
+      return false;
+    P.Order.emplace_back(Program::DeclKind::Assert,
+                         static_cast<unsigned>(P.Asserts.size()));
+    P.Asserts.push_back(std::move(D));
+    return true;
+  }
+
+  /// A ::= L == L | TR in L | (is-empty ...) | (type-check ...) | opExpr.
+  OpExprPtr parseAssertion() {
+    OpExprPtr Lhs = parseOpExpr();
+    if (!Lhs)
+      return nullptr;
+    if (consume(TokKind::EqEq)) {
+      auto E = std::make_unique<OpExpr>();
+      E->Kind = OpKind::LangEq;
+      E->Loc = Lhs->Loc;
+      E->Args.push_back(std::move(Lhs));
+      OpExprPtr Rhs = parseOpExpr();
+      if (!Rhs)
+        return nullptr;
+      E->Args.push_back(std::move(Rhs));
+      return E;
+    }
+    if (consume(TokKind::In)) {
+      auto E = std::make_unique<OpExpr>();
+      E->Kind = OpKind::Member;
+      E->Loc = Lhs->Loc;
+      E->Args.push_back(std::move(Lhs));
+      OpExprPtr Rhs = parseOpExpr();
+      if (!Rhs)
+        return nullptr;
+      E->Args.push_back(std::move(Rhs));
+      return E;
+    }
+    return Lhs;
+  }
+
+  OpExprPtr parseOpExpr() {
+    const Token &T = peek();
+    if (T.is(TokKind::Identifier) && !isOperationName(T.Text)) {
+      auto E = std::make_unique<OpExpr>();
+      E->Kind = OpKind::Name;
+      E->Loc = T.Loc;
+      E->Name = T.Text;
+      advance();
+      return E;
+    }
+    if (!expect(TokKind::LParen, "expression"))
+      return nullptr;
+    // Parenthesized grouping of an assertion-level expression, e.g.
+    // `((apply f t) in l)`.
+    if (peek().is(TokKind::LParen)) {
+      OpExprPtr Inner = parseAssertion();
+      if (!Inner || !expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return Inner;
+    }
+    std::string Head;
+    if (!expectIdentifier(Head, "operation or constructor name"))
+      return nullptr;
+
+    if (!isOperationName(Head)) {
+      // Tree literal: (c [aexp*] child*).
+      auto E = std::make_unique<OpExpr>();
+      E->Kind = OpKind::TreeLiteral;
+      E->Loc = T.Loc;
+      E->CtorName = Head;
+      if (consume(TokKind::LBracket)) {
+        while (!peek().is(TokKind::RBracket)) {
+          AexpPtr A = parseAexp();
+          if (!A)
+            return nullptr;
+          E->LabelExprs.push_back(std::move(A));
+          consume(TokKind::Comma);
+          if (peek().is(TokKind::Eof))
+            return nullptr;
+        }
+        advance(); // ']'
+      }
+      while (!peek().is(TokKind::RParen)) {
+        OpExprPtr Child = parseOpExpr();
+        if (!Child)
+          return nullptr;
+        E->Args.push_back(std::move(Child));
+        consume(TokKind::Comma);
+        if (peek().is(TokKind::Eof))
+          return nullptr;
+      }
+      advance(); // ')'
+      return E;
+    }
+
+    auto E = std::make_unique<OpExpr>();
+    E->Loc = T.Loc;
+    unsigned Arity = 2;
+    if (Head == "intersect")
+      E->Kind = OpKind::Intersect;
+    else if (Head == "union")
+      E->Kind = OpKind::Union;
+    else if (Head == "difference")
+      E->Kind = OpKind::Difference;
+    else if (Head == "complement") {
+      E->Kind = OpKind::Complement;
+      Arity = 1;
+    } else if (Head == "minimize") {
+      E->Kind = OpKind::Minimize;
+      Arity = 1;
+    } else if (Head == "domain") {
+      E->Kind = OpKind::Domain;
+      Arity = 1;
+    } else if (Head == "pre-image")
+      E->Kind = OpKind::PreImage;
+    else if (Head == "compose")
+      E->Kind = OpKind::Compose;
+    else if (Head == "restrict")
+      E->Kind = OpKind::Restrict;
+    else if (Head == "restrict-out")
+      E->Kind = OpKind::RestrictOut;
+    else if (Head == "apply")
+      E->Kind = OpKind::Apply;
+    else if (Head == "get-witness") {
+      E->Kind = OpKind::GetWitness;
+      Arity = 1;
+    } else if (Head == "is-empty") {
+      E->Kind = OpKind::IsEmpty;
+      Arity = 1;
+    } else if (Head == "type-check") {
+      E->Kind = OpKind::TypeCheck;
+      Arity = 3;
+    } else if (Head == "member")
+      E->Kind = OpKind::Member;
+
+    for (unsigned I = 0; I < Arity; ++I) {
+      OpExprPtr Arg = parseOpExpr();
+      if (!Arg)
+        return nullptr;
+      E->Args.push_back(std::move(Arg));
+    }
+    if (!expect(TokKind::RParen, "')'"))
+      return nullptr;
+    return E;
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Program fast::parseFast(const std::string &Source, DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenizeFast(Source, Diags);
+  return Parser(std::move(Tokens), Diags).run();
+}

@@ -1,0 +1,28 @@
+//===- fast/Parser.h - Parser for the Fast language -------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Figure 4's grammar.  On error it reports a
+/// diagnostic and re-synchronizes at the next top-level declaration
+/// keyword, so one malformed declaration does not hide later errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_PARSER_H
+#define FAST_FAST_PARSER_H
+
+#include "fast/Ast.h"
+#include "fast/Lexer.h"
+
+namespace fast {
+
+/// Parses \p Source into a Program.  Errors go to \p Diags; the returned
+/// Program contains every declaration parsed before/after any bad ones.
+Program parseFast(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace fast
+
+#endif // FAST_FAST_PARSER_H

@@ -1,0 +1,35 @@
+//===- smt/Minterms.cpp - Predicate mintermization ------------------------===//
+
+#include "smt/Minterms.h"
+
+using namespace fast;
+
+std::vector<Minterm> fast::computeMinterms(Solver &S,
+                                           std::span<const TermRef> Preds) {
+  TermFactory &F = S.factory();
+  std::vector<Minterm> Regions;
+  Regions.push_back({F.trueTerm(), {}});
+  for (TermRef Pred : Preds) {
+    std::vector<Minterm> Next;
+    Next.reserve(Regions.size() * 2);
+    TermRef NotPred = F.mkNot(Pred);
+    for (Minterm &Region : Regions) {
+      TermRef Pos = F.mkAnd(Region.Predicate, Pred);
+      if (S.isSat(Pos)) {
+        Minterm M = Region;
+        M.Predicate = Pos;
+        M.Polarity.push_back(true);
+        Next.push_back(std::move(M));
+      }
+      TermRef Neg = F.mkAnd(Region.Predicate, NotPred);
+      if (S.isSat(Neg)) {
+        Minterm M = std::move(Region);
+        M.Predicate = Neg;
+        M.Polarity.push_back(false);
+        Next.push_back(std::move(M));
+      }
+    }
+    Regions = std::move(Next);
+  }
+  return Regions;
+}

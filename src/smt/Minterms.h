@@ -1,0 +1,43 @@
+//===- smt/Minterms.h - Predicate mintermization ----------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mintermization: given predicates phi_1..phi_n, computes the satisfiable
+/// atoms of the Boolean algebra they generate (all satisfiable conjunctions
+/// of +/- phi_i).  Determinization and completion of symbolic tree automata
+/// case-split on these minterms, which is the standard technique for
+/// symbolic automata (D'Antoni & Veanes, POPL'14) that the paper's
+/// implementation relies on for the Boolean operations of Section 3.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SMT_MINTERMS_H
+#define FAST_SMT_MINTERMS_H
+
+#include "smt/Solver.h"
+
+#include <span>
+#include <vector>
+
+namespace fast {
+
+/// One satisfiable region of the partition induced by a predicate set.
+struct Minterm {
+  /// The region as a conjunction of literals.
+  TermRef Predicate;
+  /// Polarity[i] is true iff the i-th input predicate occurs positively.
+  std::vector<bool> Polarity;
+};
+
+/// Computes all satisfiable minterms of \p Preds.
+///
+/// Unsatisfiable branches are pruned eagerly, so the output size is the
+/// number of non-empty regions (at most 2^n, usually far fewer).
+std::vector<Minterm> computeMinterms(Solver &S, std::span<const TermRef> Preds);
+
+} // namespace fast
+
+#endif // FAST_SMT_MINTERMS_H

@@ -1,0 +1,492 @@
+//===- smt/SimpleSolver.cpp - Built-in decision procedure -----------------===//
+
+#include "smt/SimpleSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <optional>
+
+using namespace fast;
+
+namespace {
+
+/// Upper bound on the number of DNF cubes we are willing to expand.
+constexpr size_t MaxCubes = 256;
+/// Upper bound on interval widths / congruence periods we enumerate.
+constexpr int64_t MaxEnumeration = 65536;
+
+/// A literal: an atomic term with a polarity.
+struct Lit {
+  TermRef Atom;
+  bool Positive;
+};
+using Cube = std::vector<Lit>;
+
+/// Expands \p T (under \p Positive) into DNF cubes appended to \p Out.
+/// Returns false when the expansion exceeds MaxCubes.
+bool toDnf(TermRef T, bool Positive, std::vector<Cube> &Out) {
+  switch (T->kind()) {
+  case TermKind::ConstValue:
+    if (T->constValue().getBool() == Positive) {
+      Out.push_back({}); // One empty (always-true) cube.
+    }
+    // else: contributes no cube.
+    return true;
+  case TermKind::Not:
+    return toDnf(T->operand(0), !Positive, Out);
+  case TermKind::And:
+  case TermKind::Or: {
+    bool IsProduct = (T->kind() == TermKind::And) == Positive;
+    if (!IsProduct) {
+      // Disjunction: concatenate cubes.
+      for (TermRef Op : T->operands())
+        if (!toDnf(Op, Positive, Out))
+          return false;
+      return Out.size() <= MaxCubes;
+    }
+    // Conjunction: cube product.
+    std::vector<Cube> Acc = {{}};
+    for (TermRef Op : T->operands()) {
+      std::vector<Cube> Next;
+      std::vector<Cube> OpCubes;
+      if (!toDnf(Op, Positive, OpCubes))
+        return false;
+      if (Acc.size() * OpCubes.size() > MaxCubes)
+        return false;
+      for (const Cube &A : Acc)
+        for (const Cube &B : OpCubes) {
+          Cube Joined = A;
+          Joined.insert(Joined.end(), B.begin(), B.end());
+          Next.push_back(std::move(Joined));
+        }
+      Acc = std::move(Next);
+    }
+    Out.insert(Out.end(), Acc.begin(), Acc.end());
+    return Out.size() <= MaxCubes;
+  }
+  default:
+    Out.push_back({{T, Positive}});
+    return true;
+  }
+}
+
+/// An affine view Coeff * attr + Offset of a numeric term (Coeff may be 0
+/// for constants; Attr is then -1).
+struct Affine {
+  bool Ok = false;
+  int Attr = -1;
+  Sort AttrSort = Sort::Int;
+  Rational Coeff = Rational(0);
+  Rational Offset = Rational(0);
+};
+
+Affine affineConst(Rational R) {
+  Affine A;
+  A.Ok = true;
+  A.Offset = R;
+  return A;
+}
+
+Affine parseAffine(TermRef T) {
+  Affine Fail;
+  switch (T->kind()) {
+  case TermKind::ConstValue:
+    if (T->sort() == Sort::Int)
+      return affineConst(Rational(T->constValue().getInt()));
+    if (T->sort() == Sort::Real)
+      return affineConst(T->constValue().getReal());
+    return Fail;
+  case TermKind::Attr: {
+    Affine A;
+    A.Ok = true;
+    A.Attr = static_cast<int>(T->attrIndex());
+    A.AttrSort = T->sort();
+    A.Coeff = Rational(1);
+    return A;
+  }
+  case TermKind::Neg: {
+    Affine A = parseAffine(T->operand(0));
+    if (!A.Ok)
+      return Fail;
+    A.Coeff = -A.Coeff;
+    A.Offset = -A.Offset;
+    return A;
+  }
+  case TermKind::Add: {
+    Affine Sum = affineConst(Rational(0));
+    for (TermRef Op : T->operands()) {
+      Affine A = parseAffine(Op);
+      if (!A.Ok)
+        return Fail;
+      if (A.Attr >= 0) {
+        if (Sum.Attr >= 0 && Sum.Attr != A.Attr)
+          return Fail; // Two distinct attributes.
+        if (Sum.Attr < 0) {
+          Sum.Attr = A.Attr;
+          Sum.AttrSort = A.AttrSort;
+        }
+        Sum.Coeff = Sum.Coeff + A.Coeff;
+      }
+      Sum.Offset = Sum.Offset + A.Offset;
+    }
+    return Sum;
+  }
+  case TermKind::Mul: {
+    // Allow const * ... * const * (affine): exactly one non-constant.
+    Affine Result = affineConst(Rational(1));
+    Rational Scale(1);
+    bool SeenAttr = false;
+    for (TermRef Op : T->operands()) {
+      Affine A = parseAffine(Op);
+      if (!A.Ok)
+        return Fail;
+      if (A.Attr >= 0) {
+        if (SeenAttr)
+          return Fail; // Non-linear.
+        SeenAttr = true;
+        Result = A;
+      } else {
+        Scale = Scale * A.Offset;
+      }
+    }
+    if (!SeenAttr)
+      return affineConst(Scale);
+    Result.Coeff = Result.Coeff * Scale;
+    Result.Offset = Result.Offset * Scale;
+    return Result;
+  }
+  default:
+    return Fail;
+  }
+}
+
+/// Per-attribute constraint stores for one cube.
+struct BoolStore {
+  std::optional<bool> Pinned;
+  bool Conflict = false;
+  void pin(bool V) {
+    if (Pinned && *Pinned != V)
+      Conflict = true;
+    Pinned = V;
+  }
+};
+
+struct StrStore {
+  std::optional<std::string> Pinned;
+  std::vector<std::string> NotEqual;
+  bool Conflict = false;
+  void pin(const std::string &V) {
+    if (Pinned && *Pinned != V)
+      Conflict = true;
+    Pinned = V;
+  }
+};
+
+struct Cong {
+  int64_t M;
+  int64_t R; // in [0, M)
+  bool Positive;
+};
+
+struct NumStore {
+  Sort TheSort = Sort::Int;
+  bool HasLo = false, HasHi = false;
+  Rational Lo, Hi;
+  bool LoStrict = false, HiStrict = false;
+  std::vector<Rational> NotEqual;
+  std::vector<Cong> Congs; // Int only.
+
+  void addLo(Rational V, bool Strict) {
+    if (!HasLo || Lo < V || (Lo == V && Strict)) {
+      Lo = V;
+      LoStrict = Strict;
+      HasLo = true;
+    }
+  }
+  void addHi(Rational V, bool Strict) {
+    if (!HasHi || V < Hi || (Hi == V && Strict)) {
+      Hi = V;
+      HiStrict = Strict;
+      HasHi = true;
+    }
+  }
+};
+
+int64_t euclidMod(int64_t A, int64_t M) {
+  int64_t R = A % M;
+  return R < 0 ? R + M : R;
+}
+
+/// Decides the integer constraints of one attribute.  Unknown only when
+/// enumeration limits are hit.
+SimpleResult decideInt(const NumStore &C) {
+  // Integer-adjust the rational bounds.
+  bool HasLo = C.HasLo, HasHi = C.HasHi;
+  int64_t Lo = 0, Hi = 0;
+  if (HasLo) {
+    // Smallest integer satisfying the bound.
+    const Rational &V = C.Lo;
+    int64_t Floor = V.numerator() >= 0 ? V.numerator() / V.denominator()
+                                       : -((-V.numerator() + V.denominator() -
+                                            1) /
+                                           V.denominator());
+    Lo = (V == Rational(Floor)) ? (C.LoStrict ? Floor + 1 : Floor)
+                                : Floor + 1;
+  }
+  if (HasHi) {
+    const Rational &V = C.Hi;
+    int64_t Floor = V.numerator() >= 0 ? V.numerator() / V.denominator()
+                                       : -((-V.numerator() + V.denominator() -
+                                            1) /
+                                           V.denominator());
+    Hi = (V == Rational(Floor)) ? (C.HiStrict ? Floor - 1 : Floor) : Floor;
+  }
+  if (HasLo && HasHi && Lo > Hi)
+    return SimpleResult::Unsat;
+
+  auto Satisfies = [&](int64_t X) {
+    for (const Cong &G : C.Congs)
+      if ((euclidMod(X - G.R, G.M) == 0) != G.Positive)
+        return false;
+    for (const Rational &N : C.NotEqual)
+      if (Rational(X) == N)
+        return false;
+    return true;
+  };
+
+  // Bounded and small: enumerate.
+  if (HasLo && HasHi) {
+    if (Hi - Lo <= MaxEnumeration) {
+      for (int64_t X = Lo; X <= Hi; ++X)
+        if (Satisfies(X))
+          return SimpleResult::Sat;
+      return SimpleResult::Unsat;
+    }
+  }
+
+  // Wide or unbounded: find a period covering every congruence, then a
+  // satisfiable residue; the interval is wide enough to contain one.
+  int64_t Period = 1;
+  for (const Cong &G : C.Congs) {
+    Period = std::lcm(Period, G.M);
+    if (Period > MaxEnumeration)
+      return SimpleResult::Unknown;
+  }
+  // Scan a window of two periods plus slack for the finitely many
+  // disequalities.  The candidate set is periodic, so a windowful of
+  // misses with this many periods rules out every integer in the
+  // (wide or unbounded) interval.
+  int64_t Window =
+      Period * 2 + static_cast<int64_t>(C.NotEqual.size()) * Period + Period;
+  if (Window > 4 * MaxEnumeration)
+    return SimpleResult::Unknown;
+  // Anchor the window inside the interval: at its lower end when one
+  // exists, else just below the upper bound, else anywhere.
+  int64_t Base = HasLo ? Lo : (HasHi ? Hi - Window : 0);
+  for (int64_t X = Base; X <= Base + Window; ++X) {
+    if (HasHi && X > Hi)
+      break;
+    if (Satisfies(X))
+      return SimpleResult::Sat;
+  }
+  return SimpleResult::Unsat;
+}
+
+SimpleResult decideReal(const NumStore &C) {
+  if (C.HasLo && C.HasHi) {
+    if (C.Hi < C.Lo)
+      return SimpleResult::Unsat;
+    if (C.Lo == C.Hi) {
+      if (C.LoStrict || C.HiStrict)
+        return SimpleResult::Unsat;
+      for (const Rational &N : C.NotEqual)
+        if (N == C.Lo)
+          return SimpleResult::Unsat;
+      return SimpleResult::Sat;
+    }
+  }
+  // A non-degenerate rational interval is dense: finitely many removed
+  // points never empty it.
+  return SimpleResult::Sat;
+}
+
+/// Decides one cube.
+SimpleResult decideCube(const Cube &Literals) {
+  std::map<int, BoolStore> Bools;
+  std::map<int, StrStore> Strings;
+  std::map<int, NumStore> Nums;
+
+  auto NumFor = [&](int Attr, Sort S) -> NumStore & {
+    NumStore &St = Nums[Attr];
+    St.TheSort = S;
+    return St;
+  };
+
+  for (const Lit &L : Literals) {
+    TermRef A = L.Atom;
+    switch (A->kind()) {
+    case TermKind::Attr:
+      if (A->sort() != Sort::Bool)
+        return SimpleResult::Unknown;
+      Bools[static_cast<int>(A->attrIndex())].pin(L.Positive);
+      break;
+    case TermKind::Eq: {
+      TermRef Lhs = A->operand(0), Rhs = A->operand(1);
+      if (Lhs->sort() == Sort::String) {
+        // One side must be an attribute, the other a constant.
+        if (Lhs->kind() == TermKind::ConstValue)
+          std::swap(Lhs, Rhs);
+        if (Lhs->kind() != TermKind::Attr ||
+            Rhs->kind() != TermKind::ConstValue)
+          return SimpleResult::Unknown;
+        StrStore &St = Strings[static_cast<int>(Lhs->attrIndex())];
+        if (L.Positive)
+          St.pin(Rhs->constValue().getString());
+        else
+          St.NotEqual.push_back(Rhs->constValue().getString());
+        break;
+      }
+      if (Lhs->sort() == Sort::Bool)
+        return SimpleResult::Unknown; // Rare; factory usually folds these.
+
+      // Congruence: (affine) mod m == r.
+      if (Lhs->kind() == TermKind::Mod || Rhs->kind() == TermKind::Mod) {
+        if (Lhs->kind() != TermKind::Mod)
+          std::swap(Lhs, Rhs);
+        if (Rhs->kind() != TermKind::ConstValue ||
+            Lhs->operand(1)->kind() != TermKind::ConstValue)
+          return SimpleResult::Unknown;
+        Affine U = parseAffine(Lhs->operand(0));
+        int64_t M = Lhs->operand(1)->constValue().getInt();
+        int64_t R = Rhs->constValue().getInt();
+        if (!U.Ok || U.Attr < 0 || U.AttrSort != Sort::Int || M == 0)
+          return SimpleResult::Unknown;
+        M = M < 0 ? -M : M;
+        if (R < 0 || R >= M) {
+          // Mod is always in [0, M): an out-of-range equality is decided.
+          if (L.Positive)
+            return SimpleResult::Unsat;
+          break;
+        }
+        if (U.Coeff != Rational(1) && U.Coeff != Rational(-1))
+          return SimpleResult::Unknown;
+        if (!U.Offset.isInteger())
+          return SimpleResult::Unknown;
+        // coeff * x + off == r (mod M)  =>  x == coeff * (r - off) (mod M).
+        int64_t Target = euclidMod(
+            (U.Coeff == Rational(1) ? 1 : -1) * (R - U.Offset.numerator()), M);
+        NumFor(U.Attr, Sort::Int).Congs.push_back({M, Target, L.Positive});
+        break;
+      }
+
+      Affine Left = parseAffine(Lhs), Right = parseAffine(Rhs);
+      if (!Left.Ok || !Right.Ok)
+        return SimpleResult::Unknown;
+      if (Left.Attr >= 0 && Right.Attr >= 0 && Left.Attr != Right.Attr)
+        return SimpleResult::Unknown; // Two attributes (e.g. color == bg).
+      int Attr = Left.Attr >= 0 ? Left.Attr : Right.Attr;
+      Rational Coeff = Left.Coeff - Right.Coeff;
+      Rational Rhs0 = Right.Offset - Left.Offset; // Coeff * x == Rhs0.
+      if (Attr < 0 || Coeff.isZero()) {
+        bool Truth = Rhs0.isZero();
+        if (Truth != L.Positive)
+          return SimpleResult::Unsat;
+        break;
+      }
+      Sort S = Left.Attr >= 0 ? Left.AttrSort : Right.AttrSort;
+      Rational V = Rhs0 / Coeff;
+      NumStore &St = NumFor(Attr, S);
+      if (L.Positive) {
+        if (S == Sort::Int && !V.isInteger())
+          return SimpleResult::Unsat;
+        St.addLo(V, false);
+        St.addHi(V, false);
+      } else {
+        St.NotEqual.push_back(V);
+      }
+      break;
+    }
+    case TermKind::Lt:
+    case TermKind::Le: {
+      Affine Left = parseAffine(A->operand(0));
+      Affine Right = parseAffine(A->operand(1));
+      if (!Left.Ok || !Right.Ok)
+        return SimpleResult::Unknown;
+      if (Left.Attr >= 0 && Right.Attr >= 0 && Left.Attr != Right.Attr)
+        return SimpleResult::Unknown;
+      int Attr = Left.Attr >= 0 ? Left.Attr : Right.Attr;
+      Rational Coeff = Left.Coeff - Right.Coeff;
+      Rational Bound = Right.Offset - Left.Offset; // Coeff * x ~ Bound.
+      bool IsLt = A->kind() == TermKind::Lt;
+      // Negation flips the relation: not(a < b) == b <= a.
+      //   positive:  Coeff*x <  Bound (Lt) / <= Bound (Le)
+      //   negative:  Coeff*x >  Bound (Le) / >= Bound (Lt)
+      if (Attr < 0 || Coeff.isZero()) {
+        bool Truth = IsLt ? (Rational(0) < Bound) : (Rational(0) <= Bound);
+        if (Truth != L.Positive)
+          return SimpleResult::Unsat;
+        break;
+      }
+      Sort S = Left.Attr >= 0 ? Left.AttrSort : Right.AttrSort;
+      NumStore &St = NumFor(Attr, S);
+      Rational V = Bound / Coeff;
+      bool Negative = Coeff.isNegative();
+      bool UpperBound = L.Positive != Negative;
+      bool Strict = L.Positive ? IsLt : !IsLt;
+      if (UpperBound)
+        St.addHi(V, Strict);
+      else
+        St.addLo(V, Strict);
+      break;
+    }
+    default:
+      return SimpleResult::Unknown;
+    }
+  }
+
+  for (const auto &[Attr, St] : Bools) {
+    (void)Attr;
+    if (St.Conflict)
+      return SimpleResult::Unsat;
+  }
+  for (const auto &[Attr, St] : Strings) {
+    (void)Attr;
+    if (St.Conflict)
+      return SimpleResult::Unsat;
+    if (St.Pinned &&
+        std::find(St.NotEqual.begin(), St.NotEqual.end(), *St.Pinned) !=
+            St.NotEqual.end())
+      return SimpleResult::Unsat;
+  }
+  for (const auto &[Attr, St] : Nums) {
+    (void)Attr;
+    SimpleResult R = St.TheSort == Sort::Int ? decideInt(St) : decideReal(St);
+    if (R != SimpleResult::Sat)
+      return R;
+  }
+  return SimpleResult::Sat;
+}
+
+} // namespace
+
+SimpleResult fast::simpleCheckSat(TermRef Pred) {
+  assert(Pred->sort() == Sort::Bool && "satisfiability of non-boolean term");
+  std::vector<Cube> Cubes;
+  if (!toDnf(Pred, /*Positive=*/true, Cubes))
+    return SimpleResult::Unknown;
+  bool AnyUnknown = false;
+  for (const Cube &C : Cubes) {
+    switch (decideCube(C)) {
+    case SimpleResult::Sat:
+      return SimpleResult::Sat;
+    case SimpleResult::Unsat:
+      break;
+    case SimpleResult::Unknown:
+      AnyUnknown = true;
+      break;
+    }
+  }
+  return AnyUnknown ? SimpleResult::Unknown : SimpleResult::Unsat;
+}

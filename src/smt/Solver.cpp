@@ -1,0 +1,320 @@
+//===- smt/Solver.cpp - Z3-backed decision procedure ----------------------===//
+//
+// This file is the only place in the library that talks to Z3.  The C++
+// binding (z3++.h) reports failures through C++ exceptions; we confine the
+// try/catch blocks to this translation unit and map every failure to the
+// conservative `unknown` answer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/SimpleSolver.h"
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include <z3++.h>
+
+using namespace fast;
+
+namespace {
+
+/// Z3 constant name for an attribute; the sort tag keeps same-index
+/// attributes of different sorts distinct.
+std::string attrConstName(TermRef Attr) {
+  return "a" + std::to_string(Attr->attrIndex()) + "_" + Attr->attrName() +
+         "_" + sortName(Attr->sort());
+}
+
+} // namespace
+
+struct Solver::Impl {
+  z3::context Ctx;
+  /// One long-lived solver; each query runs under push/pop, which is much
+  /// cheaper than constructing a fresh solver per query.
+  std::unique_ptr<z3::solver> Sol;
+
+  z3::solver &solver() {
+    if (!Sol)
+      Sol = std::make_unique<z3::solver>(Ctx);
+    return *Sol;
+  }
+
+  z3::sort z3Sort(Sort S) {
+    switch (S) {
+    case Sort::Bool:
+      return Ctx.bool_sort();
+    case Sort::Int:
+      return Ctx.int_sort();
+    case Sort::Real:
+      return Ctx.real_sort();
+    case Sort::String:
+      return Ctx.string_sort();
+    }
+    assert(false && "unhandled sort");
+    return Ctx.bool_sort();
+  }
+
+  /// Persistent translation memo: hash-consed terms are immutable, so one
+  /// Z3 expression per term serves every query.
+  std::unordered_map<TermRef, unsigned> Memo;
+  std::vector<z3::expr> MemoExprs;
+
+  /// Translates \p T to a Z3 expression (memoized across queries).
+  z3::expr translate(TermRef T) {
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return MemoExprs[It->second];
+    z3::expr Result = translateUncached(T);
+    Memo.emplace(T, static_cast<unsigned>(MemoExprs.size()));
+    MemoExprs.push_back(Result);
+    return Result;
+  }
+
+  z3::expr translateUncached(TermRef T) {
+    switch (T->kind()) {
+    case TermKind::ConstValue: {
+      const Value &V = T->constValue();
+      switch (V.sort()) {
+      case Sort::Bool:
+        return Ctx.bool_val(V.getBool());
+      case Sort::Int:
+        return Ctx.int_val(static_cast<int64_t>(V.getInt()));
+      case Sort::Real: {
+        const Rational &R = V.getReal();
+        std::string Text = std::to_string(R.numerator()) + "/" +
+                           std::to_string(R.denominator());
+        return Ctx.real_val(Text.c_str());
+      }
+      case Sort::String:
+        return Ctx.string_val(V.getString());
+      }
+      break;
+    }
+    case TermKind::Attr:
+      return Ctx.constant(attrConstName(T).c_str(), z3Sort(T->sort()));
+    default:
+      break;
+    }
+
+    std::vector<z3::expr> Ops;
+    Ops.reserve(T->numOperands());
+    for (TermRef Op : T->operands())
+      Ops.push_back(translate(Op));
+
+    switch (T->kind()) {
+    case TermKind::Not:
+      return !Ops[0];
+    case TermKind::And: {
+      z3::expr_vector V(Ctx);
+      for (auto &E : Ops)
+        V.push_back(E);
+      return z3::mk_and(V);
+    }
+    case TermKind::Or: {
+      z3::expr_vector V(Ctx);
+      for (auto &E : Ops)
+        V.push_back(E);
+      return z3::mk_or(V);
+    }
+    case TermKind::Ite:
+      return z3::ite(Ops[0], Ops[1], Ops[2]);
+    case TermKind::Eq:
+      return Ops[0] == Ops[1];
+    case TermKind::Lt:
+      return Ops[0] < Ops[1];
+    case TermKind::Le:
+      return Ops[0] <= Ops[1];
+    case TermKind::Add: {
+      z3::expr Sum = Ops[0];
+      for (size_t I = 1; I < Ops.size(); ++I)
+        Sum = Sum + Ops[I];
+      return Sum;
+    }
+    case TermKind::Neg:
+      return -Ops[0];
+    case TermKind::Mul: {
+      z3::expr Product = Ops[0];
+      for (size_t I = 1; I < Ops.size(); ++I)
+        Product = Product * Ops[I];
+      return Product;
+    }
+    case TermKind::Mod:
+      return z3::mod(Ops[0], Ops[1]);
+    case TermKind::Div:
+      return Ops[0] / Ops[1]; // Z3 integer division is Euclidean.
+    default:
+      break;
+    }
+    assert(false && "unhandled term kind in Z3 translation");
+    return Ctx.bool_val(false);
+  }
+};
+
+Solver::Solver(TermFactory &Factory, unsigned TimeoutMs)
+    : Factory(Factory), Z3(std::make_unique<Impl>()) {
+  if (TimeoutMs != 0) {
+    z3::params P(Z3->Ctx);
+    // Applied per-solver below; keep the configured value in the context's
+    // global parameter table so fresh solver objects inherit it.
+    Z3_global_param_set("timeout", std::to_string(TimeoutMs).c_str());
+    (void)P;
+  }
+}
+
+Solver::~Solver() = default;
+
+void Solver::setCacheEnabled(bool Enabled) {
+  CacheEnabled = Enabled;
+  if (!Enabled)
+    SatCache.clear();
+}
+
+bool Solver::isSat(TermRef Pred) {
+  assert(Pred->sort() == Sort::Bool && "satisfiability of non-boolean term");
+  ++Counters.Queries;
+  if (Pred->isTrue()) {
+    ++Counters.SatAnswers;
+    ++Counters.TrivialAnswers;
+    return true;
+  }
+  if (Pred->isFalse()) {
+    ++Counters.UnsatAnswers;
+    ++Counters.TrivialAnswers;
+    return false;
+  }
+  if (CacheEnabled) {
+    auto It = SatCache.find(Pred);
+    if (It != SatCache.end()) {
+      ++Counters.CacheHits;
+      return It->second;
+    }
+  }
+
+  if (FastPathEnabled) {
+    switch (simpleCheckSat(Pred)) {
+    case SimpleResult::Sat:
+      ++Counters.SatAnswers;
+      ++Counters.FastPathAnswers;
+      if (CacheEnabled)
+        SatCache.emplace(Pred, true);
+      return true;
+    case SimpleResult::Unsat:
+      ++Counters.UnsatAnswers;
+      ++Counters.FastPathAnswers;
+      if (CacheEnabled)
+        SatCache.emplace(Pred, false);
+      return false;
+    case SimpleResult::Unknown:
+      break; // Outside the built-in fragment; ask Z3.
+    }
+  }
+
+  bool Result = true;
+  try {
+    z3::expr E = Z3->translate(Pred);
+    z3::solver &S = Z3->solver();
+    S.push();
+    S.add(E);
+    z3::check_result Answer = S.check();
+    S.pop();
+    switch (Answer) {
+    case z3::sat:
+      ++Counters.SatAnswers;
+      Result = true;
+      break;
+    case z3::unsat:
+      ++Counters.UnsatAnswers;
+      Result = false;
+      break;
+    case z3::unknown:
+      ++Counters.UnknownAnswers;
+      Result = true; // Conservative.
+      break;
+    }
+  } catch (const z3::exception &) {
+    ++Counters.UnknownAnswers;
+    Result = true; // Conservative.
+  }
+  if (CacheEnabled)
+    SatCache.emplace(Pred, Result);
+  return Result;
+}
+
+bool Solver::isValid(TermRef Pred) { return !isSat(Factory.mkNot(Pred)); }
+
+bool Solver::implies(TermRef A, TermRef B) {
+  return !isSat(Factory.mkAnd(A, Factory.mkNot(B)));
+}
+
+bool Solver::areEquivalent(TermRef A, TermRef B) {
+  TermRef Diff = Factory.mkOr(Factory.mkAnd(A, Factory.mkNot(B)),
+                              Factory.mkAnd(B, Factory.mkNot(A)));
+  return !isSat(Diff);
+}
+
+std::optional<AttrModel> Solver::getModel(TermRef Pred) {
+  assert(Pred->sort() == Sort::Bool && "model of non-boolean term");
+  try {
+    // Collect the Attr leaves of the predicate for model extraction.
+    std::vector<TermRef> Attrs;
+    std::unordered_set<TermRef> Seen;
+    auto Collect = [&](auto &&Self, TermRef T) -> void {
+      if (!Seen.insert(T).second)
+        return;
+      if (T->kind() == TermKind::Attr)
+        Attrs.push_back(T);
+      for (TermRef Op : T->operands())
+        Self(Self, Op);
+    };
+    Collect(Collect, Pred);
+    z3::expr E = Z3->translate(Pred);
+    z3::solver &S = Z3->solver();
+    S.push();
+    S.add(E);
+    if (S.check() != z3::sat) {
+      S.pop();
+      return std::nullopt;
+    }
+    z3::model M = S.get_model();
+    S.pop();
+    AttrModel Result;
+    for (TermRef Attr : Attrs) {
+      if (Result.count(Attr))
+        continue;
+      z3::expr Const =
+          Z3->Ctx.constant(attrConstName(Attr).c_str(), Z3->z3Sort(Attr->sort()));
+      z3::expr V = M.eval(Const, /*model_completion=*/true);
+      switch (Attr->sort()) {
+      case Sort::Bool:
+        Result.emplace(Attr, Value::boolean(V.is_true()));
+        break;
+      case Sort::Int: {
+        int64_t I = 0;
+        if (!V.is_numeral_i64(I))
+          I = 0;
+        Result.emplace(Attr, Value::integer(I));
+        break;
+      }
+      case Sort::Real: {
+        int64_t Num = 0, Den = 1;
+        z3::expr N = V.numerator(), D = V.denominator();
+        if (!N.is_numeral_i64(Num))
+          Num = 0;
+        if (!D.is_numeral_i64(Den) || Den == 0)
+          Den = 1;
+        Result.emplace(Attr, Value::real(Rational(Num, Den)));
+        break;
+      }
+      case Sort::String:
+        Result.emplace(Attr, Value::string(V.get_string()));
+        break;
+      }
+    }
+    return Result;
+  } catch (const z3::exception &) {
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,95 @@
+//===- smt/Solver.h - Z3-backed decision procedure --------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision procedure for the label theory, backed by Z3 (the same
+/// solver the paper's implementation uses).  All automata/transducer
+/// algorithms consult the theory exclusively through this interface, which
+/// realizes the paper's requirement that the label theory be a decidable
+/// effective Boolean algebra: satisfiability, validity, implication,
+/// equivalence, and model (witness) generation.
+///
+/// Results of satisfiability queries are cached by term identity; the cache
+/// can be disabled for the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SMT_SOLVER_H
+#define FAST_SMT_SOLVER_H
+
+#include "smt/Term.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace fast {
+
+/// A model for the attributes mentioned in a satisfiable predicate: maps
+/// each Attr term to a concrete value.  Attributes not mentioned by the
+/// predicate are unconstrained and absent from the map.
+using AttrModel = std::unordered_map<TermRef, Value>;
+
+/// Satisfiability and equivalence checking for label-theory predicates.
+class Solver {
+public:
+  /// Creates a solver working over terms of \p Factory.  \p TimeoutMs bounds
+  /// each individual Z3 query (0 = no limit).
+  explicit Solver(TermFactory &Factory, unsigned TimeoutMs = 10000);
+  ~Solver();
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+
+  TermFactory &factory() { return Factory; }
+
+  /// Returns true if \p Pred has a model.  An `unknown` solver answer is
+  /// conservatively reported as satisfiable (and counted in stats());
+  /// this keeps emptiness-based pruning sound.
+  bool isSat(TermRef Pred);
+  bool isUnsat(TermRef Pred) { return !isSat(Pred); }
+  bool isValid(TermRef Pred);
+  bool implies(TermRef A, TermRef B);
+  bool areEquivalent(TermRef A, TermRef B);
+
+  /// Returns a model of \p Pred, or nullopt if unsat (or unknown).
+  std::optional<AttrModel> getModel(TermRef Pred);
+
+  /// Query counters, reported by the ablation benchmark.
+  struct Stats {
+    uint64_t Queries = 0;
+    uint64_t CacheHits = 0;
+    uint64_t SatAnswers = 0;
+    uint64_t UnsatAnswers = 0;
+    uint64_t UnknownAnswers = 0;
+    /// Queries answered by the built-in procedure without touching Z3.
+    uint64_t FastPathAnswers = 0;
+    /// Queries that were literally the constant true/false term.
+    uint64_t TrivialAnswers = 0;
+  };
+  const Stats &stats() const { return Counters; }
+  void resetStats() { Counters = Stats(); }
+
+  /// Enables/disables the satisfiability cache (ablation knob).
+  void setCacheEnabled(bool Enabled);
+
+  /// Enables/disables the built-in decision procedure consulted before
+  /// Z3 (smt/SimpleSolver.h); on by default (ablation knob).
+  void setFastPathEnabled(bool Enabled) { FastPathEnabled = Enabled; }
+
+private:
+  struct Impl;
+  TermFactory &Factory;
+  std::unique_ptr<Impl> Z3;
+  std::unordered_map<TermRef, bool> SatCache;
+  bool CacheEnabled = true;
+  bool FastPathEnabled = true;
+  Stats Counters;
+};
+
+} // namespace fast
+
+#endif // FAST_SMT_SOLVER_H

@@ -1,0 +1,33 @@
+//===- smt/Sort.h - Label-theory sorts --------------------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sorts of the label theory.  A tree node's label is a tuple of typed
+/// attributes (Fast's `type HtmlE[tag: String] {...}`); each attribute has
+/// one of these sorts.  This matches the paper's "basic types
+/// String | Int | Real | Bool" (Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SMT_SORT_H
+#define FAST_SMT_SORT_H
+
+#include <string>
+
+namespace fast {
+
+/// A basic type of the label theory.
+enum class Sort { Bool, Int, Real, String };
+
+/// Returns the Fast spelling of \p S ("Bool", "Int", "Real", "String").
+const char *sortName(Sort S);
+
+/// Returns true if \p S is Int or Real.
+inline bool isNumericSort(Sort S) { return S == Sort::Int || S == Sort::Real; }
+
+} // namespace fast
+
+#endif // FAST_SMT_SORT_H

@@ -1,0 +1,56 @@
+//===- smt/Value.cpp - Concrete label-theory values -----------------------===//
+
+#include "smt/Value.h"
+
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+using namespace fast;
+
+const char *fast::sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "Bool";
+  case Sort::Int:
+    return "Int";
+  case Sort::Real:
+    return "Real";
+  case Sort::String:
+    return "String";
+  }
+  return "<bad-sort>";
+}
+
+std::string Value::str() const {
+  switch (sort()) {
+  case Sort::Bool:
+    return getBool() ? "true" : "false";
+  case Sort::Int:
+    return std::to_string(getInt());
+  case Sort::Real:
+    return getReal().str();
+  case Sort::String:
+    return quoteStringLiteral(getString());
+  }
+  return "<bad-value>";
+}
+
+std::size_t Value::hash() const {
+  std::size_t Seed = static_cast<std::size_t>(sort());
+  switch (sort()) {
+  case Sort::Bool:
+    hashCombineValue(Seed, getBool());
+    break;
+  case Sort::Int:
+    hashCombineValue(Seed, getInt());
+    break;
+  case Sort::Real:
+    hashCombineValue(Seed, getReal().numerator());
+    hashCombineValue(Seed, getReal().denominator());
+    break;
+  case Sort::String:
+    hashCombineValue(Seed, getString());
+    break;
+  }
+  return Seed;
+}

@@ -1,0 +1,85 @@
+//===- smt/Value.h - Concrete label-theory values ---------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete value of one of the label-theory sorts.  Values appear as
+/// attribute labels on concrete trees, as constants in terms, and in solver
+/// models (witnesses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SMT_VALUE_H
+#define FAST_SMT_VALUE_H
+
+#include "smt/Sort.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace fast {
+
+/// A concrete value of sort Bool, Int, Real, or String.
+class Value {
+public:
+  Value() : Data(int64_t(0)) {}
+
+  static Value boolean(bool B) { return Value(Payload(std::in_place_index<0>, B)); }
+  static Value integer(int64_t I) {
+    return Value(Payload(std::in_place_index<1>, I));
+  }
+  static Value real(Rational R) {
+    return Value(Payload(std::in_place_index<2>, R));
+  }
+  static Value string(std::string S) {
+    return Value(Payload(std::in_place_index<3>, std::move(S)));
+  }
+
+  Sort sort() const {
+    switch (Data.index()) {
+    case 0:
+      return Sort::Bool;
+    case 1:
+      return Sort::Int;
+    case 2:
+      return Sort::Real;
+    default:
+      return Sort::String;
+    }
+  }
+
+  bool getBool() const { return std::get<0>(Data); }
+  int64_t getInt() const { return std::get<1>(Data); }
+  const Rational &getReal() const { return std::get<2>(Data); }
+  const std::string &getString() const { return std::get<3>(Data); }
+
+  /// Numeric view: Int promotes to Rational so Int/Real comparisons work.
+  Rational asRational() const {
+    if (sort() == Sort::Int)
+      return Rational(getInt());
+    return getReal();
+  }
+
+  bool operator==(const Value &RHS) const { return Data == RHS.Data; }
+  bool operator!=(const Value &RHS) const { return !(*this == RHS); }
+
+  /// Renders the value as a Fast literal (strings quoted and escaped).
+  std::string str() const;
+
+  /// Structural hash, consistent with operator==.
+  std::size_t hash() const;
+
+private:
+  using Payload = std::variant<bool, int64_t, Rational, std::string>;
+  explicit Value(Payload P) : Data(std::move(P)) {}
+
+  Payload Data;
+};
+
+} // namespace fast
+
+#endif // FAST_SMT_VALUE_H

@@ -1,0 +1,42 @@
+//===- support/Diagnostics.cpp - Source locations and diagnostics ---------===//
+
+#include "support/Diagnostics.h"
+
+using namespace fast;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::str() const {
+  const char *Tag = "error";
+  if (Severity == DiagSeverity::Warning)
+    Tag = "warning";
+  else if (Severity == DiagSeverity::Note)
+    Tag = "note";
+  return Loc.str() + ": " + Tag + ": " + Message;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.str();
+    Result += '\n';
+  }
+  return Result;
+}

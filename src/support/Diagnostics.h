@@ -1,0 +1,66 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see Hashing.h for provenance).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a small diagnostic engine used by the Fast frontend
+/// (lexer, parser, type checker, evaluator).  The core library does not use
+/// exceptions; all user-facing failures flow through DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_DIAGNOSTICS_H
+#define FAST_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace fast {
+
+/// A 1-based line/column position in a Fast source buffer.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported message with its location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" in the LLVM style (lowercase
+  /// first letter, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one Fast program.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_DIAGNOSTICS_H

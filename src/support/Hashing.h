@@ -1,0 +1,44 @@
+//===- support/Hashing.h - Hash combination utilities -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project, reproducing:
+//   D'Antoni, Veanes, Livshits, Molnar. "Fast: a Transducer-Based Language
+//   for Tree Manipulation", PLDI 2014.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hashing helpers used by the hash-consing factories for terms and
+/// trees.  The combiner follows the boost::hash_combine recipe extended to
+/// 64 bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_HASHING_H
+#define FAST_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace fast {
+
+/// Mixes \p Value into the running hash \p Seed.
+inline void hashCombine(std::size_t &Seed, std::size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes \p Value with std::hash and mixes it into \p Seed.
+template <typename T> void hashCombineValue(std::size_t &Seed, const T &Value) {
+  hashCombine(Seed, std::hash<T>{}(Value));
+}
+
+/// Hashes every element of \p Range into \p Seed.
+template <typename Range>
+void hashCombineRange(std::size_t &Seed, const Range &Elements) {
+  for (const auto &Element : Elements)
+    hashCombineValue(Seed, Element);
+}
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_HASHING_H

@@ -1,0 +1,131 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace fast;
+
+namespace {
+
+/// Reduces \p Num / \p Den (128-bit) and asserts the result fits in 64 bits.
+Rational makeReduced(__int128 Num, __int128 Den) {
+  assert(Den != 0 && "rational with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  __int128 A = Num < 0 ? -Num : Num;
+  __int128 B = Den;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  if (A != 0) {
+    Num /= A;
+    Den /= A;
+  }
+  assert(Num >= INT64_MIN && Num <= INT64_MAX && Den <= INT64_MAX &&
+         "rational overflow");
+  return Rational(static_cast<int64_t>(Num), static_cast<int64_t>(Den));
+}
+
+} // namespace
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return makeReduced(static_cast<__int128>(Num) * RHS.Den +
+                         static_cast<__int128>(RHS.Num) * Den,
+                     static_cast<__int128>(Den) * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return makeReduced(static_cast<__int128>(Num) * RHS.Num,
+                     static_cast<__int128>(Den) * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return makeReduced(static_cast<__int128>(Num) * RHS.Den,
+                     static_cast<__int128>(Den) * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return static_cast<__int128>(Num) * RHS.Den <
+         static_cast<__int128>(RHS.Num) * Den;
+}
+
+bool Rational::operator<=(const Rational &RHS) const {
+  return static_cast<__int128>(Num) * RHS.Den <=
+         static_cast<__int128>(RHS.Num) * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}
+
+bool Rational::parse(const std::string &Text, Rational &Result) {
+  if (Text.empty())
+    return false;
+  // Fractional form "n/d".
+  auto Slash = Text.find('/');
+  if (Slash != std::string::npos) {
+    char *End = nullptr;
+    long long N = std::strtoll(Text.c_str(), &End, 10);
+    if (End != Text.c_str() + Slash)
+      return false;
+    long long D = std::strtoll(Text.c_str() + Slash + 1, &End, 10);
+    if (*End != '\0' || D == 0)
+      return false;
+    Result = Rational(N, D);
+    return true;
+  }
+  // Decimal form "i" or "i.frac".
+  auto Dot = Text.find('.');
+  char *End = nullptr;
+  long long Whole = std::strtoll(Text.c_str(), &End, 10);
+  if (Dot == std::string::npos)
+    return *End == '\0' && (Result = Rational(Whole), true);
+  if (End != Text.c_str() + Dot)
+    return false;
+  std::string Frac = Text.substr(Dot + 1);
+  if (Frac.empty() || Frac.size() > 18)
+    return false;
+  int64_t Scale = 1;
+  for (char C : Frac) {
+    if (C < '0' || C > '9')
+      return false;
+    Scale *= 10;
+  }
+  long long FracValue = std::strtoll(Frac.c_str(), &End, 10);
+  if (*End != '\0')
+    return false;
+  bool Negative = Text[0] == '-';
+  Rational Magnitude =
+      Rational(Whole < 0 ? -Whole : Whole) + Rational(FracValue, Scale);
+  Result = Negative ? -Magnitude : Magnitude;
+  return true;
+}

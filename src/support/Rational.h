@@ -1,0 +1,75 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see Hashing.h for provenance).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers on 64-bit numerator/denominator with 128-bit
+/// intermediates.  The label theory of Fast includes real arithmetic; the
+/// concrete evaluator and witness models use Rational so that guard
+/// evaluation agrees exactly with the solver instead of accumulating
+/// floating-point error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_RATIONAL_H
+#define FAST_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace fast {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+///
+/// Arithmetic uses 128-bit intermediates and asserts on overflow of the
+/// normalized result; the values flowing through Fast programs (node
+/// attributes, guard constants) are small, so saturating or bignum behaviour
+/// is not needed.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  /// Creates the integer rational \p Value / 1.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  /// Creates \p Num / \p Den, normalizing sign and common factors.
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Exact division; asserts that \p RHS is non-zero.
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  /// Renders as "n" when integral, "n/d" otherwise.
+  std::string str() const;
+
+  /// Parses a decimal literal such as "3", "-2.5", or "7/4"; returns false on
+  /// malformed input.
+  static bool parse(const std::string &Text, Rational &Result);
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_RATIONAL_H

@@ -1,0 +1,34 @@
+//===- support/Stack.cpp - Running work on a larger stack -----------------===//
+
+#include "support/Stack.h"
+
+#include <cassert>
+#include <pthread.h>
+
+using namespace fast;
+
+namespace {
+
+void *trampoline(void *Arg) {
+  auto *Work = static_cast<const std::function<void()> *>(Arg);
+  (*Work)();
+  return nullptr;
+}
+
+} // namespace
+
+void fast::runWithStack(size_t StackBytes, const std::function<void()> &Work) {
+  pthread_attr_t Attr;
+  [[maybe_unused]] int Rc = pthread_attr_init(&Attr);
+  assert(Rc == 0 && "pthread_attr_init failed");
+  Rc = pthread_attr_setstacksize(&Attr, StackBytes);
+  assert(Rc == 0 && "pthread_attr_setstacksize failed");
+  pthread_t Thread;
+  Rc = pthread_create(&Thread, &Attr,
+                      trampoline,
+                      const_cast<std::function<void()> *>(&Work));
+  assert(Rc == 0 && "pthread_create failed");
+  pthread_attr_destroy(&Attr);
+  Rc = pthread_join(Thread, nullptr);
+  assert(Rc == 0 && "pthread_join failed");
+}

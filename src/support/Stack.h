@@ -1,0 +1,30 @@
+//===- support/Stack.h - Running work on a larger stack ---------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see Hashing.h for provenance).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tree algorithms in this library recurse along the input structure, so
+/// their depth is bounded by the thread stack (~10^4 levels on a default
+/// 8 MiB stack).  Lists encoded as trees can legitimately be much deeper;
+/// runWithStack executes a callable on a dedicated thread with an
+/// explicit stack size so callers can lift the bound where needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_STACK_H
+#define FAST_SUPPORT_STACK_H
+
+#include <cstddef>
+#include <functional>
+
+namespace fast {
+
+/// Runs \p Work on a fresh thread with a stack of \p StackBytes and waits
+/// for it to finish.  Exceptions must not escape \p Work.
+void runWithStack(size_t StackBytes, const std::function<void()> &Work);
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_STACK_H

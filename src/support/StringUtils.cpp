@@ -1,0 +1,48 @@
+//===- support/StringUtils.cpp - Small string helpers ---------------------===//
+
+#include "support/StringUtils.h"
+
+using namespace fast;
+
+std::string fast::escapeStringLiteral(const std::string &Text) {
+  std::string Result;
+  Result.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '\\':
+      Result += "\\\\";
+      break;
+    case '"':
+      Result += "\\\"";
+      break;
+    case '\n':
+      Result += "\\n";
+      break;
+    case '\t':
+      Result += "\\t";
+      break;
+    case '\r':
+      Result += "\\r";
+      break;
+    default:
+      Result += C;
+      break;
+    }
+  }
+  return Result;
+}
+
+std::string fast::quoteStringLiteral(const std::string &Text) {
+  return "\"" + escapeStringLiteral(Text) + "\"";
+}
+
+std::string fast::join(const std::vector<std::string> &Parts,
+                       const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Parts[I];
+  }
+  return Result;
+}

@@ -1,0 +1,34 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see Hashing.h for provenance).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping and joining helpers shared by the tree printer, the Fast
+/// lexer, and the HTML case study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_STRINGUTILS_H
+#define FAST_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace fast {
+
+/// Escapes \p Text as the body of a C#/Fast double-quoted string literal
+/// (backslash, quote, and control characters).
+std::string escapeStringLiteral(const std::string &Text);
+
+/// Renders \p Text as a double-quoted literal, escaping as needed.
+std::string quoteStringLiteral(const std::string &Text);
+
+/// Joins \p Parts with \p Separator.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Separator);
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_STRINGUTILS_H

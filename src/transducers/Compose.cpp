@@ -1,0 +1,371 @@
+//===- transducers/Compose.cpp - STTR composition (Section 4) -------------===//
+//
+// Implements the Compose / Reduce / Look procedures of Section 4.  The
+// composed transducer's states are pair states p.q (p from S, q from T)
+// created lazily from the initial pair; its lookahead STA is the pre-image
+// construction: states p.m where m ranges over the normalized domain
+// automaton of T, with
+//     L(p.m) = { t | exists v in T_p^S(t) : v in L_m(d(T)) }.
+// This realizes the paper's composed lookahead `lbar ]] Pbar` — the child
+// constraints "deleted" by T are carried over as pre-image states instead
+// of being forgotten, which is exactly the role of regular lookahead in
+// making composition closed (Section 3.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transducers/Compose.h"
+
+#include "transducers/Ops.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace fast;
+
+namespace {
+
+/// (Src state, B state) pairs accumulated per input child: the paper's
+/// composed lookahead component Pbar.
+using PairSet = std::set<std::pair<unsigned, unsigned>>;
+using PairsLookahead = std::vector<PairSet>;
+
+PairsLookahead withPair(const PairsLookahead &L, unsigned Index, unsigned P,
+                        unsigned M) {
+  PairsLookahead Result = L;
+  Result[Index].insert({P, M});
+  return Result;
+}
+
+/// The Look procedure: symbolically runs the normalized STA \p B (over the
+/// output side of some transducer Src) on an output term of Src.
+class LookEngine {
+public:
+  LookEngine(Solver &Solv, const Sta &B)
+      : Solv(Solv), F(Solv.factory()), B(B) {}
+
+  struct LookResult {
+    TermRef Guard;
+    PairsLookahead Pairs;
+  };
+
+  /// Look(Gamma, L, MState, U): every extended (guard, pairs) context.
+  /// Unsatisfiable branches are pruned, so all returned guards are sat.
+  std::vector<LookResult> look(TermRef Gamma, const PairsLookahead &L,
+                               unsigned MState, OutputRef U) {
+    std::vector<LookResult> Results;
+    if (U->isState()) {
+      // Case 1: U = p~(y_i) -- record the pre-image pair on child i.
+      Results.push_back(
+          {Gamma, withPair(L, U->childIndex(), U->state(), MState)});
+      return Results;
+    }
+    // Case 2: U = g[u0](ubar).  For every applicable B rule, apply its
+    // guard to U's label expressions (psi(u0)) and descend.
+    for (unsigned RuleIndex : B.rulesFrom(MState, U->ctorId())) {
+      const StaRule &R = B.rule(RuleIndex);
+      TermRef Guard =
+          F.mkAnd(Gamma, F.substituteAttrs(R.Guard, U->labelExprs()));
+      if (!Solv.isSat(Guard))
+        continue; // 2(a) IsSat check.
+      std::vector<LookResult> Thread = {{Guard, L}};
+      for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
+        assert(R.Lookahead[I].size() == 1 && "Look requires a normalized B");
+        std::vector<LookResult> Next;
+        for (const LookResult &C : Thread) {
+          std::vector<LookResult> Sub =
+              look(C.Guard, C.Pairs, R.Lookahead[I].front(), U->children()[I]);
+          Next.insert(Next.end(), Sub.begin(), Sub.end());
+        }
+        Thread = std::move(Next);
+      }
+      Results.insert(Results.end(), Thread.begin(), Thread.end());
+    }
+    return Results;
+  }
+
+private:
+  Solver &Solv;
+  TermFactory &F;
+  const Sta &B;
+};
+
+/// Builds the pre-image STA of a normalized automaton B under a transducer
+/// Src into an externally owned Sta: Src's lookahead STA is imported at
+/// offset 0 and pair states (p, m) are created lazily.
+class PreImageBuilder {
+public:
+  PreImageBuilder(Solver &Solv, const Sttr &Src, const Sta &B, Sta &Out)
+      : Src(Src), B(B), Out(Out), Look(Solv, B) {
+    LaOffset = Out.import(Src.lookahead());
+  }
+
+  unsigned laOffset() const { return LaOffset; }
+
+  /// The STA state for the pair (p, m), created (and queued) on demand.
+  unsigned pairState(unsigned P, unsigned M) {
+    auto It = PairIds.find({P, M});
+    if (It != PairIds.end())
+      return It->second;
+    unsigned Id = Out.addState(Src.stateName(P) + "." + B.stateName(M));
+    PairIds.emplace(std::make_pair(P, M), Id);
+    Worklist.push_back({P, M});
+    return Id;
+  }
+
+  /// Builds rules for every queued pair state (which may queue more).
+  void processAll() {
+    while (!Worklist.empty()) {
+      auto [P, M] = Worklist.front();
+      Worklist.pop_front();
+      unsigned Source = PairIds.at({P, M});
+      for (const SttrRule &R : Src.rules()) {
+        if (R.State != P)
+          continue;
+        unsigned Rank = static_cast<unsigned>(R.Lookahead.size());
+        for (const LookEngine::LookResult &LR :
+             Look.look(R.Guard, PairsLookahead(Rank), M, R.Out)) {
+          std::vector<StateSet> Children(Rank);
+          for (unsigned I = 0; I < Rank; ++I) {
+            for (unsigned L : R.Lookahead[I])
+              Children[I].push_back(L + LaOffset);
+            for (const auto &[PP, MM] : LR.Pairs[I])
+              Children[I].push_back(pairState(PP, MM));
+          }
+          Out.addRule(Source, R.CtorId, LR.Guard, std::move(Children));
+        }
+      }
+    }
+  }
+
+private:
+  const Sttr &Src;
+  const Sta &B;
+  Sta &Out;
+  LookEngine Look;
+  unsigned LaOffset = 0;
+  std::map<std::pair<unsigned, unsigned>, unsigned> PairIds;
+  std::deque<std::pair<unsigned, unsigned>> Worklist;
+};
+
+/// Orchestrates the least-fixpoint over pair transducer states with the
+/// Reduce procedure.
+class ComposeEngine {
+public:
+  ComposeEngine(Solver &Solv, OutputFactory &Outputs, const Sttr &S,
+                const Sttr &T)
+      : Solv(Solv), F(Solv.factory()), Outputs(Outputs), S(S), T(T),
+        Composed(std::make_shared<Sttr>(S.signature())) {
+    buildNormalizedDomain();
+    Pre = std::make_unique<PreImageBuilder>(Solv, S, *NDT.Automaton,
+                                            Composed->lookahead());
+    NDTLook = std::make_unique<LookEngine>(Solv, *NDT.Automaton);
+  }
+
+  std::shared_ptr<Sttr> run() {
+    unsigned Start = pairTransState(S.startState(), T.startState());
+    Composed->setStartState(Start);
+    while (!Worklist.empty()) {
+      auto [P, Q] = Worklist.front();
+      Worklist.pop_front();
+      composeFrom(P, Q);
+    }
+    // Flush the pre-image pairs discovered while building rules.
+    Pre->processAll();
+    return Composed;
+  }
+
+private:
+  struct RedResult {
+    TermRef Guard;
+    PairsLookahead Pairs;
+    OutputRef Out;
+  };
+
+  /// Normalizes d(T) with one seed per (T rule, child): the set
+  /// l_i cup St(i, t) that the rule requires of the i-th subtree of the
+  /// redex (the paper's q_tau pseudo-state).
+  void buildNormalizedDomain() {
+    DomainAutomaton DT = domainAutomaton(T);
+    std::map<StateSet, unsigned> SeedIds;
+    std::vector<StateSet> Seeds;
+    SeedIndexOfRule.resize(T.numRules());
+    for (unsigned RI = 0; RI < T.numRules(); ++RI) {
+      const SttrRule &R = T.rule(RI);
+      for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
+        StateSet Set = R.Lookahead[I]; // Lookahead-STA ids are offset 0.
+        for (unsigned P : statesAppliedTo(R.Out, I))
+          Set.push_back(DT.StateOf[P]);
+        canonicalizeStateSet(Set);
+        auto [It, Fresh] = SeedIds.emplace(Set, Seeds.size());
+        if (Fresh)
+          Seeds.push_back(Set);
+        SeedIndexOfRule[RI].push_back(It->second);
+      }
+    }
+    NDT = normalizeSets(Solv, *DT.Automaton, Seeds);
+  }
+
+  unsigned pairTransState(unsigned P, unsigned Q) {
+    auto It = TransIds.find({P, Q});
+    if (It != TransIds.end())
+      return It->second;
+    unsigned Id = Composed->addState(S.stateName(P) + "." + T.stateName(Q));
+    TransIds.emplace(std::make_pair(P, Q), Id);
+    Worklist.push_back({P, Q});
+    return Id;
+  }
+
+  /// Compose(p, q, f) for every f: one composed rule per S rule and per
+  /// irreducible reduction of T over its output.
+  void composeFrom(unsigned P, unsigned Q) {
+    unsigned Source = TransIds.at({P, Q});
+    for (const SttrRule &R : S.rules()) {
+      if (R.State != P)
+        continue;
+      unsigned Rank = static_cast<unsigned>(R.Lookahead.size());
+      for (const RedResult &Red :
+           reduceApp(R.Guard, PairsLookahead(Rank), Q, R.Out)) {
+        std::vector<StateSet> Lookahead(Rank);
+        for (unsigned I = 0; I < Rank; ++I) {
+          for (unsigned L : R.Lookahead[I])
+            Lookahead[I].push_back(L + Pre->laOffset());
+          for (const auto &[PP, MM] : Red.Pairs[I])
+            Lookahead[I].push_back(Pre->pairState(PP, MM));
+        }
+        Composed->addRule(Source, R.CtorId, Red.Guard, std::move(Lookahead),
+                          Red.Out);
+      }
+    }
+  }
+
+  /// Reduce cases 1 and 2: v = q~(U) with U an output term of S.
+  std::vector<RedResult> reduceApp(TermRef Gamma, const PairsLookahead &L,
+                                   unsigned Q, OutputRef U) {
+    std::vector<RedResult> Results;
+    if (U->isState()) {
+      // Case 1: q~(p~(y_i)) reduces to the pair state applied to y_i.
+      unsigned PairId = pairTransState(U->state(), Q);
+      Results.push_back({Gamma, L, Outputs.mkState(PairId, U->childIndex())});
+      return Results;
+    }
+    // Case 2: q~(g[u0](ubar)).  Choose a T rule tau; check its guard on
+    // u0 and its domain requirements on ubar via Look (2(b)); then reduce
+    // tau's instantiated output (2(c)).
+    for (unsigned RI : T.rulesFrom(Q, U->ctorId())) {
+      const SttrRule &Tau = T.rule(RI);
+      TermRef Guard =
+          F.mkAnd(Gamma, F.substituteAttrs(Tau.Guard, U->labelExprs()));
+      if (!Solv.isSat(Guard))
+        continue;
+      std::vector<LookEngine::LookResult> Thread = {{Guard, L}};
+      for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
+        unsigned Seed = NDT.SeedStates[SeedIndexOfRule[RI][I]];
+        std::vector<LookEngine::LookResult> Next;
+        for (const LookEngine::LookResult &C : Thread) {
+          std::vector<LookEngine::LookResult> Sub =
+              NDTLook->look(C.Guard, C.Pairs, Seed, U->children()[I]);
+          Next.insert(Next.end(), Sub.begin(), Sub.end());
+        }
+        Thread = std::move(Next);
+      }
+      for (const LookEngine::LookResult &LR : Thread) {
+        std::vector<RedResult> Sub = reduceOut(LR.Guard, LR.Pairs, Tau.Out,
+                                               U->labelExprs(), U->children());
+        Results.insert(Results.end(), Sub.begin(), Sub.end());
+      }
+    }
+    return Results;
+  }
+
+  /// Reduce case 3 plus dispatch: reduces T's output transformer \p TOut
+  /// instantiated with x := XSubst (S's output label expressions) and
+  /// ybar := USubst (S's output subterms).
+  std::vector<RedResult> reduceOut(TermRef Gamma, const PairsLookahead &L,
+                                   OutputRef TOut,
+                                   std::span<const TermRef> XSubst,
+                                   std::span<const OutputRef> USubst) {
+    if (TOut->isState())
+      return reduceApp(Gamma, L, TOut->state(), USubst[TOut->childIndex()]);
+
+    std::vector<TermRef> LabelExprs;
+    LabelExprs.reserve(TOut->labelExprs().size());
+    for (TermRef E : TOut->labelExprs())
+      LabelExprs.push_back(F.substituteAttrs(E, XSubst));
+
+    struct Partial {
+      TermRef Guard;
+      PairsLookahead Pairs;
+      std::vector<OutputRef> Children;
+    };
+    std::vector<Partial> Thread = {{Gamma, L, {}}};
+    for (OutputRef Child : TOut->children()) {
+      std::vector<Partial> Next;
+      for (const Partial &C : Thread) {
+        for (const RedResult &Sub :
+             reduceOut(C.Guard, C.Pairs, Child, XSubst, USubst)) {
+          Partial Extended = C;
+          Extended.Guard = Sub.Guard;
+          Extended.Pairs = Sub.Pairs;
+          Extended.Children.push_back(Sub.Out);
+          Next.push_back(std::move(Extended));
+        }
+      }
+      Thread = std::move(Next);
+      if (Thread.empty())
+        return {};
+    }
+    std::vector<RedResult> Results;
+    Results.reserve(Thread.size());
+    for (Partial &C : Thread)
+      Results.push_back({C.Guard, std::move(C.Pairs),
+                         Outputs.mkCons(TOut->ctorId(), LabelExprs,
+                                        std::move(C.Children))});
+    return Results;
+  }
+
+  Solver &Solv;
+  TermFactory &F;
+  OutputFactory &Outputs;
+  const Sttr &S;
+  const Sttr &T;
+  std::shared_ptr<Sttr> Composed;
+  NormalizedSta NDT;
+  std::vector<std::vector<unsigned>> SeedIndexOfRule;
+  std::unique_ptr<PreImageBuilder> Pre;
+  std::unique_ptr<LookEngine> NDTLook;
+  std::map<std::pair<unsigned, unsigned>, unsigned> TransIds;
+  std::deque<std::pair<unsigned, unsigned>> Worklist;
+};
+
+} // namespace
+
+ComposeResult fast::composeSttr(Solver &Solv, OutputFactory &Outputs,
+                                const Sttr &S, const Sttr &T,
+                                bool SimplifyLookahead) {
+  assert(S.signature()->isCompatibleWith(*T.signature()) &&
+         "composition over incompatible signatures");
+  ComposeResult Result;
+  Result.FirstSingleValued = S.isDeterministic(Solv);
+  Result.SecondLinear = T.isLinear();
+  ComposeEngine Engine(Solv, Outputs, S, T);
+  Result.Composed = Engine.run();
+  if (SimplifyLookahead)
+    Result.Composed = simplifyLookahead(Solv, *Result.Composed);
+  return Result;
+}
+
+TreeLanguage fast::preImageLanguage(Solver &Solv, const Sttr &T,
+                                    const TreeLanguage &L) {
+  assert(T.signature()->isCompatibleWith(*L.signature()) &&
+         "pre-image over incompatible signatures");
+  TreeLanguage NL = normalize(Solv, L);
+  auto Out = std::make_shared<Sta>(T.signature());
+  PreImageBuilder Builder(Solv, T, NL.automaton(), *Out);
+  StateSet Roots;
+  for (unsigned R : NL.roots())
+    Roots.push_back(Builder.pairState(T.startState(), R));
+  Builder.processAll();
+  return TreeLanguage(std::move(Out), std::move(Roots));
+}

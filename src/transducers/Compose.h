@@ -1,0 +1,62 @@
+//===- transducers/Compose.h - STTR composition (Section 4) -----*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The composition algorithm for STTRs (Section 4): given S and T over the
+/// same tree type, builds S.T with T_{S.T} = T_S . T_T.  The construction
+/// is the paper's least-fixpoint over pair states p.q with the Compose /
+/// Reduce / Look procedures, performed modulo the label theory: rewrite
+/// steps of T are carried out on S's *symbolic* outputs, with T's guards
+/// applied to S's output label expressions by substitution, and every
+/// accumulated constraint checked for satisfiability so dead reductions
+/// are pruned eagerly.
+///
+/// Correctness (Theorem 4): T_{S.T} always over-approximates T_T . T_S,
+/// and is exact when S is single-valued or T is linear.  composeSttr
+/// reports which precondition held so callers can surface a warning.
+///
+/// The same Look machinery also yields the pre-image computation
+/// (`pre-image t l` of Section 3.5): an STA for the inputs on which t can
+/// produce an output inside l.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_COMPOSE_H
+#define FAST_TRANSDUCERS_COMPOSE_H
+
+#include "transducers/Domain.h"
+
+namespace fast {
+
+/// Result of a composition: the composed transducer plus the Theorem 4
+/// precondition diagnosis.
+struct ComposeResult {
+  std::shared_ptr<Sttr> Composed;
+  /// True if S was (syntactically) deterministic, hence single-valued.
+  bool FirstSingleValued = false;
+  /// True if T was linear.
+  bool SecondLinear = false;
+
+  /// Theorem 4 guarantees exactness under either precondition.
+  bool isExact() const { return FirstSingleValued || SecondLinear; }
+};
+
+/// Composes \p S with \p T (apply S first, then T).
+///
+/// With \p SimplifyLookahead (the default), provably universal lookahead
+/// constraints introduced by the construction are pruned from the result;
+/// the ablation benchmark turns this off to measure its effect on
+/// repeated composition.
+ComposeResult composeSttr(Solver &Solv, OutputFactory &Outputs, const Sttr &S,
+                          const Sttr &T, bool SimplifyLookahead = true);
+
+/// The language of inputs on which \p T can produce an output in \p L.
+TreeLanguage preImageLanguage(Solver &Solv, const Sttr &T,
+                              const TreeLanguage &L);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_COMPOSE_H

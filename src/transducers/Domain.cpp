@@ -1,0 +1,41 @@
+//===- transducers/Domain.cpp - STTR domain automata ----------------------===//
+
+#include "transducers/Domain.h"
+
+#include <cassert>
+
+using namespace fast;
+
+DomainAutomaton fast::domainAutomaton(const Sttr &S) {
+  DomainAutomaton Result;
+  Result.Automaton = std::make_shared<Sta>(S.signature());
+  Sta &Out = *Result.Automaton;
+
+  // The lookahead STA comes first, so its state ids carry over unchanged.
+  Result.LookaheadOffset = Out.import(S.lookahead());
+  assert(Result.LookaheadOffset == 0 && "lookahead STA must be imported first");
+
+  Result.StateOf.reserve(S.numStates());
+  for (unsigned Q = 0; Q < S.numStates(); ++Q)
+    Result.StateOf.push_back(Out.addState("dom(" + S.stateName(Q) + ")"));
+
+  for (const SttrRule &R : S.rules()) {
+    std::vector<StateSet> Children;
+    Children.reserve(R.Lookahead.size());
+    for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
+      StateSet Set = R.Lookahead[I]; // Lookahead-STA ids, offset 0.
+      for (unsigned P : statesAppliedTo(R.Out, I))
+        Set.push_back(Result.StateOf[P]);
+      canonicalizeStateSet(Set);
+      Children.push_back(std::move(Set));
+    }
+    Out.addRule(Result.StateOf[R.State], R.CtorId, R.Guard, std::move(Children));
+  }
+  return Result;
+}
+
+TreeLanguage fast::domainLanguage(const Sttr &S) {
+  DomainAutomaton D = domainAutomaton(S);
+  unsigned Root = D.StateOf[S.startState()];
+  return TreeLanguage(std::move(D.Automaton), Root);
+}

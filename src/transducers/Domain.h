@@ -1,0 +1,44 @@
+//===- transducers/Domain.h - STTR domain automata --------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The domain automaton d(S) of an STTR (Definition 6): an alternating STA
+/// accepting exactly the inputs on which some transduction run succeeds.
+/// Its state space is the transducer's lookahead STA plus one domain state
+/// per transducer state; a rule's child constraints are the rule's
+/// lookahead joined with the domain states of every transducer state the
+/// output applies to that child (the paper's l_i cup St(i, t)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_DOMAIN_H
+#define FAST_TRANSDUCERS_DOMAIN_H
+
+#include "automata/StaOps.h"
+#include "transducers/Sttr.h"
+
+namespace fast {
+
+/// d(S) together with the mapping from transducer states to STA states.
+struct DomainAutomaton {
+  std::shared_ptr<Sta> Automaton;
+  /// The automaton state embedding lookahead-STA state l is l itself
+  /// (the lookahead STA is imported first, at offset 0).
+  unsigned LookaheadOffset = 0;
+  /// StateOf[q] is the domain state of transducer state q.
+  std::vector<unsigned> StateOf;
+};
+
+/// Builds d(S) per Definition 6.
+DomainAutomaton domainAutomaton(const Sttr &S);
+
+/// The domain of \p S as a language (the `domain t` operation of
+/// Section 3.5).
+TreeLanguage domainLanguage(const Sttr &S);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_DOMAIN_H

@@ -1,0 +1,101 @@
+//===- transducers/Dot.cpp - Graphviz export ------------------------------===//
+
+#include "transducers/Dot.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace fast;
+
+namespace {
+
+/// Escapes a dot label.
+std::string dotLabel(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void emitStaBody(std::string &Out, const Sta &A, const StateSet &Roots,
+                 const std::string &Prefix) {
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    bool IsRoot = std::binary_search(Roots.begin(), Roots.end(), Q);
+    Out += "  " + Prefix + "q" + std::to_string(Q) + " [label=\"" +
+           dotLabel(A.stateName(Q)) + "\", shape=" +
+           (IsRoot ? "doublecircle" : "circle") + "];\n";
+  }
+  for (unsigned R = 0; R < A.numRules(); ++R) {
+    const StaRule &Rule = A.rule(R);
+    std::string RuleNode = Prefix + "r" + std::to_string(R);
+    Out += "  " + RuleNode + " [label=\"" +
+           dotLabel(A.signature()->ctorName(Rule.CtorId)) + "\\n" +
+           dotLabel(Rule.Guard->str()) + "\", shape=box];\n";
+    Out += "  " + Prefix + "q" + std::to_string(Rule.State) + " -> " +
+           RuleNode + ";\n";
+    for (unsigned I = 0; I < Rule.Lookahead.size(); ++I)
+      for (unsigned Child : Rule.Lookahead[I])
+        Out += "  " + RuleNode + " -> " + Prefix + "q" +
+               std::to_string(Child) + " [label=\"y" + std::to_string(I + 1) +
+               "\"];\n";
+  }
+}
+
+} // namespace
+
+std::string fast::staToDot(const Sta &A, const StateSet &Roots,
+                           const std::string &GraphName) {
+  std::string Out = "digraph " + GraphName + " {\n  rankdir=LR;\n";
+  emitStaBody(Out, A, Roots, "");
+  Out += "}\n";
+  return Out;
+}
+
+std::string fast::sttrToDot(const Sttr &T, const std::string &GraphName) {
+  std::string Out = "digraph " + GraphName + " {\n  rankdir=LR;\n";
+  auto StateName = [&T](unsigned Q) { return T.stateName(Q); };
+  auto CtorName = [&T](unsigned C) { return T.signature()->ctorName(C); };
+
+  for (unsigned Q = 0; Q < T.numStates(); ++Q)
+    Out += "  s" + std::to_string(Q) + " [label=\"" +
+           dotLabel(T.stateName(Q)) + "\", shape=" +
+           (Q == T.startState() ? "doublecircle" : "circle") + "];\n";
+
+  for (unsigned R = 0; R < T.numRules(); ++R) {
+    const SttrRule &Rule = T.rule(R);
+    std::string RuleNode = "t" + std::to_string(R);
+    Out += "  " + RuleNode + " [label=\"" +
+           dotLabel(T.signature()->ctorName(Rule.CtorId)) + "\\n" +
+           dotLabel(Rule.Guard->str()) + "\\n-> " +
+           dotLabel(Rule.Out->str(StateName, CtorName)) + "\", shape=box];\n";
+    Out += "  s" + std::to_string(Rule.State) + " -> " + RuleNode + ";\n";
+    // Output-state applications: edges back into transduction states.
+    for (unsigned I = 0; I < Rule.Lookahead.size(); ++I)
+      for (unsigned P : statesAppliedTo(Rule.Out, I))
+        Out += "  " + RuleNode + " -> s" + std::to_string(P) + " [label=\"y" +
+               std::to_string(I + 1) + "\", style=bold];\n";
+    // Lookahead constraints: dashed edges into the lookahead cluster.
+    for (unsigned I = 0; I < Rule.Lookahead.size(); ++I)
+      for (unsigned L : Rule.Lookahead[I])
+        Out += "  " + RuleNode + " -> laq" + std::to_string(L) +
+               " [label=\"y" + std::to_string(I + 1) +
+               "\", style=dashed];\n";
+  }
+
+  if (T.lookahead().numStates() != 0) {
+    Out += "  subgraph cluster_lookahead {\n    label=\"lookahead\";\n"
+           "    style=dashed;\n";
+    std::string Body;
+    emitStaBody(Body, T.lookahead(), {}, "la");
+    // Indent the cluster body by two more spaces for readability.
+    Out += Body;
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- transducers/Dot.h - Graphviz export ----------------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (dot) rendering of STAs and STTRs, for debugging and for
+/// documentation.  States become nodes (roots/start doubly circled);
+/// each rule becomes a constructor-labelled hyperedge node connected to
+/// its source state and its per-child constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_DOT_H
+#define FAST_TRANSDUCERS_DOT_H
+
+#include "automata/Sta.h"
+#include "transducers/Sttr.h"
+
+#include <string>
+
+namespace fast {
+
+/// Renders \p A as a dot digraph; states in \p Roots are highlighted.
+std::string staToDot(const Sta &A, const StateSet &Roots,
+                     const std::string &GraphName = "sta");
+
+/// Renders a language (automaton + roots).
+inline std::string languageToDot(const TreeLanguage &L,
+                                 const std::string &GraphName = "lang") {
+  return staToDot(L.automaton(), L.roots(), GraphName);
+}
+
+/// Renders \p T as a dot digraph: transduction states, rule nodes with
+/// guard/output labels, and lookahead edges into the lookahead STA's
+/// states (drawn as a dashed cluster).
+std::string sttrToDot(const Sttr &T, const std::string &GraphName = "sttr");
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_DOT_H

@@ -1,0 +1,54 @@
+//===- transducers/Equivalence.cpp - STTR equivalence testing -------------===//
+
+#include "transducers/Equivalence.h"
+
+#include "automata/Determinize.h"
+#include "transducers/Run.h"
+#include "trees/RandomTrees.h"
+
+#include <cassert>
+
+using namespace fast;
+
+bool fast::haveEquivalentDomains(Solver &Solv, const Sttr &T1,
+                                 const Sttr &T2) {
+  return areEquivalentLanguages(Solv, domainLanguage(T1), domainLanguage(T2));
+}
+
+EquivalenceResult fast::checkEquivalence(Session &S, const Sttr &T1,
+                                         const Sttr &T2, unsigned Samples,
+                                         unsigned Seed) {
+  assert(T1.signature()->isCompatibleWith(*T2.signature()) &&
+         "equivalence check over incompatible signatures");
+  EquivalenceResult Result;
+
+  auto Differs = [&](TreeRef Input) {
+    return runSttr(T1, S.Trees, Input) != runSttr(T2, S.Trees, Input);
+  };
+
+  // Phase 1 (decidable): compare domains.  A tree in one domain but not
+  // the other has a non-empty output set on one side only.
+  TreeLanguage Dom1 = domainLanguage(T1);
+  TreeLanguage Dom2 = domainLanguage(T2);
+  for (const auto &[A, B] : {std::pair(&Dom1, &Dom2), std::pair(&Dom2, &Dom1)}) {
+    TreeLanguage OnlyA = differenceLanguages(S.Solv, *A, *B);
+    if (std::optional<TreeRef> W = witness(S.Solv, OnlyA, S.Trees)) {
+      Result.Outcome = EquivalenceResult::Verdict::Inequivalent;
+      Result.Counterexample = *W;
+      assert(Differs(*W) && "domain witness must separate the outputs");
+      return Result;
+    }
+  }
+
+  // Phase 2 (refutation only): sampled inputs.
+  RandomTreeGen Gen(S.Trees, T1.signature(), Seed);
+  for (unsigned I = 0; I < Samples; ++I) {
+    TreeRef Input = Gen.generate();
+    if (Differs(Input)) {
+      Result.Outcome = EquivalenceResult::Verdict::Inequivalent;
+      Result.Counterexample = Input;
+      return Result;
+    }
+  }
+  return Result;
+}

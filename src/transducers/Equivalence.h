@@ -1,0 +1,57 @@
+//===- transducers/Equivalence.h - STTR equivalence testing -----*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equivalence checking for STTRs.  Full equivalence of single-valued
+/// STTRs is an open problem the paper states explicitly (Section 7), so
+/// this module provides what is soundly available:
+///
+///  - domain equivalence, which *is* decidable (domains are STAs);
+///  - behavioural refutation: a randomized search for an input on which
+///    the two transducers produce different output sets, seeded both with
+///    random trees and with witnesses of the domain difference.
+///
+/// `checkEquivalence` therefore returns three-valued answers: a concrete
+/// counterexample (definitely inequivalent), `Inequivalent` via domain
+/// reasoning, or `ProbablyEquivalent` (no difference found — not a
+/// proof).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_EQUIVALENCE_H
+#define FAST_TRANSDUCERS_EQUIVALENCE_H
+
+#include "transducers/Ops.h"
+#include "transducers/Session.h"
+
+namespace fast {
+
+/// Decides whether dom(T1) == dom(T2) (both are regular tree languages).
+bool haveEquivalentDomains(Solver &Solv, const Sttr &T1, const Sttr &T2);
+
+/// Outcome of an equivalence check.
+struct EquivalenceResult {
+  enum class Verdict {
+    /// A concrete input with different output sets was found.
+    Inequivalent,
+    /// No difference found by domain analysis or sampling; NOT a proof
+    /// (single-valued STTR equivalence is open, Section 7).
+    ProbablyEquivalent,
+  };
+  Verdict Outcome = Verdict::ProbablyEquivalent;
+  /// For Inequivalent: an input on which the output sets differ.
+  TreeRef Counterexample = nullptr;
+};
+
+/// Searches for a behavioural difference between \p T1 and \p T2:
+/// first a decidable domain comparison (a domain-difference witness is a
+/// guaranteed counterexample), then \p Samples seeded random inputs.
+EquivalenceResult checkEquivalence(Session &S, const Sttr &T1, const Sttr &T2,
+                                   unsigned Samples = 200, unsigned Seed = 1);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_EQUIVALENCE_H

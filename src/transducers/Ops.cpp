@@ -1,0 +1,168 @@
+//===- transducers/Ops.cpp - Derived transducer operations ----------------===//
+
+#include "transducers/Ops.h"
+
+#include "automata/Determinize.h"
+
+#include <cassert>
+
+using namespace fast;
+
+std::shared_ptr<Sttr> fast::identitySttr(TermFactory &F,
+                                         OutputFactory &Outputs,
+                                         SignatureRef Sig) {
+  auto I = std::make_shared<Sttr>(std::move(Sig));
+  unsigned Id = I->ensureIdentityState(F, Outputs);
+  I->setStartState(Id);
+  return I;
+}
+
+std::shared_ptr<Sttr> fast::cloneSttr(const Sttr &T) {
+  auto Copy = std::make_shared<Sttr>(T.signature());
+  for (unsigned Q = 0; Q < T.numStates(); ++Q)
+    Copy->addState(T.stateName(Q));
+  [[maybe_unused]] unsigned Offset = Copy->lookahead().import(T.lookahead());
+  assert(Offset == 0 && "clone's lookahead STA must start empty");
+  for (const SttrRule &R : T.rules())
+    Copy->addRule(R.State, R.CtorId, R.Guard, R.Lookahead, R.Out);
+  Copy->setStartState(T.startState());
+  return Copy;
+}
+
+std::shared_ptr<Sttr> fast::restrictInput(Solver &Solv, const Sttr &T,
+                                          const TreeLanguage &L) {
+  assert(T.signature()->isCompatibleWith(*L.signature()) &&
+         "restriction over incompatible signatures");
+  TreeLanguage NL = normalize(Solv, L);
+  TermFactory &F = Solv.factory();
+
+  std::shared_ptr<Sttr> R = cloneSttr(T);
+  // Embed the (normalized) language automaton into the lookahead STA.
+  unsigned LOffset = R->lookahead().import(NL.automaton());
+
+  // Fresh start state: fire T's start rules only when the input also
+  // matches a root rule of the language automaton; subtree constraints are
+  // delegated to lookahead (which checks full subtree membership).
+  unsigned NewStart = R->addState(T.stateName(T.startState()) + "|restricted");
+  for (const SttrRule &TR : T.rules()) {
+    if (TR.State != T.startState())
+      continue;
+    for (unsigned Root : NL.roots()) {
+      for (unsigned Index : NL.automaton().rulesFrom(Root, TR.CtorId)) {
+        const StaRule &LR = NL.automaton().rule(Index);
+        TermRef Guard = F.mkAnd(TR.Guard, LR.Guard);
+        if (!Solv.isSat(Guard))
+          continue;
+        std::vector<StateSet> Lookahead = TR.Lookahead;
+        for (unsigned I = 0; I < Lookahead.size(); ++I) {
+          assert(LR.Lookahead[I].size() == 1 && "normalized language rule");
+          Lookahead[I].push_back(LR.Lookahead[I].front() + LOffset);
+          canonicalizeStateSet(Lookahead[I]);
+        }
+        R->addRule(NewStart, TR.CtorId, Guard, std::move(Lookahead), TR.Out);
+      }
+    }
+  }
+  R->setStartState(NewStart);
+  return R;
+}
+
+ComposeResult fast::restrictOutput(Solver &Solv, OutputFactory &Outputs,
+                                   const Sttr &T, const TreeLanguage &L) {
+  std::shared_ptr<Sttr> I =
+      identitySttr(Solv.factory(), Outputs, T.signature());
+  std::shared_ptr<Sttr> RestrictedId = restrictInput(Solv, *I, L);
+  return composeSttr(Solv, Outputs, T, *RestrictedId);
+}
+
+bool fast::typeCheck(Solver &Solv, const TreeLanguage &In, const Sttr &T,
+                     const TreeLanguage &Out) {
+  TreeLanguage BadOutputs = complementLanguage(Solv, Out);
+  TreeLanguage BadInputs = preImageLanguage(Solv, T, BadOutputs);
+  return isEmptyLanguage(Solv, intersectLanguages(Solv, In, BadInputs));
+}
+
+bool fast::isEmptyTransducer(Solver &Solv, const Sttr &T) {
+  return isEmptyLanguage(Solv, domainLanguage(T));
+}
+
+std::shared_ptr<Sttr> fast::simplifyLookahead(Solver &Solv, const Sttr &T) {
+  const Sta &LA = T.lookahead();
+  std::vector<bool> Universal = universalStates(Solv, LA);
+
+  // Pass 1: drop universal constraints; collect what is still referenced.
+  std::vector<bool> Referenced(LA.numStates(), false);
+  std::vector<std::vector<StateSet>> NewLookaheads;
+  NewLookaheads.reserve(T.numRules());
+  for (const SttrRule &R : T.rules()) {
+    std::vector<StateSet> Pruned;
+    Pruned.reserve(R.Lookahead.size());
+    for (const StateSet &Set : R.Lookahead) {
+      StateSet Kept;
+      for (unsigned Q : Set)
+        if (!Universal[Q]) {
+          Kept.push_back(Q);
+          Referenced[Q] = true;
+        }
+      Pruned.push_back(std::move(Kept));
+    }
+    NewLookaheads.push_back(std::move(Pruned));
+  }
+  // Transitive closure: lookahead states reachable through LA rules stay.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const StaRule &R : LA.rules()) {
+      if (!Referenced[R.State])
+        continue;
+      for (const StateSet &Set : R.Lookahead)
+        for (unsigned Q : Set)
+          if (!Universal[Q] && !Referenced[Q]) {
+            Referenced[Q] = true;
+            Changed = true;
+          }
+    }
+  }
+
+  // Pass 2: rebuild with a compacted lookahead STA.
+  auto Out = std::make_shared<Sttr>(T.signature());
+  for (unsigned Q = 0; Q < T.numStates(); ++Q)
+    Out->addState(T.stateName(Q));
+  std::vector<unsigned> Remap(LA.numStates(), ~0u);
+  for (unsigned Q = 0; Q < LA.numStates(); ++Q)
+    if (Referenced[Q])
+      Remap[Q] = Out->lookahead().addState(LA.stateName(Q));
+  for (const StaRule &R : LA.rules()) {
+    if (!Referenced[R.State])
+      continue;
+    std::vector<StateSet> Children;
+    Children.reserve(R.Lookahead.size());
+    for (const StateSet &Set : R.Lookahead) {
+      StateSet Mapped;
+      for (unsigned Q : Set) {
+        // A universal child constraint inside the LA automaton can be
+        // dropped as well; non-universal children are referenced (closure
+        // above), so their remapping is defined.
+        if (!Universal[Q])
+          Mapped.push_back(Remap[Q]);
+      }
+      Children.push_back(std::move(Mapped));
+    }
+    Out->lookahead().addRule(Remap[R.State], R.CtorId, R.Guard,
+                             std::move(Children));
+  }
+  for (size_t I = 0; I < T.numRules(); ++I) {
+    const SttrRule &R = T.rule(I);
+    std::vector<StateSet> Mapped;
+    Mapped.reserve(NewLookaheads[I].size());
+    for (const StateSet &Set : NewLookaheads[I]) {
+      StateSet M;
+      for (unsigned Q : Set)
+        M.push_back(Remap[Q]);
+      Mapped.push_back(std::move(M));
+    }
+    Out->addRule(R.State, R.CtorId, R.Guard, std::move(Mapped), R.Out);
+  }
+  Out->setStartState(T.startState());
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- transducers/Ops.h - Derived transducer operations --------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The derived operations of Section 3.5 that Fast exposes on
+/// transformations: `restrict` (input restriction), `restrict-out` (output
+/// restriction, implemented as composition with a restricted identity, as
+/// the paper notes), `type-check`, and transducer emptiness.  Also the
+/// identity STTR and transducer cloning used by those constructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_OPS_H
+#define FAST_TRANSDUCERS_OPS_H
+
+#include "transducers/Compose.h"
+
+namespace fast {
+
+/// The identity transduction I over \p Sig.
+std::shared_ptr<Sttr> identitySttr(TermFactory &F, OutputFactory &Outputs,
+                                   SignatureRef Sig);
+
+/// A deep copy of \p T (new state numbering identical to the old one).
+std::shared_ptr<Sttr> cloneSttr(const Sttr &T);
+
+/// `restrict t l`: behaves like \p T but is only defined on inputs in
+/// \p L.  The root-level language constraint is folded into a fresh start
+/// state; subtree constraints ride along as extra lookahead.
+std::shared_ptr<Sttr> restrictInput(Solver &Solv, const Sttr &T,
+                                    const TreeLanguage &L);
+
+/// `restrict-out t l`: behaves like \p T but only produces outputs in
+/// \p L.  Computed as compose(t, restrict(I, l)); the second operand is
+/// linear, so the result is exact by Theorem 4.
+ComposeResult restrictOutput(Solver &Solv, OutputFactory &Outputs,
+                             const Sttr &T, const TreeLanguage &L);
+
+/// `type-check l1 t l2`: true iff every output of \p T on every input in
+/// \p In lies in \p Out.
+bool typeCheck(Solver &Solv, const TreeLanguage &In, const Sttr &T,
+               const TreeLanguage &Out);
+
+/// `is-empty t`: true iff the domain of \p T is empty.
+bool isEmptyTransducer(Solver &Solv, const Sttr &T);
+
+/// Drops provably universal lookahead constraints from every rule of \p T
+/// and discards the then-unreferenced lookahead states.  Composition
+/// introduces one pre-image lookahead state per deleted/processed child
+/// even when the constraint is vacuous (total transducers); without this
+/// cleanup, repeated composition — the deforestation pipelines — grows
+/// linearly in lookahead size and evaluation slows accordingly.
+std::shared_ptr<Sttr> simplifyLookahead(Solver &Solv, const Sttr &T);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_OPS_H

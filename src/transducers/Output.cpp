@@ -1,0 +1,127 @@
+//===- transducers/Output.cpp - STTR output tree transformers -------------===//
+
+#include "transducers/Output.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fast;
+
+Output::Output(OutputKind Kind, unsigned State, unsigned ChildIndex,
+               unsigned CtorId, std::vector<TermRef> LabelExprs,
+               std::vector<OutputRef> Children)
+    : Kind(Kind), State(State), ChildIndex(ChildIndex), CtorId(CtorId),
+      LabelExprs(std::move(LabelExprs)), Children(std::move(Children)) {
+  std::size_t Seed = static_cast<std::size_t>(Kind);
+  hashCombineValue(Seed, State);
+  hashCombineValue(Seed, ChildIndex);
+  hashCombineValue(Seed, CtorId);
+  for (TermRef E : this->LabelExprs)
+    hashCombineValue(Seed, E->id());
+  for (OutputRef C : this->Children)
+    hashCombineValue(Seed, C);
+  Hash = Seed;
+}
+
+std::string
+Output::str(const std::function<std::string(unsigned)> &StateName,
+            const std::function<std::string(unsigned)> &CtorName) const {
+  if (isState())
+    return StateName(State) + "(y" + std::to_string(ChildIndex + 1) + ")";
+  std::string Result = CtorName(CtorId);
+  Result += '[';
+  for (size_t I = 0; I < LabelExprs.size(); ++I) {
+    if (I != 0)
+      Result += ", ";
+    Result += LabelExprs[I]->str();
+  }
+  Result += ']';
+  if (!Children.empty()) {
+    Result += '(';
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I != 0)
+        Result += ", ";
+      Result += Children[I]->str(StateName, CtorName);
+    }
+    Result += ')';
+  }
+  return Result;
+}
+
+bool OutputFactory::NodeEq::operator()(const Output *A, const Output *B) const {
+  if (A->kind() != B->kind())
+    return false;
+  if (A->isState())
+    return A->state() == B->state() && A->childIndex() == B->childIndex();
+  if (A->ctorId() != B->ctorId())
+    return false;
+  auto AE = A->labelExprs(), BE = B->labelExprs();
+  if (!std::equal(AE.begin(), AE.end(), BE.begin(), BE.end()))
+    return false;
+  auto AC = A->children(), BC = B->children();
+  return std::equal(AC.begin(), AC.end(), BC.begin(), BC.end());
+}
+
+OutputRef OutputFactory::mkState(unsigned State, unsigned ChildIndex) {
+  auto Node = std::unique_ptr<Output>(
+      new Output(OutputKind::State, State, ChildIndex, 0, {}, {}));
+  auto It = Interned.find(Node.get());
+  if (It != Interned.end())
+    return *It;
+  Output *Raw = Node.get();
+  Nodes.push_back(std::move(Node));
+  Interned.insert(Raw);
+  return Raw;
+}
+
+OutputRef OutputFactory::mkCons(unsigned CtorId,
+                                std::vector<TermRef> LabelExprs,
+                                std::vector<OutputRef> Children) {
+  auto Node = std::unique_ptr<Output>(new Output(
+      OutputKind::Cons, 0, 0, CtorId, std::move(LabelExprs), std::move(Children)));
+  auto It = Interned.find(Node.get());
+  if (It != Interned.end())
+    return *It;
+  Output *Raw = Node.get();
+  Nodes.push_back(std::move(Node));
+  Interned.insert(Raw);
+  return Raw;
+}
+
+std::vector<unsigned> fast::statesAppliedTo(OutputRef Out, unsigned ChildIndex) {
+  std::vector<unsigned> States;
+  auto Rec = [&](auto &&Self, OutputRef Node) -> void {
+    if (Node->isState()) {
+      if (Node->childIndex() == ChildIndex)
+        States.push_back(Node->state());
+      return;
+    }
+    for (OutputRef Child : Node->children())
+      Self(Self, Child);
+  };
+  Rec(Rec, Out);
+  std::sort(States.begin(), States.end());
+  States.erase(std::unique(States.begin(), States.end()), States.end());
+  return States;
+}
+
+bool fast::isLinearOutput(OutputRef Out, unsigned Rank) {
+  std::vector<unsigned> Uses(Rank, 0);
+  bool Linear = true;
+  auto Rec = [&](auto &&Self, OutputRef Node) -> void {
+    if (!Linear)
+      return;
+    if (Node->isState()) {
+      assert(Node->childIndex() < Rank && "output mentions y out of range");
+      if (++Uses[Node->childIndex()] > 1)
+        Linear = false;
+      return;
+    }
+    for (OutputRef Child : Node->children())
+      Self(Self, Child);
+  };
+  Rec(Rec, Out);
+  return Linear;
+}

@@ -1,0 +1,120 @@
+//===- transducers/Output.h - STTR output tree transformers -----*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output components of STTR rules: the k-rank tree transformers of
+/// Definition 4.  An output term is either
+///   - State(q, i): apply transducer state q to the i-th input subtree
+///     (the paper's lambda(x, ybar). q~(y_i)), or
+///   - Cons(f, ebar, t1..tn): build constructor f with label expressions
+///     ebar over the *input* node's attributes and recursively produced
+///     children (lambda(x, ybar). f[e(x)](t1(x, ybar), ...)).
+///
+/// The paper's bare `y` output (verbatim subtree copy) is desugared by the
+/// builders into State(identity, i), so the composition algorithm only ever
+/// sees these two forms.
+///
+/// Output terms are hash-consed in an OutputFactory shared by every
+/// transducer of an analysis session (composition freely mixes output
+/// fragments of both transducers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_OUTPUT_H
+#define FAST_TRANSDUCERS_OUTPUT_H
+
+#include "smt/Term.h"
+
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+namespace fast {
+
+class Output;
+using OutputRef = const Output *;
+
+/// The two forms of an output term.
+enum class OutputKind : uint8_t { State, Cons };
+
+/// One immutable, interned output term node.
+class Output {
+public:
+  OutputKind kind() const { return Kind; }
+  bool isState() const { return Kind == OutputKind::State; }
+  bool isCons() const { return Kind == OutputKind::Cons; }
+
+  /// For State: the transducer state applied.
+  unsigned state() const { return State; }
+  /// For State: the index of the input subtree (the i of y_i).
+  unsigned childIndex() const { return ChildIndex; }
+
+  /// For Cons: the output constructor.
+  unsigned ctorId() const { return CtorId; }
+  /// For Cons: one label expression per attribute, over the input attrs.
+  std::span<const TermRef> labelExprs() const { return LabelExprs; }
+  std::span<const OutputRef> children() const { return Children; }
+
+  std::size_t hash() const { return Hash; }
+
+  /// Renders e.g. `node[tag](q(y1), id(y2))` given naming callbacks.
+  std::string str(const std::function<std::string(unsigned)> &StateName,
+                  const std::function<std::string(unsigned)> &CtorName) const;
+
+private:
+  friend class OutputFactory;
+  Output(OutputKind Kind, unsigned State, unsigned ChildIndex, unsigned CtorId,
+         std::vector<TermRef> LabelExprs, std::vector<OutputRef> Children);
+
+  OutputKind Kind;
+  unsigned State = 0;
+  unsigned ChildIndex = 0;
+  unsigned CtorId = 0;
+  std::size_t Hash = 0;
+  std::vector<TermRef> LabelExprs;
+  std::vector<OutputRef> Children;
+};
+
+/// Interns output terms.
+class OutputFactory {
+public:
+  OutputFactory() = default;
+  OutputFactory(const OutputFactory &) = delete;
+  OutputFactory &operator=(const OutputFactory &) = delete;
+
+  /// q~(y_i).
+  OutputRef mkState(unsigned State, unsigned ChildIndex);
+  /// f[ebar](children...).
+  OutputRef mkCons(unsigned CtorId, std::vector<TermRef> LabelExprs,
+                   std::vector<OutputRef> Children);
+
+  size_t numOutputs() const { return Nodes.size(); }
+
+private:
+  struct NodeHash {
+    std::size_t operator()(const Output *O) const { return O->hash(); }
+  };
+  struct NodeEq {
+    bool operator()(const Output *A, const Output *B) const;
+  };
+
+  std::deque<std::unique_ptr<Output>> Nodes;
+  std::unordered_set<Output *, NodeHash, NodeEq> Interned;
+};
+
+/// The states applied to input subtree \p ChildIndex anywhere in \p Out —
+/// the paper's St(i, t), used by the domain automaton (Definition 6).
+std::vector<unsigned> statesAppliedTo(OutputRef Out, unsigned ChildIndex);
+
+/// True if every y_i occurs at most once in \p Out (Definition 5's linear
+/// rule condition).
+bool isLinearOutput(OutputRef Out, unsigned Rank);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_OUTPUT_H

@@ -1,0 +1,246 @@
+//===- transducers/RandomAutomata.cpp - Random STAs and STTRs -------------===//
+
+#include "transducers/RandomAutomata.h"
+
+#include "transducers/Sttr.h"
+
+#include <cassert>
+
+using namespace fast;
+
+namespace {
+
+/// A random atomic predicate over one attribute.
+TermRef randomAtom(TermFactory &F, const SignatureRef &Sig, unsigned AttrIndex,
+                   std::mt19937 &Rng, const RandomAutomatonOptions &Options) {
+  TermRef Attr = Sig->attrTerm(F, AttrIndex);
+  switch (Sig->attrSpec(AttrIndex).TheSort) {
+  case Sort::Bool:
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? Attr
+                                                         : F.mkNot(Attr);
+  case Sort::Int: {
+    switch (std::uniform_int_distribution<int>(0, 2)(Rng)) {
+    case 0: {
+      int64_t C = std::uniform_int_distribution<int64_t>(-8, 8)(Rng);
+      return F.mkLt(Attr, F.intConst(C));
+    }
+    case 1: {
+      int64_t M = std::uniform_int_distribution<int64_t>(2, 4)(Rng);
+      int64_t R = std::uniform_int_distribution<int64_t>(0, M - 1)(Rng);
+      return F.mkEq(F.mkMod(Attr, F.intConst(M)), F.intConst(R));
+    }
+    default: {
+      int64_t Lo = std::uniform_int_distribution<int64_t>(-8, 4)(Rng);
+      int64_t Hi = Lo + std::uniform_int_distribution<int64_t>(1, 8)(Rng);
+      return F.mkAnd(F.mkLe(F.intConst(Lo), Attr),
+                     F.mkLe(Attr, F.intConst(Hi)));
+    }
+    }
+  }
+  case Sort::Real: {
+    int64_t Num = std::uniform_int_distribution<int64_t>(-16, 16)(Rng);
+    int64_t Den = std::uniform_int_distribution<int64_t>(1, 4)(Rng);
+    TermRef C = F.realConst(Rational(Num, Den));
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? F.mkLt(Attr, C)
+                                                         : F.mkLe(C, Attr);
+  }
+  case Sort::String: {
+    size_t Index = std::uniform_int_distribution<size_t>(
+        0, Options.StringPool.size() - 1)(Rng);
+    TermRef C = F.stringConst(Options.StringPool[Index]);
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? F.mkEq(Attr, C)
+                                                         : F.mkNeq(Attr, C);
+  }
+  }
+  assert(false && "unhandled sort");
+  return F.trueTerm();
+}
+
+/// A random output label expression of the attribute's sort.
+TermRef randomLabelExpr(TermFactory &F, const SignatureRef &Sig,
+                        unsigned AttrIndex, std::mt19937 &Rng,
+                        const RandomAutomatonOptions &Options) {
+  TermRef Attr = Sig->attrTerm(F, AttrIndex);
+  switch (Sig->attrSpec(AttrIndex).TheSort) {
+  case Sort::Bool:
+    switch (std::uniform_int_distribution<int>(0, 2)(Rng)) {
+    case 0:
+      return Attr;
+    case 1:
+      return F.mkNot(Attr);
+    default:
+      return F.boolConst(std::uniform_int_distribution<int>(0, 1)(Rng) != 0);
+    }
+  case Sort::Int:
+    switch (std::uniform_int_distribution<int>(0, 3)(Rng)) {
+    case 0:
+      return Attr;
+    case 1:
+      return F.mkAdd(Attr, F.intConst(std::uniform_int_distribution<int64_t>(
+                               -3, 3)(Rng)));
+    case 2:
+      return F.mkNeg(Attr);
+    default:
+      return F.intConst(std::uniform_int_distribution<int64_t>(-5, 5)(Rng));
+    }
+  case Sort::Real:
+    return std::uniform_int_distribution<int>(0, 1)(Rng)
+               ? Attr
+               : F.mkAdd(Attr, F.realConst(Rational(
+                                   std::uniform_int_distribution<int64_t>(
+                                       -4, 4)(Rng),
+                                   2)));
+  case Sort::String: {
+    if (std::uniform_int_distribution<int>(0, 1)(Rng))
+      return Attr;
+    size_t Index = std::uniform_int_distribution<size_t>(
+        0, Options.StringPool.size() - 1)(Rng);
+    return F.stringConst(Options.StringPool[Index]);
+  }
+  }
+  assert(false && "unhandled sort");
+  return Attr;
+}
+
+} // namespace
+
+TermRef fast::randomPredicate(TermFactory &F, const SignatureRef &Sig,
+                              std::mt19937 &Rng,
+                              const RandomAutomatonOptions &Options) {
+  assert(Sig->numAttrs() != 0 && "predicates need at least one attribute");
+  auto Atom = [&]() {
+    unsigned AttrIndex = std::uniform_int_distribution<unsigned>(
+        0, Sig->numAttrs() - 1)(Rng);
+    return randomAtom(F, Sig, AttrIndex, Rng, Options);
+  };
+  switch (std::uniform_int_distribution<int>(0, 4)(Rng)) {
+  case 0:
+    return Atom();
+  case 1:
+    return F.mkAnd(Atom(), Atom());
+  case 2:
+    return F.mkOr(Atom(), Atom());
+  case 3:
+    return F.mkNot(Atom());
+  default:
+    return F.mkOr(F.mkAnd(Atom(), Atom()), Atom());
+  }
+}
+
+TreeLanguage fast::randomLanguage(TermFactory &F, SignatureRef Sig,
+                                  unsigned Seed,
+                                  RandomAutomatonOptions Options) {
+  std::mt19937 Rng(Seed);
+  auto A = std::make_shared<Sta>(Sig);
+  for (unsigned Q = 0; Q < Options.NumStates; ++Q)
+    A->addState();
+  std::uniform_real_distribution<double> Unit(0.0, 1.0);
+  for (unsigned Q = 0; Q < Options.NumStates; ++Q) {
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      unsigned NumRules = std::uniform_int_distribution<unsigned>(
+          0, Options.MaxRulesPerCtor)(Rng);
+      // Keep rank-0 rules likely so languages are rarely trivially empty.
+      if (Sig->rank(CtorId) == 0 && NumRules == 0)
+        NumRules = 1;
+      for (unsigned R = 0; R < NumRules; ++R) {
+        std::vector<StateSet> Lookahead(Sig->rank(CtorId));
+        for (StateSet &Set : Lookahead) {
+          if (Unit(Rng) < Options.ConstraintProbability)
+            Set.push_back(std::uniform_int_distribution<unsigned>(
+                0, Options.NumStates - 1)(Rng));
+          if (Unit(Rng) < Options.ConstraintProbability / 3)
+            Set.push_back(std::uniform_int_distribution<unsigned>(
+                0, Options.NumStates - 1)(Rng));
+        }
+        A->addRule(Q, CtorId, randomPredicate(F, Sig, Rng, Options),
+                   std::move(Lookahead));
+      }
+    }
+  }
+  unsigned Root = std::uniform_int_distribution<unsigned>(
+      0, Options.NumStates - 1)(Rng);
+  return TreeLanguage(std::move(A), Root);
+}
+
+std::shared_ptr<Sttr>
+fast::randomDetLinearSttr(TermFactory &F, OutputFactory &Outputs,
+                          SignatureRef Sig, unsigned Seed,
+                          RandomAutomatonOptions Options) {
+  std::mt19937 Rng(Seed);
+  auto T = std::make_shared<Sttr>(Sig);
+  for (unsigned Q = 0; Q < Options.NumStates; ++Q)
+    T->addState();
+  T->setStartState(0);
+
+  // A linear output for constructor f: a constructor node (same or other
+  // ctor of equal rank, to keep arities simple we reuse f) whose children
+  // each either apply a random state to a distinct y or drop it by
+  // rebuilding a leaf.
+  auto RandomOutput = [&](unsigned CtorId) {
+    unsigned Rank = Sig->rank(CtorId);
+    std::vector<TermRef> LabelExprs;
+    for (unsigned I = 0; I < Sig->numAttrs(); ++I)
+      LabelExprs.push_back(randomLabelExpr(F, Sig, I, Rng, Options));
+    std::vector<OutputRef> Children;
+    for (unsigned I = 0; I < Rank; ++I) {
+      if (std::uniform_int_distribution<int>(0, 4)(Rng) == 0) {
+        // Drop the subtree: substitute a fresh leaf (first rank-0 ctor).
+        unsigned Leaf = 0;
+        while (Sig->rank(Leaf) != 0)
+          ++Leaf;
+        std::vector<TermRef> LeafExprs;
+        for (unsigned A = 0; A < Sig->numAttrs(); ++A)
+          LeafExprs.push_back(randomLabelExpr(F, Sig, A, Rng, Options));
+        Children.push_back(Outputs.mkCons(Leaf, std::move(LeafExprs), {}));
+      } else {
+        unsigned State = std::uniform_int_distribution<unsigned>(
+            0, Options.NumStates - 1)(Rng);
+        Children.push_back(Outputs.mkState(State, I));
+      }
+    }
+    return Outputs.mkCons(CtorId, std::move(LabelExprs), std::move(Children));
+  };
+
+  for (unsigned Q = 0; Q < Options.NumStates; ++Q) {
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      // Guards {g, !g} partition the space: deterministic and total.
+      TermRef G = randomPredicate(F, Sig, Rng, Options);
+      std::vector<StateSet> Free(Sig->rank(CtorId));
+      T->addRule(Q, CtorId, G, Free, RandomOutput(CtorId));
+      T->addRule(Q, CtorId, F.mkNot(G), Free, RandomOutput(CtorId));
+    }
+  }
+  assert(T->isLinear() && "construction must be linear");
+  return T;
+}
+
+std::shared_ptr<Sttr> fast::randomNondetSttr(TermFactory &F,
+                                             OutputFactory &Outputs,
+                                             SignatureRef Sig, unsigned Seed,
+                                             RandomAutomatonOptions Options) {
+  std::mt19937 Rng(Seed);
+  std::shared_ptr<Sttr> T =
+      randomDetLinearSttr(F, Outputs, Sig, Seed + 1, Options);
+  // Overlay extra rules with overlapping (true) guards and fresh outputs,
+  // making the transducer nondeterministic.
+  for (unsigned Q = 0; Q < Options.NumStates; ++Q) {
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      if (std::uniform_int_distribution<int>(0, 1)(Rng))
+        continue;
+      unsigned Rank = Sig->rank(CtorId);
+      std::vector<TermRef> LabelExprs;
+      for (unsigned I = 0; I < Sig->numAttrs(); ++I)
+        LabelExprs.push_back(randomLabelExpr(F, Sig, I, Rng, Options));
+      std::vector<OutputRef> Children;
+      for (unsigned I = 0; I < Rank; ++I)
+        Children.push_back(Outputs.mkState(
+            std::uniform_int_distribution<unsigned>(
+                0, Options.NumStates - 1)(Rng),
+            I));
+      T->addRule(Q, CtorId, F.trueTerm(), std::vector<StateSet>(Rank),
+                 Outputs.mkCons(CtorId, std::move(LabelExprs),
+                                std::move(Children)));
+    }
+  }
+  return T;
+}

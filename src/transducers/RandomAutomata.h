@@ -1,0 +1,71 @@
+//===- transducers/RandomAutomata.h - Random STAs and STTRs --------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of symbolic tree automata and transducers,
+/// used by the property-based test suites (Boolean-algebra laws on
+/// languages, Theorem 4 on compositions, domain/pre-image consistency)
+/// and by workload generators.  Guards are drawn per attribute sort
+/// (intervals, congruences, string (dis)equalities, boolean literals) and
+/// combined with conjunction/disjunction, so the generated predicates
+/// exercise the same theory fragment as the paper's case studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_RANDOMAUTOMATA_H
+#define FAST_TRANSDUCERS_RANDOMAUTOMATA_H
+
+#include "automata/Sta.h"
+#include "smt/Solver.h"
+#include "transducers/Output.h"
+
+#include <memory>
+#include <random>
+
+namespace fast {
+
+class Sttr;
+
+/// Shape parameters for random automata/transducers.
+struct RandomAutomatonOptions {
+  unsigned NumStates = 3;
+  /// Max rules per (state, constructor).
+  unsigned MaxRulesPerCtor = 2;
+  /// Probability that a lookahead/child entry carries a constraint.
+  double ConstraintProbability = 0.5;
+  /// Pool for string guards.
+  std::vector<std::string> StringPool = {"", "a", "b", "div", "script"};
+};
+
+/// Draws a random predicate over the attributes of \p Sig.
+TermRef randomPredicate(TermFactory &F, const SignatureRef &Sig,
+                        std::mt19937 &Rng,
+                        const RandomAutomatonOptions &Options);
+
+/// Generates a random alternating STA language over \p Sig.  Languages
+/// are usually non-trivial (neither empty nor universal), but no
+/// guarantee is made — property tests should not assume either.
+TreeLanguage randomLanguage(TermFactory &F, SignatureRef Sig, unsigned Seed,
+                            RandomAutomatonOptions Options = {});
+
+/// Generates a random *deterministic, linear, total* STTR over \p Sig:
+/// per (state, constructor) the guards partition the label space, each
+/// subtree is used at most once, and every constructor has rules.  Such
+/// transducers satisfy both Theorem 4 preconditions.
+std::shared_ptr<Sttr> randomDetLinearSttr(TermFactory &F,
+                                          OutputFactory &Outputs,
+                                          SignatureRef Sig, unsigned Seed,
+                                          RandomAutomatonOptions Options = {});
+
+/// Generates a random *nondeterministic* STTR (overlapping guards with
+/// distinct outputs); may also delete subtrees.
+std::shared_ptr<Sttr> randomNondetSttr(TermFactory &F, OutputFactory &Outputs,
+                                       SignatureRef Sig, unsigned Seed,
+                                       RandomAutomatonOptions Options = {});
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_RANDOMAUTOMATA_H

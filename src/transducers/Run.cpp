@@ -1,0 +1,101 @@
+//===- transducers/Run.cpp - Applying an STTR to a tree -------------------===//
+
+#include "transducers/Run.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fast;
+
+namespace {
+
+/// Sorts by node identity and removes duplicates, giving the output set a
+/// deterministic order.
+void dedupOutputs(std::vector<TreeRef> &Outputs) {
+  std::sort(Outputs.begin(), Outputs.end());
+  Outputs.erase(std::unique(Outputs.begin(), Outputs.end()), Outputs.end());
+}
+
+} // namespace
+
+std::vector<TreeRef> SttrRunner::runFrom(unsigned State, TreeRef Input) {
+  auto Key = std::make_pair(State, Input);
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  // Reserve the memo slot first: trees are acyclic so recursion cannot
+  // revisit (State, Input), but rule iteration below re-enters runFrom.
+  std::vector<TreeRef> Outputs;
+  for (unsigned Index : T.rulesFrom(State, Input->ctorId())) {
+    const SttrRule &R = T.rule(Index);
+    if (!evalPredicate(R.Guard, Input->attrs()))
+      continue;
+    bool LookaheadOk = true;
+    for (unsigned I = 0; I < R.Lookahead.size() && LookaheadOk; ++I)
+      LookaheadOk = Lookahead.acceptsAll(R.Lookahead[I], Input->child(I));
+    if (!LookaheadOk)
+      continue;
+    std::vector<TreeRef> RuleOutputs = instantiate(R.Out, Input);
+    Outputs.insert(Outputs.end(), RuleOutputs.begin(), RuleOutputs.end());
+    if (Outputs.size() > MaxOutputs) {
+      Truncated = true;
+      Outputs.resize(MaxOutputs);
+      break;
+    }
+  }
+  dedupOutputs(Outputs);
+  Memo.emplace(Key, Outputs);
+  return Outputs;
+}
+
+std::vector<TreeRef> SttrRunner::instantiate(OutputRef Out, TreeRef Input) {
+  if (Out->isState())
+    return runFrom(Out->state(), Input->child(Out->childIndex()));
+
+  // Constructor: evaluate the label expressions once, then take the
+  // cartesian product of the children's output sets.
+  const SignatureRef &Sig = T.signature();
+  std::vector<Value> Attrs;
+  Attrs.reserve(Out->labelExprs().size());
+  for (TermRef Expr : Out->labelExprs())
+    Attrs.push_back(evalTerm(Expr, Input->attrs()));
+
+  std::vector<std::vector<TreeRef>> ChildSets;
+  ChildSets.reserve(Out->children().size());
+  for (OutputRef Child : Out->children()) {
+    ChildSets.push_back(instantiate(Child, Input));
+    if (ChildSets.back().empty())
+      return {}; // One child failed; the whole constructor produces nothing.
+  }
+
+  std::vector<TreeRef> Results;
+  std::vector<size_t> Pick(ChildSets.size(), 0);
+  while (true) {
+    std::vector<TreeRef> Children;
+    Children.reserve(ChildSets.size());
+    for (size_t I = 0; I < ChildSets.size(); ++I)
+      Children.push_back(ChildSets[I][Pick[I]]);
+    Results.push_back(
+        Trees.make(Sig, Out->ctorId(), Attrs, std::move(Children)));
+    if (Results.size() > MaxOutputs) {
+      Truncated = true;
+      break;
+    }
+    // Advance the odometer.
+    size_t I = 0;
+    for (; I < ChildSets.size(); ++I) {
+      if (++Pick[I] < ChildSets[I].size())
+        break;
+      Pick[I] = 0;
+    }
+    if (I == ChildSets.size())
+      break;
+  }
+  return Results;
+}
+
+std::vector<TreeRef> fast::runSttr(const Sttr &T, TreeFactory &Trees,
+                                   TreeRef Input) {
+  SttrRunner Runner(T, Trees);
+  return Runner.run(Input);
+}

@@ -1,0 +1,70 @@
+//===- transducers/Run.h - Applying an STTR to a tree -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete application of an STTR (the transduction of Definition 7).
+/// Guards are evaluated (not solved), lookaheads are memoized membership
+/// checks against the transducer's lookahead STA, and output label
+/// expressions are evaluated on the input node's attribute tuple.
+/// Nondeterministic transducers may produce several outputs per input;
+/// the runner returns them all (deduplicated, in a deterministic order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_RUN_H
+#define FAST_TRANSDUCERS_RUN_H
+
+#include "transducers/Sttr.h"
+
+namespace fast {
+
+/// Runs one STTR over concrete trees, memoizing per (state, node).
+class SttrRunner {
+public:
+  SttrRunner(const Sttr &T, TreeFactory &Trees)
+      : T(T), Trees(Trees), Lookahead(T.lookahead()) {}
+
+  /// All outputs of the transduction at the start state (empty if the
+  /// input is outside the domain).
+  std::vector<TreeRef> run(TreeRef Input) {
+    return runFrom(T.startState(), Input);
+  }
+
+  /// All outputs of T_q (Definition 7).
+  std::vector<TreeRef> runFrom(unsigned State, TreeRef Input);
+
+  /// Bounds the number of outputs tracked per (state, node); exceeding it
+  /// sets truncated().  The default is ample for every analysis in the
+  /// paper (transducers there are single-valued or nearly so).
+  void setMaxOutputs(size_t Max) { MaxOutputs = Max; }
+  bool truncated() const { return Truncated; }
+
+private:
+  std::vector<TreeRef> instantiate(OutputRef Out, TreeRef Input);
+
+  struct KeyHash {
+    std::size_t operator()(const std::pair<unsigned, TreeRef> &K) const {
+      std::size_t Seed = K.first;
+      hashCombineValue(Seed, K.second);
+      return Seed;
+    }
+  };
+
+  const Sttr &T;
+  TreeFactory &Trees;
+  StaMembership Lookahead;
+  std::unordered_map<std::pair<unsigned, TreeRef>, std::vector<TreeRef>, KeyHash>
+      Memo;
+  size_t MaxOutputs = 1u << 16;
+  bool Truncated = false;
+};
+
+/// Convenience wrapper: runs \p T on \p Input once.
+std::vector<TreeRef> runSttr(const Sttr &T, TreeFactory &Trees, TreeRef Input);
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_RUN_H

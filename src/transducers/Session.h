@@ -1,0 +1,39 @@
+//===- transducers/Session.h - One analysis session -------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the factories and the solver that every automaton, transducer,
+/// and tree of one analysis must share (predicates, output terms and trees
+/// are interned, so identity-based algorithms require a single owner).
+/// Examples, tests, benchmarks, and the Fast frontend each create one
+/// Session and thread it through the API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_SESSION_H
+#define FAST_TRANSDUCERS_SESSION_H
+
+#include "smt/Solver.h"
+#include "transducers/Output.h"
+#include "trees/Tree.h"
+
+namespace fast {
+
+/// Shared state of one analysis session.
+struct Session {
+  TermFactory Terms;
+  TreeFactory Trees;
+  OutputFactory Outputs;
+  Solver Solv;
+
+  Session() : Solv(Terms) {}
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+};
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_SESSION_H

@@ -1,0 +1,156 @@
+//===- transducers/Sttr.cpp - Symbolic tree transducers w/ lookahead ------===//
+
+#include "transducers/Sttr.h"
+
+#include "automata/StaOps.h"
+
+#include <cassert>
+
+using namespace fast;
+
+unsigned Sttr::addState(std::string Name) {
+  unsigned Id = numStates();
+  if (Name.empty())
+    Name = "t" + std::to_string(Id);
+  StateNames.push_back(std::move(Name));
+  return Id;
+}
+
+void Sttr::addRule(unsigned State, unsigned CtorId, TermRef Guard,
+                   std::vector<StateSet> Lookahead, OutputRef Out) {
+  assert(State < numStates() && "rule from unknown state");
+  assert(CtorId < Sig->numConstructors() && "rule on unknown constructor");
+  assert(Guard->sort() == Sort::Bool && "guard must be a predicate");
+  assert(Lookahead.size() == Sig->rank(CtorId) &&
+         "lookahead arity does not match constructor rank");
+  for (StateSet &Set : Lookahead) {
+    canonicalizeStateSet(Set);
+    for ([[maybe_unused]] unsigned L : Set)
+      assert(L < LookaheadSta->numStates() &&
+             "lookahead references unknown lookahead-STA state");
+  }
+#ifndef NDEBUG
+  // Validate the output transformer: states, child indices, label sorts.
+  auto Check = [&](auto &&Self, OutputRef Node) -> void {
+    if (Node->isState()) {
+      assert(Node->state() < numStates() && "output applies unknown state");
+      assert(Node->childIndex() < Sig->rank(CtorId) &&
+             "output mentions y out of range");
+      return;
+    }
+    assert(Node->ctorId() < Sig->numConstructors() &&
+           "output uses unknown constructor");
+    assert(Node->labelExprs().size() == Sig->numAttrs() &&
+           "output label expression count mismatch");
+    for (unsigned I = 0; I < Node->labelExprs().size(); ++I)
+      assert(Node->labelExprs()[I]->sort() == Sig->attrSpec(I).TheSort &&
+             "output label expression has wrong sort");
+    assert(Node->children().size() == Sig->rank(Node->ctorId()) &&
+           "output constructor arity mismatch");
+    for (OutputRef Child : Node->children())
+      Self(Self, Child);
+  };
+  Check(Check, Out);
+#endif
+  unsigned Index = static_cast<unsigned>(Rules.size());
+  Rules.push_back({State, CtorId, Guard, std::move(Lookahead), Out});
+  RulesByStateCtor[{State, CtorId}].push_back(Index);
+}
+
+const std::vector<unsigned> &Sttr::rulesFrom(unsigned State,
+                                             unsigned CtorId) const {
+  static const std::vector<unsigned> Empty;
+  auto It = RulesByStateCtor.find({State, CtorId});
+  return It == RulesByStateCtor.end() ? Empty : It->second;
+}
+
+unsigned Sttr::ensureIdentityState(TermFactory &F, OutputFactory &Outputs) {
+  if (IdentityState)
+    return *IdentityState;
+  unsigned Id = addState("id");
+  IdentityState = Id;
+  for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+    unsigned Rank = Sig->rank(CtorId);
+    std::vector<TermRef> LabelExprs;
+    LabelExprs.reserve(Sig->numAttrs());
+    for (unsigned I = 0; I < Sig->numAttrs(); ++I)
+      LabelExprs.push_back(Sig->attrTerm(F, I));
+    std::vector<OutputRef> Children;
+    Children.reserve(Rank);
+    for (unsigned I = 0; I < Rank; ++I)
+      Children.push_back(Outputs.mkState(Id, I));
+    addRule(Id, CtorId, F.trueTerm(), std::vector<StateSet>(Rank),
+            Outputs.mkCons(CtorId, std::move(LabelExprs), std::move(Children)));
+  }
+  return Id;
+}
+
+bool Sttr::isLinear() const {
+  for (const SttrRule &R : Rules)
+    if (!isLinearOutput(R.Out, Sig->rank(R.CtorId)))
+      return false;
+  return true;
+}
+
+bool Sttr::isDeterministic(Solver &S) const {
+  for (const auto &[Key, Indices] : RulesByStateCtor) {
+    for (size_t I = 0; I < Indices.size(); ++I) {
+      for (size_t J = I + 1; J < Indices.size(); ++J) {
+        const SttrRule &R1 = Rules[Indices[I]];
+        const SttrRule &R2 = Rules[Indices[J]];
+        if (R1.Out == R2.Out)
+          continue;
+        if (!S.isSat(S.factory().mkAnd(R1.Guard, R2.Guard)))
+          continue;
+        // Overlapping guards: the rules may still be separated by their
+        // lookaheads (L^l1 cap L^l2 empty for some child).
+        bool Separated = false;
+        for (unsigned C = 0; C < R1.Lookahead.size() && !Separated; ++C) {
+          StateSet Combined = R1.Lookahead[C];
+          Combined.insert(Combined.end(), R2.Lookahead[C].begin(),
+                          R2.Lookahead[C].end());
+          canonicalizeStateSet(Combined);
+          if (Combined == R1.Lookahead[C] || Combined == R2.Lookahead[C])
+            continue; // One constraint subsumes the other; no separation.
+          StateSet Seeds[] = {Combined};
+          NormalizedSta N = normalizeSets(S, *LookaheadSta, Seeds);
+          std::vector<bool> Productive = productiveStates(S, *N.Automaton);
+          Separated = !Productive[N.SeedStates.front()];
+        }
+        if (!Separated)
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Sttr::str() const {
+  auto StateName = [this](unsigned Q) { return StateNames[Q]; };
+  auto CtorName = [this](unsigned C) { return Sig->ctorName(C); };
+  std::string Result = "STTR over " + Sig->typeName() + " (" +
+                       std::to_string(numStates()) + " states, " +
+                       std::to_string(Rules.size()) + " rules, start " +
+                       StateNames[Start] + ")\n";
+  for (const SttrRule &R : Rules) {
+    Result += "  " + StateNames[R.State] + "(" + Sig->ctorName(R.CtorId);
+    Result += "[" + R.Guard->str() + "]";
+    if (!R.Lookahead.empty()) {
+      Result += " given (";
+      for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
+        if (I != 0)
+          Result += ", ";
+        Result += '{';
+        for (unsigned J = 0; J < R.Lookahead[I].size(); ++J) {
+          if (J != 0)
+            Result += ",";
+          Result += LookaheadSta->stateName(R.Lookahead[I][J]);
+        }
+        Result += '}';
+      }
+      Result += ')';
+    }
+    Result += ") -> " + R.Out->str(StateName, CtorName) + "\n";
+  }
+  return Result;
+}

@@ -1,0 +1,106 @@
+//===- transducers/Sttr.h - Symbolic tree transducers w/ lookahead -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic Tree Transducers with Regular lookahead (Definition 5): rules
+/// (q, f, phi, lbar, t) where t is an output transformer (Output.h) and
+/// lbar assigns each input subtree a conjunction of regular constraints.
+///
+/// Representation note: the paper's lookahead references the transducer's
+/// own state set Q, interpreted through the domain automaton d(S).  We
+/// instead let each STTR carry an explicit *lookahead STA* and have rules
+/// reference its states.  This is equivalent (the domain automaton of
+/// Definition 6 is built by combining the lookahead STA with one domain
+/// state per transducer state) and matches both the Fast surface language,
+/// where `given (p y)` references `lang` definitions, and the composition
+/// algorithm, where the composed lookahead constraints are pre-image states
+/// p.q that are not transduction states of the composed machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_STTR_H
+#define FAST_TRANSDUCERS_STTR_H
+
+#include "automata/Sta.h"
+#include "smt/Solver.h"
+#include "transducers/Output.h"
+
+#include <map>
+#include <optional>
+
+namespace fast {
+
+/// One rule (q, f, phi, lbar, t) of an STTR.
+struct SttrRule {
+  unsigned State;
+  unsigned CtorId;
+  TermRef Guard;
+  /// One conjunction of lookahead-STA states per child; size == rank(f).
+  std::vector<StateSet> Lookahead;
+  /// The output transformer.
+  OutputRef Out;
+};
+
+/// A symbolic tree transducer with regular lookahead.
+class Sttr {
+public:
+  /// Creates an STTR over \p Sig with an initially empty lookahead STA.
+  explicit Sttr(SignatureRef Sig)
+      : Sig(std::move(Sig)), LookaheadSta(std::make_shared<Sta>(this->Sig)) {}
+
+  const SignatureRef &signature() const { return Sig; }
+
+  unsigned addState(std::string Name = "");
+  unsigned numStates() const { return static_cast<unsigned>(StateNames.size()); }
+  const std::string &stateName(unsigned State) const { return StateNames[State]; }
+
+  unsigned startState() const { return Start; }
+  void setStartState(unsigned State) { Start = State; }
+
+  /// The lookahead STA whose states rule lookaheads reference.  Mutable
+  /// while the transducer is under construction.
+  Sta &lookahead() { return *LookaheadSta; }
+  const Sta &lookahead() const { return *LookaheadSta; }
+  const std::shared_ptr<Sta> &lookaheadPtr() { return LookaheadSta; }
+
+  /// Adds rule (State, CtorId, Guard, Lookahead, Out).
+  void addRule(unsigned State, unsigned CtorId, TermRef Guard,
+               std::vector<StateSet> Lookahead, OutputRef Out);
+
+  const std::vector<SttrRule> &rules() const { return Rules; }
+  const SttrRule &rule(unsigned Index) const { return Rules[Index]; }
+  size_t numRules() const { return Rules.size(); }
+  const std::vector<unsigned> &rulesFrom(unsigned State, unsigned CtorId) const;
+
+  /// Returns the identity state (copies input verbatim), creating it and
+  /// its rules on first use.  Label expressions are built in \p F.
+  unsigned ensureIdentityState(TermFactory &F, OutputFactory &Outputs);
+
+  /// True if every rule's output uses each y_i at most once (Definition 5).
+  bool isLinear() const;
+
+  /// Sufficient, decidable condition for single-valuedness (Definition 9):
+  /// no two distinct rules from the same state are simultaneously enabled.
+  /// Guard overlap is checked with \p S; lookahead overlap is checked by
+  /// language-intersection emptiness.
+  bool isDeterministic(Solver &S) const;
+
+  /// Multi-line dump for debugging and golden tests.
+  std::string str() const;
+
+private:
+  SignatureRef Sig;
+  std::vector<std::string> StateNames;
+  std::vector<SttrRule> Rules;
+  std::map<std::pair<unsigned, unsigned>, std::vector<unsigned>> RulesByStateCtor;
+  std::shared_ptr<Sta> LookaheadSta;
+  unsigned Start = 0;
+  std::optional<unsigned> IdentityState;
+};
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_STTR_H

@@ -1,0 +1,57 @@
+//===- trees/RandomTrees.h - Seeded random tree generation ------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic (seeded) random tree generation, used by the property
+/// tests (e.g. checking Theorem 4's composition correctness on sampled
+/// trees) and by the workload generators of the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TREES_RANDOMTREES_H
+#define FAST_TREES_RANDOMTREES_H
+
+#include "trees/Tree.h"
+
+#include <random>
+
+namespace fast {
+
+/// Value ranges for randomly generated attributes.
+struct RandomTreeOptions {
+  unsigned MaxDepth = 6;
+  int64_t IntMin = -10;
+  int64_t IntMax = 10;
+  /// Pool for String attributes; one is drawn uniformly.
+  std::vector<std::string> StringPool = {"", "a", "b", "div", "script"};
+};
+
+/// Generates random trees over a fixed signature.
+class RandomTreeGen {
+public:
+  RandomTreeGen(TreeFactory &Factory, SignatureRef Sig, unsigned Seed,
+                RandomTreeOptions Options = {})
+      : Factory(Factory), Sig(std::move(Sig)), Rng(Seed),
+        Options(std::move(Options)) {}
+
+  /// Generates one random tree of depth at most Options.MaxDepth.
+  TreeRef generate();
+
+  /// Generates one random value of sort \p S within the configured ranges.
+  Value randomValue(Sort S);
+
+private:
+  TreeRef generateAtDepth(unsigned Remaining);
+
+  TreeFactory &Factory;
+  SignatureRef Sig;
+  std::mt19937 Rng;
+  RandomTreeOptions Options;
+};
+
+} // namespace fast
+
+#endif // FAST_TREES_RANDOMTREES_H

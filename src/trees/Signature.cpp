@@ -1,0 +1,68 @@
+//===- trees/Signature.cpp - Ranked tree signatures -----------------------===//
+
+#include "trees/Signature.h"
+
+#include <cassert>
+
+using namespace fast;
+
+TreeSignature::TreeSignature(std::string TypeName, std::vector<AttrSpec> Attrs,
+                             std::vector<Constructor> Ctors)
+    : TypeName(std::move(TypeName)), Attrs(std::move(Attrs)),
+      Ctors(std::move(Ctors)) {
+  bool HasNullary = false;
+  for (unsigned I = 0; I < this->Ctors.size(); ++I) {
+    const Constructor &C = this->Ctors[I];
+    [[maybe_unused]] bool Fresh = CtorIndex.emplace(C.Name, I).second;
+    assert(Fresh && "duplicate constructor name");
+    MaxRank = std::max(MaxRank, C.Rank);
+    HasNullary |= C.Rank == 0;
+  }
+  assert(HasNullary && "signature needs a rank-0 constructor");
+  for (unsigned I = 0; I < this->Attrs.size(); ++I) {
+    [[maybe_unused]] bool Fresh =
+        AttrIndex.emplace(this->Attrs[I].Name, I).second;
+    assert(Fresh && "duplicate attribute name");
+  }
+}
+
+SignatureRef TreeSignature::create(std::string TypeName,
+                                   std::vector<AttrSpec> Attrs,
+                                   std::vector<Constructor> Ctors) {
+  return SignatureRef(new TreeSignature(std::move(TypeName), std::move(Attrs),
+                                        std::move(Ctors)));
+}
+
+std::optional<unsigned> TreeSignature::findAttr(const std::string &Name) const {
+  auto It = AttrIndex.find(Name);
+  if (It == AttrIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<unsigned>
+TreeSignature::findConstructor(const std::string &Name) const {
+  auto It = CtorIndex.find(Name);
+  if (It == CtorIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+TermRef TreeSignature::attrTerm(TermFactory &F, unsigned Index) const {
+  assert(Index < Attrs.size() && "attribute index out of range");
+  return F.attr(Index, Attrs[Index].TheSort, Attrs[Index].Name);
+}
+
+bool TreeSignature::isCompatibleWith(const TreeSignature &Other) const {
+  if (Ctors.size() != Other.Ctors.size() || Attrs.size() != Other.Attrs.size())
+    return false;
+  for (unsigned I = 0; I < Ctors.size(); ++I)
+    if (Ctors[I].Name != Other.Ctors[I].Name ||
+        Ctors[I].Rank != Other.Ctors[I].Rank)
+      return false;
+  for (unsigned I = 0; I < Attrs.size(); ++I)
+    if (Attrs[I].Name != Other.Attrs[I].Name ||
+        Attrs[I].TheSort != Other.Attrs[I].TheSort)
+      return false;
+  return true;
+}

@@ -1,0 +1,87 @@
+//===- trees/Signature.h - Ranked tree signatures ---------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree signature describes a Fast tree type declaration
+/// `type T [a1:S1, ..., am:Sm] { c1(k1), ..., cn(kn) }`: a finite set of
+/// ranked constructors plus the typed attribute tuple carried by every
+/// node (the paper's T^sigma_Sigma from Section 3.1, generalized from a
+/// single attribute to a tuple).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TREES_SIGNATURE_H
+#define FAST_TREES_SIGNATURE_H
+
+#include "smt/Term.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fast {
+
+/// One typed attribute field of a tree type.
+struct AttrSpec {
+  std::string Name;
+  Sort TheSort;
+};
+
+/// One ranked constructor of a tree type.
+struct Constructor {
+  std::string Name;
+  unsigned Rank;
+};
+
+class TreeSignature;
+using SignatureRef = std::shared_ptr<const TreeSignature>;
+
+/// An immutable ranked alphabet with an attribute schema.
+class TreeSignature {
+public:
+  /// Creates a signature; at least one rank-0 constructor is required so the
+  /// set of trees is non-empty (Section 3.1's requirement on Sigma(0)).
+  static SignatureRef create(std::string TypeName, std::vector<AttrSpec> Attrs,
+                             std::vector<Constructor> Ctors);
+
+  const std::string &typeName() const { return TypeName; }
+
+  unsigned numAttrs() const { return static_cast<unsigned>(Attrs.size()); }
+  const AttrSpec &attrSpec(unsigned I) const { return Attrs[I]; }
+  std::optional<unsigned> findAttr(const std::string &Name) const;
+
+  unsigned numConstructors() const { return static_cast<unsigned>(Ctors.size()); }
+  const Constructor &constructor(unsigned Id) const { return Ctors[Id]; }
+  unsigned rank(unsigned CtorId) const { return Ctors[CtorId].Rank; }
+  const std::string &ctorName(unsigned CtorId) const { return Ctors[CtorId].Name; }
+  std::optional<unsigned> findConstructor(const std::string &Name) const;
+  unsigned maxRank() const { return MaxRank; }
+
+  /// Builds the Attr term for attribute \p Index in \p F (sort and display
+  /// name taken from the schema).
+  TermRef attrTerm(TermFactory &F, unsigned Index) const;
+
+  /// True if both signatures have the same constructors (name/rank, in
+  /// order) and attribute schema; such signatures describe the same trees.
+  bool isCompatibleWith(const TreeSignature &Other) const;
+
+private:
+  TreeSignature(std::string TypeName, std::vector<AttrSpec> Attrs,
+                std::vector<Constructor> Ctors);
+
+  std::string TypeName;
+  std::vector<AttrSpec> Attrs;
+  std::vector<Constructor> Ctors;
+  std::unordered_map<std::string, unsigned> CtorIndex;
+  std::unordered_map<std::string, unsigned> AttrIndex;
+  unsigned MaxRank = 0;
+};
+
+} // namespace fast
+
+#endif // FAST_TREES_SIGNATURE_H

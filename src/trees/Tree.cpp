@@ -1,0 +1,87 @@
+//===- trees/Tree.cpp - Hash-consed attributed trees ----------------------===//
+
+#include "trees/Tree.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fast;
+
+TreeNode::TreeNode(const TreeSignature *Sig, unsigned CtorId,
+                   std::vector<Value> Attrs, std::vector<TreeRef> Children)
+    : Sig(Sig), CtorId(CtorId), Attrs(std::move(Attrs)),
+      Children(std::move(Children)) {
+  Size = 1;
+  Depth = 1;
+  for (TreeRef Child : this->Children) {
+    Size += Child->size();
+    Depth = std::max(Depth, Child->depth() + 1);
+  }
+  std::size_t Seed = CtorId;
+  for (const Value &V : this->Attrs)
+    hashCombine(Seed, V.hash());
+  for (TreeRef Child : this->Children)
+    hashCombine(Seed, Child->hash());
+  Hash = Seed;
+}
+
+std::string TreeNode::str() const {
+  std::string Result = ctorName();
+  Result += '[';
+  for (unsigned I = 0; I < Attrs.size(); ++I) {
+    if (I != 0)
+      Result += ", ";
+    Result += Attrs[I].str();
+  }
+  Result += ']';
+  if (!Children.empty()) {
+    Result += '(';
+    for (unsigned I = 0; I < Children.size(); ++I) {
+      if (I != 0)
+        Result += ", ";
+      Result += Children[I]->str();
+    }
+    Result += ')';
+  }
+  return Result;
+}
+
+bool TreeFactory::NodeEq::operator()(const TreeNode *A,
+                                     const TreeNode *B) const {
+  if (A->ctorId() != B->ctorId() || &A->signature() != &B->signature())
+    return false;
+  auto AAttrs = A->attrs(), BAttrs = B->attrs();
+  if (!std::equal(AAttrs.begin(), AAttrs.end(), BAttrs.begin(), BAttrs.end()))
+    return false;
+  auto AKids = A->children(), BKids = B->children();
+  return std::equal(AKids.begin(), AKids.end(), BKids.begin(), BKids.end());
+}
+
+TreeRef TreeFactory::make(const SignatureRef &Sig, unsigned CtorId,
+                          std::vector<Value> Attrs,
+                          std::vector<TreeRef> Children) {
+  assert(Sig && CtorId < Sig->numConstructors() && "bad constructor id");
+  assert(Children.size() == Sig->rank(CtorId) && "wrong number of children");
+  assert(Attrs.size() == Sig->numAttrs() && "wrong number of attributes");
+  for (unsigned I = 0; I < Attrs.size(); ++I) {
+    assert(Attrs[I].sort() == Sig->attrSpec(I).TheSort &&
+           "attribute value has wrong sort");
+    (void)I;
+  }
+  for ([[maybe_unused]] TreeRef Child : Children)
+    assert(&Child->signature() == Sig.get() &&
+           "child belongs to a different signature");
+
+  LiveSignatures.insert(Sig);
+  auto Node = std::unique_ptr<TreeNode>(
+      new TreeNode(Sig.get(), CtorId, std::move(Attrs), std::move(Children)));
+  auto It = Interned.find(Node.get());
+  if (It != Interned.end())
+    return *It;
+  TreeNode *Raw = Node.get();
+  Nodes.push_back(std::move(Node));
+  Interned.insert(Raw);
+  return Raw;
+}

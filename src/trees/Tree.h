@@ -1,0 +1,103 @@
+//===- trees/Tree.h - Hash-consed attributed trees --------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete trees over a TreeSignature.  Nodes are immutable and interned
+/// by a TreeFactory, so structurally equal trees are pointer-equal and
+/// subtree sharing is free — the deforestation benchmark evaluates long
+/// list pipelines whose intermediate results share almost all structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TREES_TREE_H
+#define FAST_TREES_TREE_H
+
+#include "trees/Signature.h"
+
+#include <deque>
+#include <span>
+#include <unordered_set>
+
+namespace fast {
+
+class TreeNode;
+using TreeRef = const TreeNode *;
+
+/// One immutable tree node: a constructor, its attribute tuple, and its
+/// children (exactly rank(ctor) of them).
+class TreeNode {
+public:
+  const TreeSignature &signature() const { return *Sig; }
+  unsigned ctorId() const { return CtorId; }
+  const std::string &ctorName() const { return Sig->ctorName(CtorId); }
+  unsigned rank() const { return static_cast<unsigned>(Children.size()); }
+
+  std::span<const Value> attrs() const { return Attrs; }
+  const Value &attr(unsigned I) const { return Attrs[I]; }
+
+  std::span<const TreeRef> children() const { return Children; }
+  TreeRef child(unsigned I) const { return Children[I]; }
+
+  /// Total number of nodes in this tree.
+  size_t size() const { return Size; }
+  /// Height (a leaf has depth 1).
+  unsigned depth() const { return Depth; }
+
+  std::size_t hash() const { return Hash; }
+
+  /// Renders in Fast witness syntax, e.g. `node["div"](nil[""], ...)`.
+  std::string str() const;
+
+private:
+  friend class TreeFactory;
+  TreeNode(const TreeSignature *Sig, unsigned CtorId, std::vector<Value> Attrs,
+           std::vector<TreeRef> Children);
+
+  const TreeSignature *Sig;
+  unsigned CtorId;
+  std::vector<Value> Attrs;
+  std::vector<TreeRef> Children;
+  size_t Size;
+  unsigned Depth;
+  std::size_t Hash;
+};
+
+/// Interns TreeNodes and keeps their signatures alive.
+class TreeFactory {
+public:
+  TreeFactory() = default;
+  TreeFactory(const TreeFactory &) = delete;
+  TreeFactory &operator=(const TreeFactory &) = delete;
+
+  /// Creates (or reuses) the tree `ctor[attrs](children)`.  Children must
+  /// already belong to this factory and use the same signature object.
+  TreeRef make(const SignatureRef &Sig, unsigned CtorId,
+               std::vector<Value> Attrs, std::vector<TreeRef> Children);
+
+  /// Convenience for rank-0 constructors.
+  TreeRef makeLeaf(const SignatureRef &Sig, unsigned CtorId,
+                   std::vector<Value> Attrs) {
+    return make(Sig, CtorId, std::move(Attrs), {});
+  }
+
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  struct NodeHash {
+    std::size_t operator()(const TreeNode *N) const { return N->hash(); }
+  };
+  struct NodeEq {
+    bool operator()(const TreeNode *A, const TreeNode *B) const;
+  };
+
+  std::deque<std::unique_ptr<TreeNode>> Nodes;
+  std::unordered_set<TreeNode *, NodeHash, NodeEq> Interned;
+  std::unordered_set<SignatureRef> LiveSignatures;
+};
+
+} // namespace fast
+
+#endif // FAST_TREES_TREE_H

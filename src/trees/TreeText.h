@@ -1,0 +1,30 @@
+//===- trees/TreeText.h - Parsing trees from text ---------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the witness syntax printed by TreeNode::str(), e.g.
+/// `node["div"](nil[""], nil[""], nil[""])`.  Used by tests and by the
+/// `tree` declaration of the Fast frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TREES_TREETEXT_H
+#define FAST_TREES_TREETEXT_H
+
+#include "trees/Tree.h"
+
+#include <string>
+
+namespace fast {
+
+/// Parses \p Text as a tree over \p Sig, interning nodes in \p Factory.
+/// Returns nullptr and fills \p Error on malformed input.
+TreeRef parseTree(TreeFactory &Factory, const SignatureRef &Sig,
+                  const std::string &Text, std::string &Error);
+
+} // namespace fast
+
+#endif // FAST_TREES_TREETEXT_H

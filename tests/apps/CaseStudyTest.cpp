@@ -1,0 +1,373 @@
+//===- tests/apps/CaseStudyTest.cpp - AR / deforestation / CSS / classical ===//
+
+#include "apps/ArTaggers.h"
+#include "apps/Classical.h"
+#include "apps/Css.h"
+#include "apps/Deforestation.h"
+#include "transducers/Run.h"
+#include "trees/RandomTrees.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AR taggers (Section 5.2)
+//===----------------------------------------------------------------------===//
+
+/// Builds a world of \p N untagged elements with values v = 0, 1, ....
+TreeRef makeWorld(Session &S, const SignatureRef &Sig, unsigned N) {
+  TreeRef World = S.Trees.makeLeaf(
+      Sig, 0, {Value::integer(0), Value::real(Rational(0))});
+  for (unsigned I = N; I > 0; --I) {
+    TreeRef NoTags = S.Trees.makeLeaf(
+        Sig, 0, {Value::integer(0), Value::real(Rational(0))});
+    World = S.Trees.make(
+        Sig, 2, {Value::integer(I - 1), Value::real(Rational(I - 1))},
+        {NoTags, World});
+  }
+  return World;
+}
+
+/// Counts tags per element of a world.
+std::vector<unsigned> tagCounts(TreeRef World) {
+  std::vector<unsigned> Counts;
+  while (World->ctorName() == "elem") {
+    unsigned N = 0;
+    for (TreeRef T = World->child(0); T->ctorName() == "tag"; T = T->child(0))
+      ++N;
+    Counts.push_back(N);
+    World = World->child(1);
+  }
+  return Counts;
+}
+
+TEST(ArTest, TaggersTagMatchingElements) {
+  Session S;
+  ar::ArOptions Options;
+  Options.NumTaggers = 8;
+  Options.MaxStates = 12;
+  ar::ArWorkload W = ar::generateArWorkload(S, /*Seed=*/3, Options);
+  ASSERT_EQ(W.Taggers.size(), 8u);
+  TreeRef World = makeWorld(S, W.Sig, 10);
+  EXPECT_TRUE(W.Untagged.contains(World));
+  for (const auto &T : W.Taggers) {
+    std::vector<TreeRef> Out = runSttr(*T, S.Trees, World);
+    ASSERT_EQ(Out.size(), 1u) << "taggers are deterministic and total";
+    for (unsigned C : tagCounts(Out.front()))
+      EXPECT_LE(C, 1u) << "a tagger tags each node at most once";
+  }
+}
+
+TEST(ArTest, HandBuiltConflict) {
+  Session S;
+  SignatureRef Sig = ar::arSignature();
+  TermFactory &F = S.Terms;
+  TermRef V = Sig->attrTerm(F, 0);
+  TermRef W = Sig->attrTerm(F, 1);
+
+  // Both taggers tag the FIRST element when v > 0 / v < 10: guards overlap.
+  auto MakeSimpleTagger = [&](TermRef Guard) {
+    auto T = std::make_shared<Sttr>(Sig);
+    unsigned Id = T->ensureIdentityState(F, S.Outputs);
+    unsigned Q0 = T->addState("first");
+    T->setStartState(Q0);
+    OutputRef CopyTags = S.Outputs.mkState(Id, 0);
+    OutputRef RestElems = S.Outputs.mkState(Id, 1);
+    T->addRule(Q0, 2, Guard, {{}, {}},
+               S.Outputs.mkCons(
+                   2, {V, W},
+                   {S.Outputs.mkCons(1, {V, W}, {CopyTags}), RestElems}));
+    T->addRule(Q0, 2, F.mkNot(Guard), {{}, {}},
+               S.Outputs.mkCons(2, {V, W}, {CopyTags, RestElems}));
+    T->addRule(Q0, 0, F.trueTerm(), {},
+               S.Outputs.mkCons(0, {F.intConst(0), F.realConst(Rational(0))},
+                                {}));
+    return T;
+  };
+
+  ar::ArWorkload Wl;
+  Wl.Sig = Sig;
+  ar::ArWorkload Generated = ar::generateArWorkload(S, 1, {2, 1, 2, 3.0, 0});
+  Wl.Untagged = Generated.Untagged;
+  Wl.DoubleTagged = Generated.DoubleTagged;
+  Wl.Taggers.push_back(MakeSimpleTagger(F.mkGt(V, F.intConst(0))));
+  Wl.Taggers.push_back(MakeSimpleTagger(F.mkLt(V, F.intConst(10))));
+  Wl.Taggers.push_back(MakeSimpleTagger(F.mkLt(V, F.intConst(0))));
+
+  // Overlapping guards (0 < v < 10): conflict.
+  EXPECT_TRUE(ar::checkConflict(S, Wl, 0, 1).Conflict);
+  // Disjoint guards (v > 0 vs v < 0): no conflict.
+  EXPECT_FALSE(ar::checkConflict(S, Wl, 0, 2).Conflict);
+  // Self-conflict of a tagging tagger: tags the same node twice.
+  EXPECT_TRUE(ar::checkConflict(S, Wl, 1, 1).Conflict);
+}
+
+TEST(ArTest, ConflictMatchesDynamicObservation) {
+  Session S;
+  ar::ArOptions Options;
+  Options.NumTaggers = 6;
+  Options.MaxStates = 8;
+  ar::ArWorkload W = ar::generateArWorkload(S, /*Seed=*/11, Options);
+  TreeRef World = makeWorld(S, W.Sig, 12);
+  for (unsigned I = 0; I < 3; ++I) {
+    for (unsigned J = 0; J < 3; ++J) {
+      ar::ConflictCheck C = ar::checkConflict(S, W, I, J);
+      // Dynamic cross-check on one sample world: a statically detected
+      // non-conflict must never doubly tag the sample.
+      std::vector<TreeRef> Mid = runSttr(*W.Taggers[I], S.Trees, World);
+      ASSERT_EQ(Mid.size(), 1u);
+      std::vector<TreeRef> Out = runSttr(*W.Taggers[J], S.Trees, Mid.front());
+      ASSERT_EQ(Out.size(), 1u);
+      bool DynamicDouble = false;
+      for (unsigned N : tagCounts(Out.front()))
+        DynamicDouble |= N >= 2;
+      if (DynamicDouble)
+        EXPECT_TRUE(C.Conflict);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deforestation (Section 5.3)
+//===----------------------------------------------------------------------===//
+
+TEST(DeforestationTest, NaiveAndComposedAgree) {
+  Session S;
+  SignatureRef Sig = defo::listSignature();
+  std::vector<std::shared_ptr<Sttr>> Pipeline;
+  for (int I = 0; I < 8; ++I)
+    Pipeline.push_back(defo::makeMapCaesar(S, Sig));
+  TreeRef In = defo::randomList(S, Sig, 200, /*Seed=*/21);
+  TreeRef Naive = defo::runNaive(S, Pipeline, In);
+  std::shared_ptr<Sttr> Composed = defo::composePipeline(S, Pipeline);
+  EXPECT_EQ(defo::runComposed(S, *Composed, In), Naive);
+  // 8 shifts of +5 mod 26 == +40 mod 26 == +14.
+  std::vector<int64_t> InVals = defo::readList(In);
+  std::vector<int64_t> OutVals = defo::readList(Naive);
+  ASSERT_EQ(InVals.size(), OutVals.size());
+  for (size_t I = 0; I < InVals.size(); ++I)
+    EXPECT_EQ(OutVals[I], (InVals[I] + 40) % 26);
+}
+
+TEST(DeforestationTest, ComposedPipelineStaysSmall) {
+  // The whole point of Figure 7: n-fold self-composition of map_caesar
+  // must not grow with n — the mod-chain simplification collapses the
+  // label expressions, like Z3's simplifier does for the authors.
+  Session S;
+  SignatureRef Sig = defo::listSignature();
+  std::vector<std::shared_ptr<Sttr>> Pipeline;
+  size_t Rules16 = 0;
+  for (int I = 0; I < 64; ++I) {
+    Pipeline.push_back(defo::makeMapCaesar(S, Sig));
+    if (I == 15)
+      Rules16 = defo::composePipeline(S, Pipeline)->numRules();
+  }
+  std::shared_ptr<Sttr> Composed64 = defo::composePipeline(S, Pipeline);
+  EXPECT_EQ(Composed64->numRules(), Rules16);
+  EXPECT_LE(Composed64->numStates(), 4u);
+}
+
+TEST(DeforestationTest, MixedMapFilterPipeline) {
+  Session S;
+  SignatureRef Sig = defo::listSignature();
+  std::vector<std::shared_ptr<Sttr>> Pipeline = {
+      defo::makeMapCaesar(S, Sig), defo::makeFilterEven(S, Sig),
+      defo::makeMapCaesar(S, Sig), defo::makeFilterEven(S, Sig)};
+  TreeRef In = defo::randomList(S, Sig, 64, /*Seed=*/33);
+  std::shared_ptr<Sttr> Composed = defo::composePipeline(S, Pipeline);
+  EXPECT_EQ(defo::runComposed(S, *Composed, In),
+            defo::runNaive(S, Pipeline, In));
+  // Section 5.4: this pipeline always deletes everything.
+  EXPECT_TRUE(defo::readList(defo::runNaive(S, Pipeline, In)).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CSS (Section 5.5)
+//===----------------------------------------------------------------------===//
+
+TEST(CssTest, SimpleRuleApplies) {
+  Session S;
+  SignatureRef Sig = css::cssSignature();
+  css::CssRule Rule{{"p"}, css::CssProp::Color, 7};
+  std::shared_ptr<Sttr> T = css::compileRule(S, Sig, Rule);
+
+  auto Nil = S.Trees.makeLeaf(
+      Sig, 0, {Value::string(""), Value::integer(0), Value::integer(0)});
+  auto P = S.Trees.make(
+      Sig, 1, {Value::string("p"), Value::integer(1), Value::integer(2)},
+      {Nil, Nil});
+  auto Div = S.Trees.make(
+      Sig, 1, {Value::string("div"), Value::integer(3), Value::integer(4)},
+      {P, Nil});
+  std::vector<TreeRef> Out = runSttr(*T, S.Trees, Div);
+  ASSERT_EQ(Out.size(), 1u);
+  // div untouched; p recolored.
+  EXPECT_EQ(Out.front()->attr(1).getInt(), 3);
+  EXPECT_EQ(Out.front()->child(0)->attr(1).getInt(), 7);
+  EXPECT_EQ(Out.front()->child(0)->attr(2).getInt(), 2);
+}
+
+TEST(CssTest, DescendantSelector) {
+  Session S;
+  SignatureRef Sig = css::cssSignature();
+  css::CssRule Rule{{"div", "p"}, css::CssProp::Color, 9};
+  std::shared_ptr<Sttr> T = css::compileRule(S, Sig, Rule);
+
+  auto Nil = S.Trees.makeLeaf(
+      Sig, 0, {Value::string(""), Value::integer(0), Value::integer(0)});
+  auto MakeNode = [&](const std::string &Tag, TreeRef Child, TreeRef Sib) {
+    return S.Trees.make(
+        Sig, 1, {Value::string(Tag), Value::integer(1), Value::integer(2)},
+        {Child, Sib});
+  };
+  // <p/> outside a div stays; <div><p/></div>'s p is recolored; and a p
+  // that is a *sibling* of the div is untouched.
+  TreeRef InnerP = MakeNode("p", Nil, Nil);
+  TreeRef SiblingP = MakeNode("p", Nil, Nil);
+  TreeRef Div = MakeNode("div", InnerP, SiblingP);
+  std::vector<TreeRef> Out = runSttr(*T, S.Trees, Div);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.front()->child(0)->attr(1).getInt(), 9);  // inner p
+  EXPECT_EQ(Out.front()->child(1)->attr(1).getInt(), 1);  // sibling p
+}
+
+TEST(CssTest, BlackOnBlackAnalysis) {
+  Session S;
+  SignatureRef Sig = css::cssSignature();
+  // Sheet 1 sets p's color and background to the same value: unreadable
+  // documents exist (any document containing a p).
+  std::vector<css::CssRule> Bad = {{{"p"}, css::CssProp::Color, 0},
+                                   {{"p"}, css::CssProp::Background, 0}};
+  std::shared_ptr<Sttr> BadSheet = css::compileStylesheet(S, Sig, Bad);
+  std::optional<TreeRef> W = css::findUnreadableInput(S, *BadSheet);
+  ASSERT_TRUE(W.has_value());
+  // Confirm dynamically.
+  std::vector<TreeRef> Styled = runSttr(*BadSheet, S.Trees, *W);
+  ASSERT_EQ(Styled.size(), 1u);
+  TreeLanguage Unreadable = css::unreadableLanguage(S, Sig);
+  EXPECT_TRUE(Unreadable.contains(Styled.front()));
+}
+
+TEST(CssTest, CascadeOverrideFixesContrast) {
+  Session S;
+  SignatureRef Sig = css::cssSignature();
+  // A later rule overrides p's color, but only under div; p outside a div
+  // keeps color 0 on background 0.  The analysis still finds a witness.
+  std::vector<css::CssRule> Sheet = {{{"p"}, css::CssProp::Color, 0},
+                                     {{"p"}, css::CssProp::Background, 0},
+                                     {{"div", "p"}, css::CssProp::Color, 5}};
+  std::shared_ptr<Sttr> T = css::compileStylesheet(S, Sig, Sheet);
+  std::optional<TreeRef> W = css::findUnreadableInput(S, *T);
+  ASSERT_TRUE(W.has_value());
+
+  // Whereas overriding everywhere removes all witnesses... but an input
+  // document may already carry color == bg on a non-p node, so restrict
+  // attention to styled-p readability by checking a div-p document is
+  // fine after the override.
+  auto Nil = S.Trees.makeLeaf(
+      Sig, 0, {Value::string(""), Value::integer(0), Value::integer(0)});
+  TreeRef P = S.Trees.make(
+      Sig, 1, {Value::string("p"), Value::integer(1), Value::integer(2)},
+      {Nil, Nil});
+  TreeRef Div = S.Trees.make(
+      Sig, 1, {Value::string("div"), Value::integer(3), Value::integer(4)},
+      {P, Nil});
+  std::vector<TreeRef> Styled = runSttr(*T, S.Trees, Div);
+  ASSERT_EQ(Styled.size(), 1u);
+  EXPECT_EQ(Styled.front()->child(0)->attr(1).getInt(), 5);
+  EXPECT_EQ(Styled.front()->child(0)->attr(2).getInt(), 0);
+}
+
+TEST(CssTest, ParseCssText) {
+  std::vector<css::CssRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(css::parseCss("/* cascade */\n"
+                            "p { color: #000; }\n"
+                            "div p { background-color: black; color: #ffffff }\n"
+                            "li { background: #a1b2c3; }",
+                            Rules, Error))
+      << Error;
+  ASSERT_EQ(Rules.size(), 4u);
+  EXPECT_EQ(Rules[0].SelectorPath, std::vector<std::string>{"p"});
+  EXPECT_EQ(Rules[0].Prop, css::CssProp::Color);
+  EXPECT_EQ(Rules[0].Value, 0x000000);
+  EXPECT_EQ(Rules[1].SelectorPath,
+            (std::vector<std::string>{"div", "p"}));
+  EXPECT_EQ(Rules[1].Value, 0x000000);
+  EXPECT_EQ(Rules[2].Prop, css::CssProp::Color);
+  EXPECT_EQ(Rules[2].Value, 0xffffff);
+  EXPECT_EQ(Rules[3].Value, 0xa1b2c3);
+}
+
+TEST(CssTest, ParseCssErrors) {
+  std::vector<css::CssRule> Rules;
+  std::string Error;
+  EXPECT_FALSE(css::parseCss("p { colour: #000; }", Rules, Error));
+  EXPECT_NE(Error.find("unknown property"), std::string::npos);
+  EXPECT_FALSE(css::parseCss("p { color: #12345; }", Rules, Error));
+  EXPECT_FALSE(css::parseCss("a b c { color: #000; }", Rules, Error));
+  EXPECT_FALSE(css::parseCss("{ color: #000; }", Rules, Error));
+}
+
+TEST(CssTest, ParsedSheetDrivesTheAnalysis) {
+  Session S;
+  SignatureRef Sig = css::cssSignature();
+  std::vector<css::CssRule> Rules;
+  std::string Error;
+  ASSERT_TRUE(css::parseCss(
+      "p { color: black; }  div p { background-color: #000; }", Rules,
+      Error))
+      << Error;
+  std::shared_ptr<Sttr> Sheet = css::compileStylesheet(S, Sig, Rules);
+  EXPECT_TRUE(css::findUnreadableInput(S, *Sheet).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic vs classical (Section 6)
+//===----------------------------------------------------------------------===//
+
+TEST(ClassicalTest, EncodingsAgreeOnSamples) {
+  Session S;
+  std::vector<unsigned> Word = {1, 2, 3};
+  TreeLanguage Classical, Symbolic;
+  classical::buildClassicalNotWord(S, /*AlphabetSize=*/6, Word, &Classical);
+  classical::buildSymbolicNotWord(S, /*AlphabetSize=*/6, Word, &Symbolic);
+
+  SignatureRef Sig = classical::chainSignature();
+  auto MakeChain = [&](const std::vector<unsigned> &Chars) {
+    TreeRef T = S.Trees.makeLeaf(Sig, 0, {Value::integer(0)});
+    for (auto It = Chars.rbegin(); It != Chars.rend(); ++It)
+      T = S.Trees.make(Sig, 1, {Value::integer(*It)}, {T});
+    return T;
+  };
+  std::vector<std::vector<unsigned>> Samples = {
+      {}, {1}, {1, 2}, {1, 2, 3}, {1, 2, 4}, {3, 2, 1}, {1, 2, 3, 4}, {5}};
+  for (const auto &Chars : Samples) {
+    TreeRef Chain = MakeChain(Chars);
+    bool Expected = Chars != std::vector<unsigned>{1, 2, 3};
+    EXPECT_EQ(Classical.contains(Chain), Expected) << Chain->str();
+    EXPECT_EQ(Symbolic.contains(Chain), Expected) << Chain->str();
+  }
+}
+
+TEST(ClassicalTest, SymbolicSizeIsAlphabetIndependent) {
+  Session S;
+  std::vector<unsigned> Word = {1, 2, 3, 4, 5, 6}; // like "script"
+  classical::EncodingStats C16 =
+      classical::buildClassicalNotWord(S, 16, Word);
+  classical::EncodingStats C256 =
+      classical::buildClassicalNotWord(S, 256, Word);
+  classical::EncodingStats S16 = classical::buildSymbolicNotWord(S, 16, Word);
+  classical::EncodingStats S256 =
+      classical::buildSymbolicNotWord(S, 256, Word);
+  // Classical: ~ (|word| + 2) * alphabet rules; symbolic: constant.
+  EXPECT_EQ(C16.Rules, (Word.size() + 2) * 16 + Word.size() + 1);
+  EXPECT_EQ(C256.Rules, (Word.size() + 2) * 256 + Word.size() + 1);
+  EXPECT_EQ(S16.Rules, S256.Rules);
+  EXPECT_LE(S256.Rules, 3 * Word.size() + 4);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- tests/automata/DeterminizeTest.cpp - Complement & friends ----------===//
+
+#include "TestUtil.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+class DeterminizeTest : public ::testing::Test {
+protected:
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage AllPos = makeAllPositiveLang(S, Sig);
+  TreeLanguage AllOdd = makeAllOddLang(S, Sig);
+};
+
+TEST_F(DeterminizeTest, DeterminizedAcceptsSameLanguage) {
+  TreeLanguage N = normalize(S.Solv, AllPos);
+  DeterminizedSta D = determinize(S.Solv, N.automaton());
+  TreeLanguage DetLang(D.Automaton, D.acceptingFor(N.roots()));
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/23);
+  for (int I = 0; I < 150; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(DetLang.contains(T), AllPos.contains(T)) << T->str();
+  }
+}
+
+TEST_F(DeterminizeTest, ComplementFlipsMembership) {
+  TreeLanguage NotPos = complementLanguage(S.Solv, AllPos);
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/29);
+  for (int I = 0; I < 150; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_NE(NotPos.contains(T), AllPos.contains(T)) << T->str();
+  }
+}
+
+TEST_F(DeterminizeTest, DoubleComplementIsIdentity) {
+  TreeLanguage Twice =
+      complementLanguage(S.Solv, complementLanguage(S.Solv, AllOdd));
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, Twice, AllOdd));
+}
+
+TEST_F(DeterminizeTest, ComplementOfUniversalIsEmpty) {
+  TreeLanguage All = universalLanguage(S.Terms, Sig);
+  EXPECT_TRUE(isEmptyLanguage(S.Solv, complementLanguage(S.Solv, All)));
+  TreeLanguage None = emptyLanguage(Sig);
+  EXPECT_TRUE(
+      areEquivalentLanguages(S.Solv, complementLanguage(S.Solv, None), All));
+}
+
+TEST_F(DeterminizeTest, DifferenceAndDeMorgan) {
+  TreeLanguage Diff = differenceLanguages(S.Solv, AllPos, AllOdd);
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/31);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(Diff.contains(T), AllPos.contains(T) && !AllOdd.contains(T));
+  }
+  // not(A cup B) == not A cap not B.
+  TreeLanguage Lhs =
+      complementLanguage(S.Solv, unionLanguages(AllPos, AllOdd));
+  TreeLanguage Rhs =
+      intersectLanguages(S.Solv, complementLanguage(S.Solv, AllPos),
+                         complementLanguage(S.Solv, AllOdd));
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, Lhs, Rhs));
+}
+
+TEST_F(DeterminizeTest, InclusionChecks) {
+  // all-positive-and-odd is included in all-positive.
+  TreeLanguage Both = intersectLanguages(S.Solv, AllPos, AllOdd);
+  EXPECT_TRUE(isSubsetLanguage(S.Solv, Both, AllPos));
+  EXPECT_TRUE(isSubsetLanguage(S.Solv, Both, AllOdd));
+  EXPECT_FALSE(isSubsetLanguage(S.Solv, AllPos, AllOdd));
+  EXPECT_TRUE(isSubsetLanguage(S.Solv, emptyLanguage(Sig), Both));
+  EXPECT_TRUE(
+      isSubsetLanguage(S.Solv, AllPos, universalLanguage(S.Terms, Sig)));
+}
+
+TEST_F(DeterminizeTest, EquivalenceOfDifferentPresentations) {
+  // "leaf label > 0" written with the dual guard on the complement side.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned P = A->addState("p2");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  A->addRule(P, *Sig->findConstructor("L"),
+             S.Terms.mkNot(S.Terms.mkLe(I, S.Terms.intConst(0))), {});
+  A->addRule(P, *Sig->findConstructor("N"), S.Terms.trueTerm(), {{P}, {P}});
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, TreeLanguage(A, P), AllPos));
+}
+
+TEST_F(DeterminizeTest, MinimizePreservesLanguageAndShrinks) {
+  // Build a redundant automaton: union of AllPos with itself.
+  TreeLanguage Redundant = unionLanguages(AllPos, makeAllPositiveLang(S, Sig));
+  TreeLanguage Min = minimizeLanguage(S.Solv, Redundant);
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, Min, AllPos));
+  // The minimal DTA for "all labels positive" needs 2 states (yes/sink).
+  EXPECT_LE(Min.automaton().numStates(), 2u);
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/37);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(Min.contains(T), AllPos.contains(T));
+  }
+}
+
+TEST_F(DeterminizeTest, MinimizeMergesGuardRegions) {
+  // A language with one state duplicated under split guards minimizes to
+  // the same automaton as the plain version.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("q");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  unsigned L = *Sig->findConstructor("L");
+  // L accepted when i > 0, split into (0 < i <= 5) and (i > 5).
+  A->addRule(Q, L,
+             S.Terms.mkAnd(S.Terms.mkGt(I, S.Terms.intConst(0)),
+                           S.Terms.mkLe(I, S.Terms.intConst(5))),
+             {});
+  A->addRule(Q, L, S.Terms.mkGt(I, S.Terms.intConst(5)), {});
+  TreeLanguage Split(A, Q);
+  TreeLanguage Min = minimizeLanguage(S.Solv, Split);
+  // One accepting state, one sink; and one rule per (state, ctor, target).
+  EXPECT_LE(Min.automaton().numStates(), 2u);
+  auto B = std::make_shared<Sta>(Sig);
+  unsigned P = B->addState("p");
+  B->addRule(P, L, S.Terms.mkGt(I, S.Terms.intConst(0)), {});
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, Min, TreeLanguage(B, P)));
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/automata/StaTest.cpp - STA core operation tests --------------===//
+
+#include "TestUtil.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+class StaTest : public ::testing::Test {
+protected:
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage AllPos = makeAllPositiveLang(S, Sig);
+  TreeLanguage AllOdd = makeAllOddLang(S, Sig);
+};
+
+TEST_F(StaTest, ConcreteMembership) {
+  TreeRef T1 = btNode(S, Sig, 5, btLeaf(S, Sig, 1), btLeaf(S, Sig, 3));
+  TreeRef T2 = btNode(S, Sig, 5, btLeaf(S, Sig, -1), btLeaf(S, Sig, 3));
+  EXPECT_TRUE(AllPos.contains(T1));
+  EXPECT_FALSE(AllPos.contains(T2));
+  // AllPos does not constrain N labels; AllOdd does.
+  TreeRef T3 = btNode(S, Sig, 4, btLeaf(S, Sig, 1), btLeaf(S, Sig, 3));
+  EXPECT_TRUE(AllPos.contains(T3));
+  EXPECT_FALSE(AllOdd.contains(T3));
+  EXPECT_TRUE(AllOdd.contains(btNode(S, Sig, 5, btLeaf(S, Sig, 1),
+                                     btLeaf(S, Sig, -3))));
+}
+
+TEST_F(StaTest, AlternatingMembership) {
+  // Example 2's q: N(x, y) given (p y)(o y) -- conjunction on the second
+  // child, first child unconstrained.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned P = A->addState("p");
+  unsigned O = A->addState("o");
+  unsigned Q = A->addState("q");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  TermRef Odd = S.Terms.mkEq(S.Terms.mkMod(I, S.Terms.intConst(2)),
+                             S.Terms.intConst(1));
+  unsigned L = *Sig->findConstructor("L"), N = *Sig->findConstructor("N");
+  A->addRule(P, L, S.Terms.mkGt(I, S.Terms.intConst(0)), {});
+  A->addRule(P, N, S.Terms.trueTerm(), {{P}, {P}});
+  A->addRule(O, L, Odd, {});
+  A->addRule(O, N, S.Terms.trueTerm(), {{O}, {O}});
+  A->addRule(Q, N, S.Terms.trueTerm(), {{}, {P, O}});
+  EXPECT_FALSE(A->isNormalized());
+  TreeLanguage LangQ(A, Q);
+
+  TreeRef AnyLeft = btLeaf(S, Sig, -4);
+  // Second child must be both all-positive and all-odd.
+  EXPECT_TRUE(LangQ.contains(btNode(S, Sig, 0, AnyLeft, btLeaf(S, Sig, 3))));
+  EXPECT_FALSE(LangQ.contains(btNode(S, Sig, 0, AnyLeft, btLeaf(S, Sig, 4))));
+  EXPECT_FALSE(LangQ.contains(btNode(S, Sig, 0, AnyLeft, btLeaf(S, Sig, -3))));
+  // No rule for L at q.
+  EXPECT_FALSE(LangQ.contains(btLeaf(S, Sig, 3)));
+}
+
+TEST_F(StaTest, NormalizePreservesLanguage) {
+  TreeLanguage Inter = intersectLanguages(S.Solv, AllPos, AllOdd);
+  EXPECT_TRUE(Inter.automaton().isNormalized());
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/11);
+  for (int I = 0; I < 200; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(Inter.contains(T), AllPos.contains(T) && AllOdd.contains(T))
+        << T->str();
+  }
+}
+
+TEST_F(StaTest, UnionSemantics) {
+  TreeLanguage U = unionLanguages(AllPos, AllOdd);
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/13);
+  for (int I = 0; I < 200; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(U.contains(T), AllPos.contains(T) || AllOdd.contains(T));
+  }
+}
+
+TEST_F(StaTest, EmptinessAndWitness) {
+  EXPECT_FALSE(isEmptyLanguage(S.Solv, AllPos));
+  std::optional<TreeRef> W = witness(S.Solv, AllPos, S.Trees);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(AllPos.contains(*W));
+
+  // positive and (negative everywhere) is empty.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Neg = A->addState("neg");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  A->addRule(Neg, *Sig->findConstructor("L"),
+             S.Terms.mkLt(I, S.Terms.intConst(0)), {});
+  A->addRule(Neg, *Sig->findConstructor("N"),
+             S.Terms.mkLt(I, S.Terms.intConst(0)), {{Neg}, {Neg}});
+  TreeLanguage AllNeg(A, Neg);
+  TreeLanguage Empty = intersectLanguages(S.Solv, AllPos, AllNeg);
+  EXPECT_TRUE(isEmptyLanguage(S.Solv, Empty));
+  EXPECT_FALSE(witness(S.Solv, Empty, S.Trees).has_value());
+}
+
+TEST_F(StaTest, WitnessSatisfiesTightGuards) {
+  // Language of single leaves with 10 < i < 12, i.e. i == 11.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("q");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  A->addRule(Q, *Sig->findConstructor("L"),
+             S.Terms.mkAnd(S.Terms.mkLt(S.Terms.intConst(10), I),
+                           S.Terms.mkLt(I, S.Terms.intConst(12))),
+             {});
+  std::optional<TreeRef> W = witness(S.Solv, TreeLanguage(A, Q), S.Trees);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)->attr(0).getInt(), 11);
+}
+
+TEST_F(StaTest, UniversalAndEmpty) {
+  TreeLanguage All = universalLanguage(S.Terms, Sig);
+  TreeLanguage None = emptyLanguage(Sig);
+  EXPECT_FALSE(isEmptyLanguage(S.Solv, All));
+  EXPECT_TRUE(isEmptyLanguage(S.Solv, None));
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/17);
+  for (int I = 0; I < 50; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_TRUE(All.contains(T));
+    EXPECT_FALSE(None.contains(T));
+  }
+}
+
+TEST_F(StaTest, CleanRemovesUselessStates) {
+  TreeLanguage Cleaned = cleanLanguage(S.Solv, AllPos);
+  // Every state of a cleaned automaton is productive and reachable.
+  std::vector<bool> Productive = productiveStates(S.Solv, Cleaned.automaton());
+  for (unsigned Q = 0; Q < Cleaned.automaton().numStates(); ++Q)
+    EXPECT_TRUE(Productive[Q]);
+  RandomTreeGen Gen(S.Trees, Sig, /*Seed=*/19);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(Cleaned.contains(T), AllPos.contains(T));
+  }
+}
+
+TEST_F(StaTest, ImportOffsetsStates) {
+  Sta Combined(Sig);
+  unsigned OffA = Combined.import(AllPos.automaton());
+  unsigned OffB = Combined.import(AllOdd.automaton());
+  EXPECT_EQ(OffA, 0u);
+  EXPECT_EQ(OffB, AllPos.automaton().numStates());
+  EXPECT_EQ(Combined.numRules(),
+            AllPos.automaton().numRules() + AllOdd.automaton().numRules());
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/fast/EvaluatorTest.cpp - End-to-end Fast program tests -------===//
+//
+// Runs whole Fast programs, including the paper's two flagship analyses:
+// Figure 2's HTML sanitizer (buggy and fixed) and Figure 8's functional
+// program analysis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fast/Fast.h"
+#include "transducers/Run.h"
+#include "trees/TreeText.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+/// The Figure 2 program.  When \p FixBug is true, line 18's rule
+/// recursively invokes remScript on x3 (the paper's fix); otherwise it
+/// copies x3 verbatim, which lets nested script nodes survive.
+std::string figure2Program(bool FixBug) {
+  std::string ScriptCase =
+      FixBug ? "| node(x1, x2, x3) where (tag = \"script\") to (remScript x3)\n"
+             : "| node(x1, x2, x3) where (tag = \"script\") to x3\n";
+  return std::string(
+             "type HtmlE[tag : String] { nil(0), val(1), attr(2), node(3) }\n"
+             "lang nodeTree : HtmlE {\n"
+             "  node(x1, x2, x3) given (attrTree x1) (nodeTree x2) "
+             "(nodeTree x3)\n"
+             "| nil() where (tag = \"\") }\n"
+             "lang attrTree : HtmlE {\n"
+             "  attr(x1, x2) given (valTree x1) (attrTree x2)\n"
+             "| nil() where (tag = \"\") }\n"
+             "lang valTree : HtmlE {\n"
+             "  val(x1) where (tag != \"\") given (valTree x1)\n"
+             "| nil() where (tag = \"\") }\n"
+             "trans remScript : HtmlE -> HtmlE {\n"
+             "  node(x1, x2, x3) where (tag != \"script\")\n"
+             "    to (node [tag] x1 (remScript x2) (remScript x3))\n") +
+         ScriptCase +
+         "| nil() to (nil [tag]) }\n"
+         "trans esc : HtmlE -> HtmlE {\n"
+         "  node(x1, x2, x3) to (node [tag] (esc x1) (esc x2) (esc x3))\n"
+         "| attr(x1, x2) to (attr [tag] (esc x1) (esc x2))\n"
+         "| val(x1) where (tag = \"'\" || tag = \"\\\"\")\n"
+         "    to (val [\"\\\\\"] (val [tag] (esc x1)))\n"
+         "| val(x1) where (tag != \"'\" && tag != \"\\\"\")\n"
+         "    to (val [tag] (esc x1))\n"
+         "| nil() to (nil [tag]) }\n"
+         "def rem_esc : HtmlE -> HtmlE := (compose remScript esc)\n"
+         "def sani : HtmlE -> HtmlE := (restrict rem_esc nodeTree)\n"
+         "lang badOutput : HtmlE {\n"
+         "  node(x1, x2, x3) where (tag = \"script\")\n"
+         "| node(x1, x2, x3) given (badOutput x2)\n"
+         "| node(x1, x2, x3) given (badOutput x3) }\n"
+         "def bad_inputs : HtmlE := (pre-image sani badOutput)\n"
+         "assert-true (is-empty bad_inputs)\n";
+}
+
+/// True if some node of \p T carries the given tag.
+bool containsTag(TreeRef T, const std::string &Tag) {
+  if (T->attr(0).getString() == Tag)
+    return true;
+  for (TreeRef C : T->children())
+    if (containsTag(C, Tag))
+      return true;
+  return false;
+}
+
+TEST(Figure2Test, BuggySanitizerHasScriptCounterexample) {
+  Session S;
+  FastProgramResult R = runFastProgram(S, figure2Program(/*FixBug=*/false));
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 1u);
+  EXPECT_FALSE(R.Assertions[0].passed());
+  // The paper's counterexample: a script node hiding in the next-sibling
+  // slot of another script node.  Any witness must contain "script".
+  EXPECT_NE(R.Assertions[0].Detail.find("script"), std::string::npos)
+      << R.Assertions[0].Detail;
+}
+
+TEST(Figure2Test, FixedSanitizerVerifies) {
+  Session S;
+  FastProgramResult R = runFastProgram(S, figure2Program(/*FixBug=*/true));
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 1u);
+  EXPECT_TRUE(R.Assertions[0].passed()) << R.Assertions[0].Detail;
+}
+
+TEST(Figure2Test, SanitizerRunsOnConcreteDocument) {
+  Session S;
+  FastProgramResult R = runFastProgram(S, figure2Program(/*FixBug=*/true));
+  ASSERT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  std::shared_ptr<Sttr> Sani = R.transducer("sani");
+  ASSERT_NE(Sani, nullptr);
+  SignatureRef Sig = R.Types.at("HtmlE");
+
+  // Figure 3's document: <div id='e"'><script>a</script></div><br/>.
+  std::string Error;
+  TreeRef Doc = parseTree(
+      S.Trees, Sig,
+      "node[\"div\"]("
+      "  attr[\"id\"](val[\"e\"](val[\"\\\"\"](nil[\"\"])), nil[\"\"]),"
+      "  node[\"script\"]("
+      "    attr[\"text\"](val[\"a\"](nil[\"\"]), nil[\"\"]),"
+      "    nil[\"\"], nil[\"\"]),"
+      "  node[\"br\"](nil[\"\"], nil[\"\"], nil[\"\"]))",
+      Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+
+  std::vector<TreeRef> Out = runSttr(*Sani, S.Trees, Doc);
+  ASSERT_EQ(Out.size(), 1u);
+  // The script subtree is gone and the quote got escaped with a backslash.
+  EXPECT_FALSE(containsTag(Out.front(), "script"));
+  EXPECT_TRUE(containsTag(Out.front(), "\\"));
+  EXPECT_TRUE(containsTag(Out.front(), "div"));
+  EXPECT_TRUE(containsTag(Out.front(), "br"));
+}
+
+TEST(Figure8Test, FunctionalProgramAnalysis) {
+  Session S;
+  const char *Source =
+      "type IList[i : Int] { nil(0), cons(1) }\n"
+      "trans map_caesar : IList -> IList {\n"
+      "  nil() to (nil [0])\n"
+      "| cons(y) to (cons [(i + 5) % 26] (map_caesar y)) }\n"
+      "trans filter_ev : IList -> IList {\n"
+      "  nil() to (nil [0])\n"
+      "| cons(y) where (i % 2 = 0) to (cons [i] (filter_ev y))\n"
+      "| cons(y) where !(i % 2 = 0) to (filter_ev y) }\n"
+      "lang not_emp_list : IList { cons(x) }\n"
+      "def comp : IList -> IList := (compose map_caesar filter_ev)\n"
+      "def comp2 : IList -> IList := (compose comp comp)\n"
+      "def restr : IList -> IList := (restrict-out comp2 not_emp_list)\n"
+      "assert-true (is-empty restr)\n"
+      "assert-false (is-empty (restrict-out comp not_emp_list))\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 2u);
+  EXPECT_TRUE(R.Assertions[0].passed()) << R.Assertions[0].Detail;
+  EXPECT_TRUE(R.Assertions[1].passed()) << R.Assertions[1].Detail;
+}
+
+TEST(EvaluatorTest, TreesApplyMembershipWitness) {
+  Session S;
+  const char *Source =
+      "type BT[i : Int] { L(0), N(2) }\n"
+      "lang pos : BT { L() where (i > 0) | N(x, y) given (pos x) (pos y) }\n"
+      "trans inc : BT -> BT { L() to (L [i + 1]) "
+      "| N(x, y) to (N [i + 1] (inc x) (inc y)) }\n"
+      "tree t1 : BT := (N [0] (L [0]) (L [2]))\n"
+      "tree t2 : BT := (apply inc t1)\n"
+      "tree w : BT := (get-witness pos)\n"
+      "assert-false t1 in pos\n"
+      "assert-true t2 in pos\n"
+      "assert-true w in pos\n"
+      "assert-true (type-check pos inc pos)\n"
+      "assert-false (type-check pos inc (complement pos))\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 5u);
+  for (const AssertionOutcome &A : R.Assertions)
+    EXPECT_TRUE(A.passed()) << A.Loc.str() << ": " << A.Detail;
+  EXPECT_NE(R.tree("t2"), nullptr);
+  EXPECT_EQ(R.tree("t2")->attr(0).getInt(), 1);
+}
+
+TEST(Example5Test, DefLanguageInGivenClause) {
+  // The paper's Example 5: h negates a node's value when its LEFT child's
+  // value is odd.  evenRoot is a def (complement of oddRoot), used
+  // directly in a given clause.
+  Session S;
+  const char *Source =
+      "type BT[x : Int] { L(0), N(2) }\n"
+      "lang oddRoot : BT { N(t1, t2) where (x % 2 = 1)"
+      " | L() where (x % 2 = 1) }\n"
+      "def evenRoot : BT := (complement oddRoot)\n"
+      "trans h : BT -> BT {\n"
+      "  N(t1, t2) given (oddRoot t1) to (N [-x] (h t1) (h t2))\n"
+      "| N(t1, t2) given (evenRoot t1) to (N [x] (h t1) (h t2))\n"
+      "| L() to (L [x]) }\n"
+      "tree in1 : BT := (N [5] (L [3]) (L [2]))\n"
+      "tree out1 : BT := (apply h in1)\n"
+      "tree in2 : BT := (N [5] (L [2]) (L [3]))\n"
+      "tree out2 : BT := (apply h in2)\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  // Left child odd: root negated.  Left child even: unchanged.
+  ASSERT_NE(R.tree("out1"), nullptr);
+  EXPECT_EQ(R.tree("out1")->attr(0).getInt(), -5);
+  ASSERT_NE(R.tree("out2"), nullptr);
+  EXPECT_EQ(R.tree("out2")->attr(0).getInt(), 5);
+  // h is deterministic thanks to the disjoint lookaheads (the paper's
+  // point: a deterministic STTR is more natural than a guessing STT).
+  std::shared_ptr<Sttr> H = R.transducer("h");
+  ASSERT_NE(H, nullptr);
+  EXPECT_TRUE(H->isDeterministic(S.Solv));
+}
+
+TEST(Example5Test, GivenReferencesLaterDefFails) {
+  // A given clause cannot see a def that appears after the trans.
+  Session S;
+  const char *Source =
+      "type BT[x : Int] { L(0), N(2) }\n"
+      "lang oddRoot : BT { L() where (x % 2 = 1) }\n"
+      "trans h : BT -> BT { N(t1, t2) given (evenRoot t1) to (h t1) "
+      "| L() to (L [x]) }\n"
+      "def evenRoot : BT := (complement oddRoot)\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  EXPECT_GT(R.ErrorCount, 0u);
+  EXPECT_NE(R.DiagText.find("unknown language"), std::string::npos);
+}
+
+TEST(EvaluatorTest, LangEqAndMinimize) {
+  Session S;
+  const char *Source =
+      "type T[i : Int] { c(0) }\n"
+      "lang a : T { c() where (i > 0) }\n"
+      "lang b : T { c() where !(i <= 0) }\n"
+      "lang half1 : T { c() where (i > 0 && i <= 5) }\n"
+      "lang half2 : T { c() where (i > 5) }\n"
+      "def u : T := (minimize (union half1 half2))\n"
+      "assert-true a == b\n"
+      "assert-true u == a\n"
+      "assert-false a == (complement b)\n";
+  FastProgramResult R = runFastProgram(S, Source);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 3u);
+  for (const AssertionOutcome &A : R.Assertions)
+    EXPECT_TRUE(A.passed()) << A.Loc.str() << ": " << A.Detail;
+}
+
+TEST(EvaluatorTest, DiagnosticsForBadPrograms) {
+  Session S;
+  // Unknown attribute in a guard.
+  FastProgramResult R1 = runFastProgram(
+      S, "type T[i : Int] { c(0) }\nlang a : T { c() where (j > 0) }");
+  EXPECT_GT(R1.ErrorCount, 0u);
+  EXPECT_NE(R1.DiagText.find("unknown attribute"), std::string::npos);
+
+  // Unknown name in a def.
+  FastProgramResult R2 =
+      runFastProgram(S, "type T[i : Int] { c(0) }\ndef d : T := (minimize q)");
+  EXPECT_GT(R2.ErrorCount, 0u);
+  EXPECT_NE(R2.DiagText.find("unknown name"), std::string::npos);
+
+  // Arity mismatch in a pattern.
+  FastProgramResult R3 = runFastProgram(
+      S, "type T[i : Int] { c(0), d(2) }\nlang a : T { d(x) }");
+  EXPECT_GT(R3.ErrorCount, 0u);
+  EXPECT_NE(R3.DiagText.find("rank"), std::string::npos);
+
+  // Sort error in an output label.
+  FastProgramResult R4 = runFastProgram(
+      S, "type T[i : Int] { c(0) }\ntrans f : T -> T { c() to (c [\"x\"]) }");
+  EXPECT_GT(R4.ErrorCount, 0u);
+  EXPECT_NE(R4.DiagText.find("sort"), std::string::npos);
+
+  // apply outside the domain.
+  FastProgramResult R5 = runFastProgram(
+      S, "type T[i : Int] { c(0) }\n"
+         "trans f : T -> T { c() where (i > 0) to (c [i]) }\n"
+         "tree t : T := (apply f (c [0]))");
+  EXPECT_GT(R5.ErrorCount, 0u);
+  EXPECT_NE(R5.DiagText.find("outside"), std::string::npos);
+}
+
+} // namespace

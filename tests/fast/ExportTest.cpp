@@ -1,0 +1,184 @@
+//===- tests/fast/ExportTest.cpp - Export / reimport round trips ----------===//
+//
+// Compiled automata and transducers render back to Fast source and
+// recompile to behaviourally identical objects — on hand-written
+// machines, on random ones, and on artifacts produced by composition
+// (whose guards exercise the full term grammar, including rationals and
+// n-ary connectives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "fast/Export.h"
+#include "fast/Fast.h"
+#include "transducers/Equivalence.h"
+#include "transducers/RandomAutomata.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+TEST(ExportTest, TypeDeclRoundTrip) {
+  SignatureRef Sig = makeHtmlSig();
+  std::string Source = exportTypeDecl(*Sig);
+  Session S;
+  FastProgramResult R = runFastProgram(S, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+  ASSERT_TRUE(R.Types.count("HtmlE"));
+  EXPECT_TRUE(R.Types.at("HtmlE")->isCompatibleWith(*Sig));
+}
+
+TEST(ExportTest, LanguageRoundTripSampledMembership) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  for (unsigned Seed = 0; Seed < 6; ++Seed) {
+    TreeLanguage L = randomLanguage(S.Terms, Sig, Seed * 13 + 1);
+    std::string Source = exportLanguageProgram("roundtrip", L);
+    Session S2;
+    FastProgramResult R = runFastProgram(S2, Source);
+    ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+    std::optional<TreeLanguage> L2 = R.language("roundtrip");
+    ASSERT_TRUE(L2.has_value());
+    // Compare sampled membership across the two sessions (trees must be
+    // rebuilt in each session's factory).
+    RandomTreeGen Gen1(S.Trees, Sig, Seed + 500);
+    RandomTreeGen Gen2(S2.Trees, R.Types.at("BT"), Seed + 500);
+    for (int I = 0; I < 60; ++I) {
+      TreeRef T1 = Gen1.generate();
+      TreeRef T2 = Gen2.generate();
+      ASSERT_EQ(T1->str(), T2->str());
+      EXPECT_EQ(L.contains(T1), L2->contains(T2)) << T1->str();
+    }
+  }
+}
+
+TEST(ExportTest, MultiRootLanguageRoundTrip) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage Union =
+      unionLanguages(makeAllPositiveLang(S, Sig), makeAllOddLang(S, Sig));
+  ASSERT_GT(Union.roots().size(), 1u);
+  std::string Source = exportLanguageProgram("u", Union);
+  Session S2;
+  FastProgramResult R = runFastProgram(S2, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+  std::optional<TreeLanguage> L2 = R.language("u");
+  ASSERT_TRUE(L2.has_value());
+  RandomTreeGen Gen1(S.Trees, Sig, 321);
+  RandomTreeGen Gen2(S2.Trees, R.Types.at("BT"), 321);
+  for (int I = 0; I < 80; ++I)
+    EXPECT_EQ(Union.contains(Gen1.generate()), L2->contains(Gen2.generate()));
+}
+
+TEST(ExportTest, TransducerRoundTripBehaviour) {
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, Sig);
+  std::string Source = exportSttrProgram("filter", *Filter);
+  Session S2;
+  FastProgramResult R = runFastProgram(S2, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+  std::shared_ptr<Sttr> Filter2 = R.transducer("filter");
+  ASSERT_NE(Filter2, nullptr);
+  for (int64_t Seed = 0; Seed < 3; ++Seed) {
+    std::vector<int64_t> Values = {Seed, 1, 2, 3, 4, 5 + Seed};
+    TreeRef In1 = makeIList(S, Sig, Values);
+    TreeRef In2 = makeIList(S2, R.Types.at("IList"), Values);
+    std::vector<TreeRef> Out1 = runSttr(*Filter, S.Trees, In1);
+    std::vector<TreeRef> Out2 = runSttr(*Filter2, S2.Trees, In2);
+    ASSERT_EQ(Out1.size(), Out2.size());
+    for (size_t I = 0; I < Out1.size(); ++I)
+      EXPECT_EQ(Out1[I]->str(), Out2[I]->str());
+  }
+}
+
+TEST(ExportTest, RandomTransducerRoundTrip) {
+  SignatureRef Sig = makeBtSig();
+  for (unsigned Seed = 0; Seed < 5; ++Seed) {
+    Session S;
+    std::shared_ptr<Sttr> T =
+        randomDetLinearSttr(S.Terms, S.Outputs, Sig, Seed * 17 + 3);
+    std::string Source = exportSttrProgram("t", *T);
+    Session S2;
+    FastProgramResult R = runFastProgram(S2, Source);
+    ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+    std::shared_ptr<Sttr> T2 = R.transducer("t");
+    ASSERT_NE(T2, nullptr);
+    RandomTreeGen Gen1(S.Trees, Sig, Seed + 900);
+    RandomTreeGen Gen2(S2.Trees, R.Types.at("BT"), Seed + 900);
+    for (int I = 0; I < 40; ++I) {
+      std::vector<TreeRef> Out1 = runSttr(*T, S.Trees, Gen1.generate());
+      std::vector<TreeRef> Out2 = runSttr(*T2, S2.Trees, Gen2.generate());
+      ASSERT_EQ(Out1.size(), Out2.size());
+      for (size_t K = 0; K < Out1.size(); ++K)
+        EXPECT_EQ(Out1[K]->str(), Out2[K]->str());
+    }
+  }
+}
+
+TEST(ExportTest, ComposedTransducerWithLookaheadRoundTrip) {
+  // restrict(filter, non-empty) has real lookahead constraints; its
+  // export must regenerate them as lang declarations.
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, Sig);
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("ne");
+  A->addRule(Q, *Sig->findConstructor("cons"), S.Terms.trueTerm(), {{}});
+  std::shared_ptr<Sttr> Restricted =
+      restrictInput(S.Solv, *Filter, TreeLanguage(A, Q));
+  std::string Source = exportSttrProgram("r", *Restricted);
+  EXPECT_NE(Source.find("lang r_la"), std::string::npos);
+  EXPECT_NE(Source.find("given"), std::string::npos);
+  Session S2;
+  FastProgramResult R = runFastProgram(S2, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+  std::shared_ptr<Sttr> R2 = R.transducer("r");
+  ASSERT_NE(R2, nullptr);
+  // Empty list rejected; non-empty accepted.
+  TreeRef Empty1 = makeIList(S, Sig, {});
+  TreeRef Empty2 = makeIList(S2, R.Types.at("IList"), {});
+  EXPECT_TRUE(runSttr(*Restricted, S.Trees, Empty1).empty());
+  EXPECT_TRUE(runSttr(*R2, S2.Trees, Empty2).empty());
+  TreeRef L1 = makeIList(S, Sig, {1, 2, 3});
+  TreeRef L2 = makeIList(S2, R.Types.at("IList"), {1, 2, 3});
+  ASSERT_EQ(runSttr(*Restricted, S.Trees, L1).size(), 1u);
+  ASSERT_EQ(runSttr(*R2, S2.Trees, L2).size(), 1u);
+  EXPECT_EQ(runSttr(*Restricted, S.Trees, L1).front()->str(),
+            runSttr(*R2, S2.Trees, L2).front()->str());
+}
+
+TEST(ExportTest, RationalAndPrefixOperatorsReparse) {
+  // Guards with rational literals, div, and ite must survive the trip.
+  Session S;
+  SignatureRef Sig = TreeSignature::create(
+      "R", {{"r", Sort::Real}, {"n", Sort::Int}}, {{"c", 0}});
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("q");
+  TermRef Rr = Sig->attrTerm(S.Terms, 0);
+  TermRef N = Sig->attrTerm(S.Terms, 1);
+  TermRef Guard = S.Terms.mkAnd(
+      S.Terms.mkLt(Rr, S.Terms.realConst(Rational(-3, 7))),
+      S.Terms.mkEq(S.Terms.mkDiv(N, S.Terms.intConst(3)), S.Terms.intConst(2)));
+  A->addRule(Q, 0, Guard, {});
+  TreeLanguage L(A, Q);
+  std::string Source = exportLanguageProgram("q", L);
+  Session S2;
+  FastProgramResult R = runFastProgram(S2, Source);
+  ASSERT_EQ(R.ErrorCount, 0u) << Source << "\n" << R.DiagText;
+  std::optional<TreeLanguage> L2 = R.language("q");
+  ASSERT_TRUE(L2.has_value());
+  auto MakeLeaf = [](Session &Se, const SignatureRef &Sg, Rational Rv,
+                     int64_t Nv) {
+    return Se.Trees.makeLeaf(Sg, 0, {Value::real(Rv), Value::integer(Nv)});
+  };
+  // r = -1, n = 7: div(7,3)=2 and -1 < -3/7: accepted.
+  EXPECT_TRUE(L.contains(MakeLeaf(S, Sig, Rational(-1), 7)));
+  EXPECT_TRUE(L2->contains(MakeLeaf(S2, R.Types.at("R"), Rational(-1), 7)));
+  // r = 0: rejected both sides.
+  EXPECT_FALSE(L.contains(MakeLeaf(S, Sig, Rational(0), 7)));
+  EXPECT_FALSE(L2->contains(MakeLeaf(S2, R.Types.at("R"), Rational(0), 7)));
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/fast/ParserTest.cpp - Lexer and parser tests -----------------===//
+
+#include "fast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+Program parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseFast(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+void parseBad(const std::string &Source, const std::string &ExpectSubstr) {
+  DiagnosticEngine Diags;
+  parseFast(Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors()) << "expected an error for: " << Source;
+  EXPECT_NE(Diags.str().find(ExpectSubstr), std::string::npos)
+      << "diagnostics were:\n"
+      << Diags.str();
+}
+
+TEST(LexerTest, TokensAndComments) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks =
+      tokenizeFast("type T // a comment\n { c(0) } :=", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 10u); // type T { c ( 0 ) } := <eof>
+  EXPECT_TRUE(Toks[0].isKeyword("type"));
+  EXPECT_TRUE(Toks[1].is(TokKind::Identifier));
+  EXPECT_TRUE(Toks[2].is(TokKind::LBrace));
+  EXPECT_TRUE(Toks[8].is(TokKind::Assign));
+  EXPECT_TRUE(Toks.back().is(TokKind::Eof));
+}
+
+TEST(LexerTest, HyphenatedKeywords) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks =
+      tokenizeFast("pre-image restrict-out is-empty assert-true a - b", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Text, "pre-image");
+  EXPECT_EQ(Toks[1].Text, "restrict-out");
+  EXPECT_EQ(Toks[2].Text, "is-empty");
+  EXPECT_EQ(Toks[3].Text, "assert-true");
+  EXPECT_EQ(Toks[4].Text, "a");
+  EXPECT_TRUE(Toks[5].is(TokKind::Minus));
+  EXPECT_EQ(Toks[6].Text, "b");
+}
+
+TEST(LexerTest, OperatorsAndLiterals) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Toks = tokenizeFast(
+      "!= == = <= >= < > && || and or not ! 12 3.5 \"a\\\"b\" true", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Toks[0].is(TokKind::Neq));
+  EXPECT_TRUE(Toks[1].is(TokKind::EqEq));
+  EXPECT_TRUE(Toks[2].is(TokKind::Eq));
+  EXPECT_TRUE(Toks[3].is(TokKind::Le));
+  EXPECT_TRUE(Toks[4].is(TokKind::Ge));
+  EXPECT_TRUE(Toks[7].is(TokKind::AndAnd));
+  EXPECT_TRUE(Toks[8].is(TokKind::OrOr));
+  EXPECT_TRUE(Toks[9].is(TokKind::AndAnd));
+  EXPECT_TRUE(Toks[10].is(TokKind::OrOr));
+  EXPECT_TRUE(Toks[11].is(TokKind::Not));
+  EXPECT_TRUE(Toks[12].is(TokKind::Not));
+  EXPECT_TRUE(Toks[13].is(TokKind::IntLiteral));
+  EXPECT_TRUE(Toks[14].is(TokKind::RealLiteral));
+  EXPECT_TRUE(Toks[15].is(TokKind::StringLiteral));
+  EXPECT_EQ(Toks[15].Text, "a\"b");
+  EXPECT_TRUE(Toks[16].is(TokKind::BoolLiteral));
+}
+
+TEST(ParserTest, TypeDecl) {
+  Program P = parseOk(
+      "type HtmlE[tag : String] { nil(0), val(1), attr(2), node(3) }");
+  ASSERT_EQ(P.Types.size(), 1u);
+  EXPECT_EQ(P.Types[0].Name, "HtmlE");
+  ASSERT_EQ(P.Types[0].Attrs.size(), 1u);
+  EXPECT_EQ(P.Types[0].Attrs[0].first, "tag");
+  ASSERT_EQ(P.Types[0].Ctors.size(), 4u);
+  EXPECT_EQ(P.Types[0].Ctors[3].second, 3u);
+}
+
+TEST(ParserTest, LangDecl) {
+  Program P = parseOk("type BT[i : Int] { L(0), N(2) }\n"
+                      "lang p : BT { L() where (i > 0) "
+                      "| N(x, y) given (p x) (p y) }");
+  ASSERT_EQ(P.Langs.size(), 1u);
+  const LangDecl &D = P.Langs[0];
+  ASSERT_EQ(D.Rules.size(), 2u);
+  EXPECT_EQ(D.Rules[0].CtorName, "L");
+  ASSERT_NE(D.Rules[0].Where, nullptr);
+  EXPECT_EQ(D.Rules[0].Where->Op, AexpOp::Gt);
+  ASSERT_EQ(D.Rules[1].Givens.size(), 2u);
+  EXPECT_EQ(D.Rules[1].Givens[1].VarName, "y");
+}
+
+TEST(ParserTest, TransDeclWithOutputs) {
+  Program P = parseOk(
+      "type HtmlE[tag : String] { nil(0), val(1), attr(2), node(3) }\n"
+      "trans remScript : HtmlE -> HtmlE {\n"
+      "  node(x1, x2, x3) where (tag != \"script\")\n"
+      "    to (node [tag] x1 (remScript x2) (remScript x3))\n"
+      "| node(x1, x2, x3) where (tag = \"script\") to x3\n"
+      "| nil() to (nil [tag]) }");
+  ASSERT_EQ(P.Transes.size(), 1u);
+  const TransDecl &D = P.Transes[0];
+  ASSERT_EQ(D.Rules.size(), 3u);
+  const ToutNode &Out0 = *D.Rules[0].Out;
+  EXPECT_EQ(Out0.CtorName, "node");
+  ASSERT_EQ(Out0.Children.size(), 3u);
+  EXPECT_EQ(Out0.Children[0]->VarName, "x1"); // bare copy
+  EXPECT_EQ(Out0.Children[1]->StateName, "remScript");
+  EXPECT_EQ(D.Rules[1].Out->VarName, "x3");
+}
+
+TEST(ParserTest, PrefixAndInfixAexp) {
+  // Figure 4's prefix form and the paper's infix examples both parse.
+  Program P = parseOk("type T[i : Int] { c(0) }\n"
+                      "lang a : T { c() where (< i 4) }\n"
+                      "lang b : T { c() where (i < 4) }\n"
+                      "lang d : T { c() where ((i + 5) % 26 = 0) }\n"
+                      "lang e : T { c() where (i > 0 && i < 9 || i = 100) }");
+  EXPECT_EQ(P.Langs.size(), 4u);
+  EXPECT_EQ(P.Langs[0].Rules[0].Where->Op, AexpOp::Lt);
+  EXPECT_EQ(P.Langs[1].Rules[0].Where->Op, AexpOp::Lt);
+  EXPECT_EQ(P.Langs[2].Rules[0].Where->Op, AexpOp::Eq);
+  EXPECT_EQ(P.Langs[3].Rules[0].Where->Op, AexpOp::Or);
+}
+
+TEST(ParserTest, DefsTreesAsserts) {
+  Program P = parseOk(
+      "type T[i : Int] { c(0) }\n"
+      "trans f : T -> T { c() to (c [i]) }\n"
+      "lang l : T { c() }\n"
+      "def g : T -> T := (compose f f)\n"
+      "def m : T := (intersect l (complement l))\n"
+      "tree t : T := (c [3])\n"
+      "assert-true (is-empty m)\n"
+      "assert-false ((apply f t) in l)\n"
+      "assert-true l == l\n"
+      "assert-true (type-check l f l)");
+  EXPECT_EQ(P.Defs.size(), 2u);
+  EXPECT_EQ(P.Defs[0].OutType, "T");
+  EXPECT_EQ(P.Defs[1].OutType, "");
+  EXPECT_EQ(P.Trees.size(), 1u);
+  ASSERT_EQ(P.Asserts.size(), 4u);
+  EXPECT_EQ(P.Asserts[0].Condition->Kind, OpKind::IsEmpty);
+  EXPECT_EQ(P.Asserts[1].Condition->Kind, OpKind::Member);
+  EXPECT_FALSE(P.Asserts[1].ExpectTrue);
+  EXPECT_EQ(P.Asserts[2].Condition->Kind, OpKind::LangEq);
+  EXPECT_EQ(P.Asserts[3].Condition->Kind, OpKind::TypeCheck);
+}
+
+TEST(ParserTest, ErrorsRecoverAtNextDecl) {
+  DiagnosticEngine Diags;
+  Program P = parseFast("type T[i : Int] { c(0) }\n"
+                        "lang bad : T { c( }\n"
+                        "lang good : T { c() }",
+                        Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The parser resynchronized and still parsed `good`.
+  ASSERT_EQ(P.Langs.size(), 1u);
+  EXPECT_EQ(P.Langs[0].Name, "good");
+}
+
+TEST(ParserTest, ErrorMessages) {
+  parseBad("type T { }", "constructor");
+  parseBad("lang p : T { c() where }", "attribute expression");
+  parseBad("trans f : T { c() to c }", "'->'");
+  parseBad("def x : T :=", "expression");
+  parseBad("bogus", "expected a declaration");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/fast/RobustnessTest.cpp - Frontend robustness ----------------===//
+//
+// The frontend must reject malformed input with diagnostics, never crash
+// or hang: truncations, random token soup, deeply nested expressions,
+// stray bytes, and mutations of a valid program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fast/Fast.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace fast;
+
+namespace {
+
+/// Runs the whole pipeline; the only requirement is no crash and that a
+/// malformed program yields errors rather than silent acceptance.
+FastProgramResult runQuietly(const std::string &Source) {
+  Session S;
+  return runFastProgram(S, Source);
+}
+
+const char *ValidProgram =
+    "type T[i : Int] { c(0), d(2) }\n"
+    "lang a : T { c() where (i > 0) | d(x, y) given (a x) (a y) }\n"
+    "trans f : T -> T { c() to (c [i + 1]) "
+    "| d(x, y) to (d [i] (f x) (f y)) }\n"
+    "def g : T -> T := (compose f f)\n"
+    "tree t : T := (c [3])\n"
+    "assert-true (apply g t) in a\n";
+
+TEST(RobustnessTest, ValidProgramBaseline) {
+  FastProgramResult R = runQuietly(ValidProgram);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(RobustnessTest, EveryPrefixIsHandled) {
+  std::string Source = ValidProgram;
+  for (size_t Len = 0; Len < Source.size(); Len += 7) {
+    FastProgramResult R = runQuietly(Source.substr(0, Len));
+    (void)R; // Just must not crash; prefixes may or may not be valid.
+  }
+}
+
+TEST(RobustnessTest, SingleCharacterMutations) {
+  std::string Source = ValidProgram;
+  std::mt19937 Rng(7);
+  const char Replacements[] = {'(', ')', '{', '}', '|', '"', 'x', '9', '@'};
+  for (int Round = 0; Round < 200; ++Round) {
+    std::string Mutated = Source;
+    size_t Pos = std::uniform_int_distribution<size_t>(
+        0, Mutated.size() - 1)(Rng);
+    Mutated[Pos] = Replacements[std::uniform_int_distribution<size_t>(
+        0, std::size(Replacements) - 1)(Rng)];
+    FastProgramResult R = runQuietly(Mutated);
+    (void)R; // No crash / hang; diagnostics are allowed either way.
+  }
+}
+
+TEST(RobustnessTest, TokenSoup) {
+  std::mt19937 Rng(11);
+  const char *Tokens[] = {"type", "lang",  "trans", "def",   "tree",
+                          "assert-true",   "(",     ")",     "{",
+                          "}",    "[",     "]",     "|",     ":=",
+                          "->",   ":",     "c",     "x",     "42",
+                          "\"s\"", "where", "given", "to",    "==",
+                          "in",   "+",     "%",     "!",     "&&"};
+  for (int Round = 0; Round < 100; ++Round) {
+    std::string Soup;
+    unsigned Len = std::uniform_int_distribution<unsigned>(1, 60)(Rng);
+    for (unsigned I = 0; I < Len; ++I) {
+      Soup += Tokens[std::uniform_int_distribution<size_t>(
+          0, std::size(Tokens) - 1)(Rng)];
+      Soup += ' ';
+    }
+    FastProgramResult R = runQuietly(Soup);
+    (void)R;
+  }
+}
+
+TEST(RobustnessTest, DeepNestingDoesNotCrash) {
+  // 2000 nested parens in a guard: the parser must unwind cleanly.
+  std::string Source = "type T[i : Int] { c(0) }\nlang a : T { c() where ";
+  for (int I = 0; I < 2000; ++I)
+    Source += '(';
+  Source += "i > 0";
+  for (int I = 0; I < 2000; ++I)
+    Source += ')';
+  Source += " }";
+  FastProgramResult R = runQuietly(Source);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+}
+
+TEST(RobustnessTest, StrayBytesAreDiagnosed) {
+  FastProgramResult R = runQuietly("type T[i : Int] { c(0) } \x01\x02 $$$");
+  EXPECT_GT(R.ErrorCount, 0u);
+}
+
+TEST(RobustnessTest, UnterminatedConstructs) {
+  for (const char *Source :
+       {"type T[i : Int] { c(0) } lang a : T { c() where (i > ",
+        "type T { c(0) } trans f : T -> T { c() to (c [",
+        "tree t : T := (c [\"unterminated",
+        "type T[i : Int] { c(0) } // comment to the end"}) {
+    FastProgramResult R = runQuietly(Source);
+    (void)R;
+  }
+}
+
+TEST(RobustnessTest, HugeLiteralsAreHandled) {
+  FastProgramResult R = runQuietly(
+      "type T[i : Int] { c(0) }\n"
+      "lang a : T { c() where (i > 123456789012345) }\n"
+      "assert-false (is-empty a)\n");
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(RobustnessTest, NameShadowingIsRejected) {
+  FastProgramResult R1 = runQuietly(
+      "type T[i : Int] { c(0) }\ntype T[j : Int] { d(0) }");
+  EXPECT_GT(R1.ErrorCount, 0u);
+  FastProgramResult R2 = runQuietly(
+      "type T[i : Int] { c(0) }\nlang a : T { c() }\nlang a : T { c() }");
+  EXPECT_GT(R2.ErrorCount, 0u);
+  FastProgramResult R3 = runQuietly(
+      "type T[i : Int] { c(0) }\n"
+      "trans f : T -> T { c() to (c [i]) }\n"
+      "trans f : T -> T { c() to (c [i]) }");
+  EXPECT_GT(R3.ErrorCount, 0u);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/smt/SimpleSolverTest.cpp - Built-in procedure tests ----------===//
+//
+// Unit tests for the built-in decision procedure and, most importantly,
+// cross-validation against Z3 on random predicates: whenever the built-in
+// procedure answers, it must agree with Z3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SimpleSolver.h"
+#include "smt/Solver.h"
+#include "transducers/RandomAutomata.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+class SimpleSolverTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  TermRef X = F.attr(0, Sort::Int, "x");
+  TermRef Tag = F.attr(1, Sort::String, "tag");
+  TermRef B = F.attr(2, Sort::Bool, "b");
+  TermRef R = F.attr(3, Sort::Real, "r");
+};
+
+TEST_F(SimpleSolverTest, Intervals) {
+  EXPECT_EQ(simpleCheckSat(F.mkLt(X, F.intConst(4))), SimpleResult::Sat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkLt(X, F.intConst(0)),
+                                   F.mkGt(X, F.intConst(0)))),
+            SimpleResult::Unsat);
+  // 3 < x < 4 has no integer.
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkGt(X, F.intConst(3)),
+                                   F.mkLt(X, F.intConst(4)))),
+            SimpleResult::Unsat);
+  // ...but a rational.
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkGt(R, F.realConst(Rational(3))),
+                                   F.mkLt(R, F.realConst(Rational(4))))),
+            SimpleResult::Sat);
+  // Point interval minus the point.
+  TermRef Pin = F.mkAnd(F.mkGe(X, F.intConst(7)), F.mkLe(X, F.intConst(7)));
+  EXPECT_EQ(simpleCheckSat(Pin), SimpleResult::Sat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(Pin, F.mkNeq(X, F.intConst(7)))),
+            SimpleResult::Unsat);
+}
+
+TEST_F(SimpleSolverTest, ScaledCoefficients) {
+  // 2x <= 7 over ints: x <= 3.
+  TermRef TwoX = F.mkMul(X, F.intConst(2));
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkLe(TwoX, F.intConst(7)),
+                                   F.mkGe(X, F.intConst(4)))),
+            SimpleResult::Unsat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkLe(TwoX, F.intConst(7)),
+                                   F.mkGe(X, F.intConst(3)))),
+            SimpleResult::Sat);
+  // Negative coefficient flips the bound: -x < -5 means x > 5.
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkLt(F.mkNeg(X), F.intConst(-5)),
+                                   F.mkLe(X, F.intConst(5)))),
+            SimpleResult::Unsat);
+  // 2x == 7 has no integer solution.
+  EXPECT_EQ(simpleCheckSat(F.mkEq(TwoX, F.intConst(7))),
+            SimpleResult::Unsat);
+  EXPECT_EQ(simpleCheckSat(F.mkEq(TwoX, F.intConst(8))), SimpleResult::Sat);
+}
+
+TEST_F(SimpleSolverTest, Congruences) {
+  TermRef Mod2 = F.mkMod(X, F.intConst(2));
+  TermRef Mod3 = F.mkMod(X, F.intConst(3));
+  // x == 1 (mod 2) and x == 2 (mod 3): CRT gives x == 5 (mod 6).
+  TermRef Both = F.mkAnd(F.mkEq(Mod2, F.intConst(1)),
+                         F.mkEq(Mod3, F.intConst(2)));
+  EXPECT_EQ(simpleCheckSat(Both), SimpleResult::Sat);
+  // Within [0, 4] only x = 5 would work: unsat.
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(Both, F.mkAnd(F.mkGe(X, F.intConst(0)),
+                                                 F.mkLe(X, F.intConst(4))))),
+            SimpleResult::Unsat);
+  // The paper's Example 8 parity clash.
+  TermRef OddP1 = F.mkEq(F.mkMod(F.mkAdd(X, F.intConst(1)), F.intConst(2)),
+                         F.intConst(1));
+  TermRef OddM2 = F.mkEq(F.mkMod(F.mkSub(X, F.intConst(2)), F.intConst(2)),
+                         F.intConst(1));
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(OddP1, OddM2)), SimpleResult::Unsat);
+  // Negated congruence: x mod 2 != 0 and x mod 2 != 1 is impossible.
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkNeq(Mod2, F.intConst(0)),
+                                   F.mkNeq(Mod2, F.intConst(1)))),
+            SimpleResult::Unsat);
+  // Out-of-range residue: x mod 3 == 5 is false, != 5 is true.
+  EXPECT_EQ(simpleCheckSat(F.mkEq(Mod3, F.intConst(5))),
+            SimpleResult::Unsat);
+  EXPECT_EQ(simpleCheckSat(F.mkNeq(Mod3, F.intConst(5))), SimpleResult::Sat);
+}
+
+TEST_F(SimpleSolverTest, UpperBoundedWithCongruence) {
+  // Unbounded below with x <= 10, x == 0 (mod 4): solutions exist far
+  // below any window anchored at the upper bound.
+  TermRef C = F.mkAnd(F.mkLe(X, F.intConst(10)),
+                      F.mkEq(F.mkMod(X, F.intConst(4)), F.intConst(0)));
+  EXPECT_EQ(simpleCheckSat(C), SimpleResult::Sat);
+  // And blocking the top candidates still leaves lower ones.
+  TermRef Blocked = C;
+  for (int64_t V : {8, 4, 0})
+    Blocked = F.mkAnd(Blocked, F.mkNeq(X, F.intConst(V)));
+  EXPECT_EQ(simpleCheckSat(Blocked), SimpleResult::Sat);
+}
+
+TEST_F(SimpleSolverTest, StringsAndBools) {
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkEq(Tag, F.stringConst("a")),
+                                   F.mkNeq(Tag, F.stringConst("a")))),
+            SimpleResult::Unsat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkEq(Tag, F.stringConst("a")),
+                                   F.mkNeq(Tag, F.stringConst("b")))),
+            SimpleResult::Sat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(F.mkNeq(Tag, F.stringConst("a")),
+                                   F.mkNeq(Tag, F.stringConst("b")))),
+            SimpleResult::Sat);
+  EXPECT_EQ(simpleCheckSat(F.mkAnd(B, F.mkNot(B))), SimpleResult::Unsat);
+  EXPECT_EQ(simpleCheckSat(F.mkOr(B, F.mkNot(B))), SimpleResult::Sat);
+}
+
+TEST_F(SimpleSolverTest, OutsideFragmentIsUnknown) {
+  // Two attributes in one atom.
+  TermRef Y = F.attr(4, Sort::Int, "y");
+  EXPECT_EQ(simpleCheckSat(F.mkLt(X, Y)), SimpleResult::Unknown);
+  // Non-linear.
+  EXPECT_EQ(simpleCheckSat(F.mkEq(F.mkMul(X, X), F.intConst(4))),
+            SimpleResult::Unknown);
+  // Mod compared with <.
+  EXPECT_EQ(simpleCheckSat(F.mkLt(F.mkMod(X, F.intConst(5)), F.intConst(3))),
+            SimpleResult::Unknown);
+}
+
+TEST_F(SimpleSolverTest, DisjunctionsAndDeepFormulas) {
+  TermRef C = F.mkOr(F.mkAnd(F.mkLt(X, F.intConst(0)),
+                             F.mkGt(X, F.intConst(0))),
+                     F.mkEq(Tag, F.stringConst("ok")));
+  EXPECT_EQ(simpleCheckSat(C), SimpleResult::Sat);
+  // All branches unsat.
+  TermRef D = F.mkOr(F.mkAnd(F.mkLt(X, F.intConst(0)),
+                             F.mkGt(X, F.intConst(0))),
+                     F.mkAnd(B, F.mkNot(B)));
+  EXPECT_EQ(simpleCheckSat(D), SimpleResult::Unsat);
+}
+
+TEST_F(SimpleSolverTest, CrossValidationAgainstZ3) {
+  // The load-bearing test: on random predicates the built-in procedure,
+  // whenever it answers, agrees with Z3 — and it answers most of the time
+  // on the fragment the generators (and the case studies) use.
+  SignatureRef Sig = TreeSignature::create(
+      "Mix",
+      {{"n", Sort::Int}, {"tag", Sort::String}, {"b", Sort::Bool},
+       {"r", Sort::Real}},
+      {{"leaf", 0}});
+  TermFactory Terms;
+  Solver Z3Only(Terms);
+  Z3Only.setFastPathEnabled(false);
+  std::mt19937 Rng(2014);
+  RandomAutomatonOptions Options;
+  unsigned Decided = 0, Total = 600;
+  for (unsigned I = 0; I < Total; ++I) {
+    // Conjunctions of a few random predicates produce both sat and unsat
+    // instances.
+    TermRef P = randomPredicate(Terms, Sig, Rng, Options);
+    if (I % 2)
+      P = Terms.mkAnd(P, randomPredicate(Terms, Sig, Rng, Options));
+    if (I % 3 == 0)
+      P = Terms.mkAnd(P, randomPredicate(Terms, Sig, Rng, Options));
+    SimpleResult Simple = simpleCheckSat(P);
+    if (Simple == SimpleResult::Unknown)
+      continue;
+    ++Decided;
+    EXPECT_EQ(Simple == SimpleResult::Sat, Z3Only.isSat(P)) << P->str();
+  }
+  // The generator stays within the fragment.
+  EXPECT_GT(Decided, Total * 8 / 10);
+}
+
+TEST_F(SimpleSolverTest, SolverUsesTheFastPath) {
+  TermFactory Terms;
+  Solver S(Terms);
+  TermRef X0 = Terms.attr(0, Sort::Int, "x");
+  S.resetStats();
+  EXPECT_TRUE(S.isSat(Terms.mkLt(X0, Terms.intConst(100))));
+  EXPECT_FALSE(S.isSat(Terms.mkAnd(Terms.mkLt(X0, Terms.intConst(0)),
+                                   Terms.mkGt(X0, Terms.intConst(0)))));
+  EXPECT_EQ(S.stats().FastPathAnswers, 2u);
+  // Disabled: the same fresh query goes to Z3.
+  S.setFastPathEnabled(false);
+  EXPECT_TRUE(S.isSat(Terms.mkLt(X0, Terms.intConst(101))));
+  EXPECT_EQ(S.stats().FastPathAnswers, 2u);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/smt/SolverTest.cpp - Z3-backed solver tests ------------------===//
+
+#include "smt/Minterms.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  TermRef X = F.attr(0, Sort::Int, "x");
+  TermRef Tag = F.attr(1, Sort::String, "tag");
+  TermRef R = F.attr(2, Sort::Real, "r");
+};
+
+TEST_F(SolverTest, BasicSat) {
+  EXPECT_TRUE(S.isSat(F.mkLt(X, F.intConst(4))));
+  EXPECT_FALSE(S.isSat(F.mkAnd(F.mkLt(X, F.intConst(0)),
+                               F.mkLt(F.intConst(0), X))));
+  EXPECT_TRUE(S.isSat(F.mkEq(Tag, F.stringConst("script"))));
+}
+
+TEST_F(SolverTest, IntegerParity) {
+  // Example 8's cross-level contradiction: odd(x+1) and odd(x-2) clash.
+  TermRef OddXPlus1 = F.mkEq(
+      F.mkMod(F.mkAdd(X, F.intConst(1)), F.intConst(2)), F.intConst(1));
+  TermRef OddXMinus2 = F.mkEq(
+      F.mkMod(F.mkSub(X, F.intConst(2)), F.intConst(2)), F.intConst(1));
+  EXPECT_TRUE(S.isSat(OddXPlus1));
+  EXPECT_TRUE(S.isSat(OddXMinus2));
+  EXPECT_FALSE(S.isSat(F.mkAnd(F.mkAnd(OddXPlus1, OddXMinus2),
+                               F.mkLt(F.intConst(0), X))));
+}
+
+TEST_F(SolverTest, RealArithmetic) {
+  TermRef Half = F.realConst(Rational(1, 2));
+  EXPECT_TRUE(S.isSat(F.mkAnd(F.mkLt(F.realConst(Rational(0)), R),
+                              F.mkLt(R, Half))));
+  // Non-linear (cubic) constraints as in the AR evaluation's worst case.
+  TermRef Cubed = F.mkMul(F.mkMul(R, R), R);
+  EXPECT_TRUE(S.isSat(F.mkEq(Cubed, F.realConst(Rational(8)))));
+}
+
+TEST_F(SolverTest, ValidityImplicationEquivalence) {
+  TermRef P = F.mkLt(X, F.intConst(4));
+  TermRef Q = F.mkLt(X, F.intConst(10));
+  EXPECT_TRUE(S.implies(P, Q));
+  EXPECT_FALSE(S.implies(Q, P));
+  EXPECT_TRUE(S.areEquivalent(P, F.mkLe(X, F.intConst(3))));
+  EXPECT_FALSE(S.areEquivalent(P, Q));
+  EXPECT_TRUE(S.isValid(F.mkOr(P, F.mkLe(F.intConst(4), X))));
+}
+
+TEST_F(SolverTest, ModelExtraction) {
+  TermRef Pred = F.mkAnd(F.mkEq(Tag, F.stringConst("script")),
+                         F.mkLt(F.intConst(41), X));
+  std::optional<AttrModel> Model = S.getModel(Pred);
+  ASSERT_TRUE(Model.has_value());
+  ASSERT_TRUE(Model->count(X));
+  ASSERT_TRUE(Model->count(Tag));
+  EXPECT_GT(Model->at(X).getInt(), 41);
+  EXPECT_EQ(Model->at(Tag).getString(), "script");
+  EXPECT_FALSE(S.getModel(F.falseTerm()).has_value());
+}
+
+TEST_F(SolverTest, RealModel) {
+  TermRef Pred = F.mkAnd(F.mkLt(F.realConst(Rational(0)), R),
+                         F.mkLt(R, F.realConst(Rational(1, 3))));
+  std::optional<AttrModel> Model = S.getModel(Pred);
+  ASSERT_TRUE(Model.has_value());
+  const Rational &V = Model->at(R).getReal();
+  EXPECT_TRUE(Rational(0) < V && V < Rational(1, 3));
+}
+
+TEST_F(SolverTest, CacheCountsHits) {
+  S.resetStats();
+  TermRef P = F.mkLt(X, F.intConst(123));
+  EXPECT_TRUE(S.isSat(P));
+  EXPECT_TRUE(S.isSat(P));
+  EXPECT_EQ(S.stats().Queries, 2u);
+  EXPECT_EQ(S.stats().CacheHits, 1u);
+  S.setCacheEnabled(false);
+  EXPECT_TRUE(S.isSat(P));
+  EXPECT_EQ(S.stats().CacheHits, 1u);
+  S.setCacheEnabled(true);
+}
+
+TEST_F(SolverTest, MintermsPartitionTheSpace) {
+  TermRef P1 = F.mkLt(X, F.intConst(0));
+  TermRef P2 = F.mkLt(X, F.intConst(10));
+  std::vector<TermRef> Preds = {P1, P2};
+  std::vector<Minterm> Regions = computeMinterms(S, Preds);
+  // x<0 implies x<10, so the region (x<0 and not x<10) is pruned: 3 regions.
+  EXPECT_EQ(Regions.size(), 3u);
+  // The regions are pairwise disjoint and every one is satisfiable.
+  for (size_t I = 0; I < Regions.size(); ++I) {
+    EXPECT_TRUE(S.isSat(Regions[I].Predicate));
+    for (size_t J = I + 1; J < Regions.size(); ++J)
+      EXPECT_FALSE(
+          S.isSat(F.mkAnd(Regions[I].Predicate, Regions[J].Predicate)));
+  }
+  // And their union is the whole space.
+  std::vector<TermRef> All;
+  for (const Minterm &M : Regions)
+    All.push_back(M.Predicate);
+  EXPECT_TRUE(S.isValid(F.mkOr(All)));
+}
+
+TEST_F(SolverTest, MintermsOfEmptySetIsTrue) {
+  std::vector<TermRef> None;
+  std::vector<Minterm> Regions = computeMinterms(S, None);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(Regions.front().Predicate, F.trueTerm());
+}
+
+TEST_F(SolverTest, StringDisequalities) {
+  // A fresh string always exists outside finitely many forbidden values.
+  TermRef Pred = F.mkAnd(F.mkNeq(Tag, F.stringConst("a")),
+                         F.mkNeq(Tag, F.stringConst("b")));
+  std::optional<AttrModel> Model = S.getModel(Pred);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_NE(Model->at(Tag).getString(), "a");
+  EXPECT_NE(Model->at(Tag).getString(), "b");
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/smt/TermTest.cpp - Term construction & simplification --------===//
+
+#include "smt/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  TermRef X = F.attr(0, Sort::Int, "x");
+  TermRef Y = F.attr(1, Sort::Int, "y");
+  TermRef B = F.attr(2, Sort::Bool, "b");
+  TermRef Tag = F.attr(3, Sort::String, "tag");
+};
+
+TEST_F(TermTest, HashConsingGivesPointerEquality) {
+  EXPECT_EQ(F.attr(0, Sort::Int, "x"), X);
+  EXPECT_EQ(F.intConst(42), F.intConst(42));
+  EXPECT_NE(F.intConst(42), F.intConst(43));
+  EXPECT_EQ(F.mkAdd(X, F.intConst(1)), F.mkAdd(X, F.intConst(1)));
+  EXPECT_EQ(F.mkAnd(B, F.mkLt(X, Y)), F.mkAnd(F.mkLt(X, Y), B));
+}
+
+TEST_F(TermTest, BooleanSimplification) {
+  EXPECT_EQ(F.mkNot(F.trueTerm()), F.falseTerm());
+  EXPECT_EQ(F.mkNot(F.mkNot(B)), B);
+  EXPECT_EQ(F.mkAnd(B, F.trueTerm()), B);
+  EXPECT_EQ(F.mkAnd(B, F.falseTerm()), F.falseTerm());
+  EXPECT_EQ(F.mkOr(B, F.trueTerm()), F.trueTerm());
+  EXPECT_EQ(F.mkOr(B, F.falseTerm()), B);
+  EXPECT_EQ(F.mkAnd(B, F.mkNot(B)), F.falseTerm());
+  EXPECT_EQ(F.mkOr(B, F.mkNot(B)), F.trueTerm());
+  EXPECT_EQ(F.mkAnd(B, B), B);
+  // Nested conjunctions flatten.
+  TermRef C = F.mkEq(X, Y);
+  EXPECT_EQ(F.mkAnd(F.mkAnd(B, C), B), F.mkAnd(B, C));
+}
+
+TEST_F(TermTest, NegatedComparisonsNormalize) {
+  // not (x < y) == y <= x; not (x <= y) == y < x.
+  EXPECT_EQ(F.mkNot(F.mkLt(X, Y)), F.mkLe(Y, X));
+  EXPECT_EQ(F.mkNot(F.mkLe(X, Y)), F.mkLt(Y, X));
+}
+
+TEST_F(TermTest, ArithmeticConstantFolding) {
+  EXPECT_EQ(F.mkAdd(F.intConst(2), F.intConst(3)), F.intConst(5));
+  EXPECT_EQ(F.mkAdd(X, F.intConst(0)), X);
+  EXPECT_EQ(F.mkMul(X, F.intConst(1)), X);
+  EXPECT_EQ(F.mkMul(X, F.intConst(0)), F.intConst(0));
+  EXPECT_EQ(F.mkNeg(F.mkNeg(X)), X);
+  EXPECT_EQ(F.mkNeg(F.intConst(7)), F.intConst(-7));
+  EXPECT_EQ(F.mkSub(X, X)->kind(), TermKind::Add); // x + (-x) stays symbolic
+  EXPECT_EQ(F.mkMod(F.intConst(7), F.intConst(3)), F.intConst(1));
+  // Euclidean semantics: (-7) mod 3 == 2, matching Z3.
+  EXPECT_EQ(F.mkMod(F.intConst(-7), F.intConst(3)), F.intConst(2));
+  EXPECT_EQ(F.mkDiv(F.intConst(-7), F.intConst(3)), F.intConst(-3));
+  EXPECT_EQ(F.mkMod(X, F.intConst(1)), F.intConst(0));
+}
+
+TEST_F(TermTest, ComparisonConstantFolding) {
+  EXPECT_EQ(F.mkLt(F.intConst(1), F.intConst(2)), F.trueTerm());
+  EXPECT_EQ(F.mkLe(F.intConst(2), F.intConst(2)), F.trueTerm());
+  EXPECT_EQ(F.mkLt(X, X), F.falseTerm());
+  EXPECT_EQ(F.mkLe(X, X), F.trueTerm());
+  EXPECT_EQ(F.mkEq(X, X), F.trueTerm());
+  EXPECT_EQ(F.mkEq(F.stringConst("a"), F.stringConst("a")), F.trueTerm());
+  EXPECT_EQ(F.mkEq(F.stringConst("a"), F.stringConst("b")), F.falseTerm());
+}
+
+TEST_F(TermTest, EqualityIsCommutativeAfterInterning) {
+  EXPECT_EQ(F.mkEq(X, Y), F.mkEq(Y, X));
+}
+
+TEST_F(TermTest, ConcreteEvaluation) {
+  std::vector<Value> Attrs = {Value::integer(7), Value::integer(3),
+                              Value::boolean(true), Value::string("div")};
+  EXPECT_EQ(evalTerm(F.mkAdd(X, Y), Attrs).getInt(), 10);
+  EXPECT_EQ(evalTerm(F.mkMod(F.mkAdd(X, F.intConst(5)), F.intConst(26)), Attrs)
+                .getInt(),
+            12);
+  EXPECT_TRUE(evalPredicate(F.mkLt(Y, X), Attrs));
+  EXPECT_TRUE(evalPredicate(F.mkEq(Tag, F.stringConst("div")), Attrs));
+  EXPECT_FALSE(evalPredicate(F.mkEq(Tag, F.stringConst("script")), Attrs));
+  EXPECT_TRUE(evalPredicate(F.mkAnd(B, F.mkLe(Y, Y)), Attrs));
+  // Euclidean mod on negatives during evaluation.
+  std::vector<Value> Neg = {Value::integer(-7), Value::integer(3),
+                            Value::boolean(false), Value::string("")};
+  EXPECT_EQ(evalTerm(F.mkMod(X, Y), Neg).getInt(), 2);
+  EXPECT_EQ(evalTerm(F.mkDiv(X, Y), Neg).getInt(), -3);
+}
+
+TEST_F(TermTest, SubstituteAttrs) {
+  // psi = (x < y); substitute x := y + 1, y := 2 gives y + 1 < 2.
+  TermRef Psi = F.mkLt(X, Y);
+  std::vector<TermRef> Subst = {F.mkAdd(Y, F.intConst(1)), F.intConst(2), B,
+                                Tag};
+  TermRef Result = F.substituteAttrs(Psi, Subst);
+  EXPECT_EQ(Result, F.mkLt(F.mkAdd(Y, F.intConst(1)), F.intConst(2)));
+  // Substitution rebuilds with simplification: x + 1 with x := y + 1
+  // flattens and folds to y + 2.
+  EXPECT_EQ(F.substituteAttrs(F.mkAdd(X, F.intConst(1)), Subst),
+            F.mkAdd(Y, F.intConst(2)));
+  // And folds to a constant when the replacement is one: y := 2 in y + 1.
+  EXPECT_EQ(F.substituteAttrs(F.mkAdd(Y, F.intConst(1)), Subst),
+            F.intConst(3));
+}
+
+TEST_F(TermTest, NumAttrsUsed) {
+  EXPECT_EQ(F.numAttrsUsed(F.intConst(3)), 0u);
+  EXPECT_EQ(F.numAttrsUsed(X), 1u);
+  EXPECT_EQ(F.numAttrsUsed(F.mkAnd(B, F.mkEq(Tag, F.stringConst("a")))), 4u);
+}
+
+TEST_F(TermTest, Printing) {
+  EXPECT_EQ(F.mkAnd(B, F.mkLt(X, Y))->str(), "(and b (< x y))");
+  EXPECT_EQ(F.stringConst("a\"b")->str(), "\"a\\\"b\"");
+  EXPECT_EQ(F.realConst(Rational(1, 2))->str(), "1/2");
+}
+
+TEST_F(TermTest, IteSimplification) {
+  TermRef C = F.mkLt(X, Y);
+  EXPECT_EQ(F.mkIte(F.trueTerm(), X, Y), X);
+  EXPECT_EQ(F.mkIte(F.falseTerm(), X, Y), Y);
+  EXPECT_EQ(F.mkIte(C, X, X), X);
+}
+
+} // namespace

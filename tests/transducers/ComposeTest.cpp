@@ -1,0 +1,381 @@
+//===- tests/transducers/ComposeTest.cpp - Section 4 composition tests ----===//
+
+#include "TestUtil.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+/// Outputs of running \p T after \p S sequentially (the reference
+/// semantics T_S . T_T as a set).
+std::vector<TreeRef> runSequential(Session &Se, const Sttr &S, const Sttr &T,
+                                   TreeRef Input) {
+  std::vector<TreeRef> Result;
+  for (TreeRef Mid : runSttr(S, Se.Trees, Input)) {
+    std::vector<TreeRef> Out = runSttr(T, Se.Trees, Mid);
+    Result.insert(Result.end(), Out.begin(), Out.end());
+  }
+  std::sort(Result.begin(), Result.end());
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  return Result;
+}
+
+/// `lang not_emp_list : IList { cons(x) }` from Figure 8.
+TreeLanguage makeNonEmptyListLang(Session &S, const SignatureRef &Sig) {
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("not_emp_list");
+  A->addRule(Q, *Sig->findConstructor("cons"), S.Terms.trueTerm(), {{}});
+  return TreeLanguage(std::move(A), Q);
+}
+
+class ComposeTest : public ::testing::Test {
+protected:
+  Session S;
+  SignatureRef IList = makeIListSig();
+  SignatureRef Bt = makeBtSig();
+  SignatureRef Bbt = makeBbtSig();
+};
+
+TEST_F(ComposeTest, MapThenFilterMatchesSequential) {
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  ComposeResult C = composeSttr(S.Solv, S.Outputs, *Map, *Filter);
+  EXPECT_TRUE(C.isExact());
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/47);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef In = Gen.generate();
+    std::vector<TreeRef> Composed = runSttr(*C.Composed, S.Trees, In);
+    std::vector<TreeRef> Sequential = runSequential(S, *Map, *Filter, In);
+    EXPECT_EQ(Composed, Sequential) << In->str();
+  }
+}
+
+TEST_F(ComposeTest, FilterThenMapMatchesSequential) {
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  ComposeResult C = composeSttr(S.Solv, S.Outputs, *Filter, *Map);
+  EXPECT_TRUE(C.isExact());
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/53);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef In = Gen.generate();
+    EXPECT_EQ(runSttr(*C.Composed, S.Trees, In),
+              runSequential(S, *Filter, *Map, In));
+  }
+}
+
+TEST_F(ComposeTest, Figure8AnalysisComp2IsAlwaysEmptyList) {
+  // comp = map_caesar . filter_ev; comp2 = comp . comp.  The paper's
+  // Section 5.4 analysis: comp2 never outputs a non-empty list.
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  std::shared_ptr<Sttr> Comp =
+      composeSttr(S.Solv, S.Outputs, *Map, *Filter).Composed;
+  std::shared_ptr<Sttr> Comp2 =
+      composeSttr(S.Solv, S.Outputs, *Comp, *Comp).Composed;
+
+  // Dynamic check on samples.
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/59);
+  for (int I = 0; I < 50; ++I) {
+    std::vector<TreeRef> Out = runSttr(*Comp2, S.Trees, Gen.generate());
+    ASSERT_EQ(Out.size(), 1u);
+    EXPECT_TRUE(readIList(Out.front()).empty());
+  }
+
+  // Static check: restrict-out to non-empty lists is the empty transducer.
+  TreeLanguage NonEmpty = makeNonEmptyListLang(S, IList);
+  ComposeResult Restr = restrictOutput(S.Solv, S.Outputs, *Comp2, NonEmpty);
+  EXPECT_TRUE(Restr.SecondLinear);
+  EXPECT_TRUE(isEmptyTransducer(S.Solv, *Restr.Composed));
+
+  // Sanity: the same restriction on a single comp is NOT empty.
+  ComposeResult Restr1 = restrictOutput(S.Solv, S.Outputs, *Comp, NonEmpty);
+  EXPECT_FALSE(isEmptyTransducer(S.Solv, *Restr1.Composed));
+}
+
+TEST_F(ComposeTest, Example4DeletionNeedsLookahead) {
+  // s1: identity iff every label is true; s2: constant L[true].
+  TermRef B = Bbt->attrTerm(S.Terms, 0);
+  unsigned L = *Bbt->findConstructor("L"), N = *Bbt->findConstructor("N");
+  auto S1 = std::make_shared<Sttr>(Bbt);
+  unsigned Q1 = S1->addState("s1");
+  S1->setStartState(Q1);
+  S1->addRule(Q1, L, B, {}, S.Outputs.mkCons(L, {B}, {}));
+  S1->addRule(Q1, N, B, {{}, {}},
+              S.Outputs.mkCons(
+                  N, {B}, {S.Outputs.mkState(Q1, 0), S.Outputs.mkState(Q1, 1)}));
+  auto S2 = std::make_shared<Sttr>(Bbt);
+  unsigned Q2 = S2->addState("s2");
+  S2->setStartState(Q2);
+  OutputRef LTrue = S.Outputs.mkCons(L, {S.Terms.trueTerm()}, {});
+  S2->addRule(Q2, L, S.Terms.trueTerm(), {}, LTrue);
+  S2->addRule(Q2, N, S.Terms.trueTerm(), {{}, {}}, LTrue);
+
+  ComposeResult C = composeSttr(S.Solv, S.Outputs, *S1, *S2);
+  EXPECT_TRUE(C.isExact()); // s1 is deterministic.
+
+  auto Leaf = [&](bool V) {
+    return S.Trees.makeLeaf(Bbt, L, {Value::boolean(V)});
+  };
+  auto Node = [&](bool V, TreeRef A, TreeRef Bc) {
+    return S.Trees.make(Bbt, N, {Value::boolean(V)}, {A, Bc});
+  };
+  // All-true input: composed outputs L[true].
+  TreeRef AllTrue = Node(true, Leaf(true), Leaf(true));
+  std::vector<TreeRef> Out = runSttr(*C.Composed, S.Trees, AllTrue);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out.front(), Leaf(true));
+  // One false ANYWHERE (even in a subtree s2 deletes): no output.  This is
+  // exactly the deleted-subtree constraint regular lookahead preserves.
+  EXPECT_TRUE(
+      runSttr(*C.Composed, S.Trees, Node(true, Leaf(true), Leaf(false)))
+          .empty());
+  EXPECT_TRUE(
+      runSttr(*C.Composed, S.Trees, Node(false, Leaf(true), Leaf(true)))
+          .empty());
+  // Deeper deletion.
+  TreeRef Deep = Node(true, Node(true, Leaf(true), Leaf(false)), Leaf(true));
+  EXPECT_TRUE(runSttr(*C.Composed, S.Trees, Deep).empty());
+}
+
+TEST_F(ComposeTest, Theorem4OverapproximationWithDuplication) {
+  // Example 9, faithfully: over X { c(0), g(1), f(2) }, S rewrites the
+  // leaf under g nondeterministically to c[0] or c[4]; T duplicates the
+  // subtree under g.  Sequentially the two copies are synchronized on one
+  // run of S; the composed STTR over-approximates with the mixed pairs.
+  SignatureRef X = TreeSignature::create("X", {{"i", Sort::Int}},
+                                         {{"c", 0}, {"g", 1}, {"f", 2}});
+  unsigned C0 = *X->findConstructor("c"), G1 = *X->findConstructor("g"),
+           F2 = *X->findConstructor("f");
+  TermRef I = X->attrTerm(S.Terms, 0);
+
+  auto Sv = std::make_shared<Sttr>(X);
+  unsigned P = Sv->addState("p");
+  Sv->setStartState(P);
+  Sv->addRule(P, C0, S.Terms.trueTerm(), {},
+              S.Outputs.mkCons(C0, {S.Terms.intConst(0)}, {}));
+  Sv->addRule(P, C0, S.Terms.trueTerm(), {},
+              S.Outputs.mkCons(C0, {S.Terms.intConst(4)}, {}));
+  Sv->addRule(P, G1, S.Terms.trueTerm(), {{}},
+              S.Outputs.mkCons(G1, {I}, {S.Outputs.mkState(P, 0)}));
+
+  auto Tv = std::make_shared<Sttr>(X);
+  unsigned Q = Tv->addState("q");
+  Tv->setStartState(Q);
+  Tv->addRule(Q, C0, S.Terms.trueTerm(), {}, S.Outputs.mkCons(C0, {I}, {}));
+  Tv->addRule(Q, G1, S.Terms.trueTerm(), {{}},
+              S.Outputs.mkCons(F2, {I},
+                               {S.Outputs.mkState(Q, 0),
+                                S.Outputs.mkState(Q, 0)}));
+
+  EXPECT_FALSE(Sv->isDeterministic(S.Solv));
+  EXPECT_FALSE(Tv->isLinear());
+  ComposeResult C = composeSttr(S.Solv, S.Outputs, *Sv, *Tv);
+  EXPECT_FALSE(C.isExact());
+
+  TreeRef In = S.Trees.make(X, G1, {Value::integer(7)},
+                            {S.Trees.makeLeaf(X, C0, {Value::integer(1)})});
+  std::vector<TreeRef> Sequential = runSequential(S, *Sv, *Tv, In);
+  std::vector<TreeRef> Composed = runSttr(*C.Composed, S.Trees, In);
+  // Sequential: f(c0,c0) and f(c4,c4).  Composed adds the mixed pairs.
+  EXPECT_EQ(Sequential.size(), 2u);
+  EXPECT_EQ(Composed.size(), 4u);
+  EXPECT_TRUE(std::includes(Composed.begin(), Composed.end(),
+                            Sequential.begin(), Sequential.end()));
+}
+
+TEST_F(ComposeTest, Example8CrossLevelDependencyPrunesRules) {
+  // Example 8: S's rule outputs g[x+1](g[x-2](p1(y2))); T requires every
+  // g label to be odd.  x+1 and x-2 cannot both be odd, so Look's
+  // satisfiability check (2a) must prune the reduction: the composed
+  // transducer has NO rule for f at the pair state and is empty on f-trees.
+  SignatureRef X = TreeSignature::create(
+      "X8", {{"x", Sort::Int}}, {{"c", 0}, {"g", 1}, {"f", 2}});
+  unsigned C0 = *X->findConstructor("c"), G1 = *X->findConstructor("g"),
+           F2 = *X->findConstructor("f");
+  TermRef I = X->attrTerm(S.Terms, 0);
+  TermRef Odd = S.Terms.mkEq(S.Terms.mkMod(I, S.Terms.intConst(2)),
+                             S.Terms.intConst(1));
+
+  auto Sv = std::make_shared<Sttr>(X);
+  unsigned P = Sv->addState("p");
+  unsigned P1 = Sv->addState("p1");
+  Sv->setStartState(P);
+  // p(f[x](y1, y2)) -> g[x+1](g[x-2](p1(y2))), guarded x > 0.
+  OutputRef Inner = S.Outputs.mkCons(
+      G1, {S.Terms.mkSub(I, S.Terms.intConst(2))},
+      {S.Outputs.mkState(P1, 1)});
+  Sv->addRule(P, F2, S.Terms.mkGt(I, S.Terms.intConst(0)), {{}, {}},
+              S.Outputs.mkCons(G1, {S.Terms.mkAdd(I, S.Terms.intConst(1))},
+                               {Inner}));
+  Sv->addRule(P1, C0, S.Terms.trueTerm(), {},
+              S.Outputs.mkCons(C0, {I}, {}));
+
+  auto Tv = std::make_shared<Sttr>(X);
+  unsigned Q = Tv->addState("q");
+  Tv->setStartState(Q);
+  // q accepts g chains with odd labels only (and copies), c unconstrained.
+  Tv->addRule(Q, G1, Odd, {{}},
+              S.Outputs.mkCons(G1, {I}, {S.Outputs.mkState(Q, 0)}));
+  Tv->addRule(Q, C0, S.Terms.trueTerm(), {},
+              S.Outputs.mkCons(C0, {I}, {}));
+
+  ComposeResult C = composeSttr(S.Solv, S.Outputs, *Sv, *Tv);
+  // No composed rule from the start pair on f: the cross-level parity
+  // clash odd(x+1) && odd(x-2) is unsatisfiable.
+  unsigned Start = C.Composed->startState();
+  EXPECT_TRUE(C.Composed->rulesFrom(Start, F2).empty());
+  TreeRef In = S.Trees.make(
+      X, F2, {Value::integer(3)},
+      {S.Trees.makeLeaf(X, C0, {Value::integer(1)}),
+       S.Trees.makeLeaf(X, C0, {Value::integer(1)})});
+  EXPECT_TRUE(runSttr(*C.Composed, S.Trees, In).empty());
+  // Sanity: sequential application also yields nothing.
+  EXPECT_TRUE(runSequential(S, *Sv, *Tv, In).empty());
+}
+
+TEST_F(ComposeTest, DomainMatchesRunnability) {
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  TreeLanguage Dom = domainLanguage(*Filter);
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/61);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef T = Gen.generate();
+    EXPECT_EQ(Dom.contains(T), !runSttr(*Filter, S.Trees, T).empty());
+  }
+  // filter_ev is total, so its domain is universal.
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, Dom,
+                                     universalLanguage(S.Terms, IList)));
+}
+
+TEST_F(ComposeTest, DomainOfPartialTransducer) {
+  // Keep-positive-leaves transducer: only defined where every label > 0.
+  auto T = std::make_shared<Sttr>(Bt);
+  unsigned Q = T->addState("pos");
+  T->setStartState(Q);
+  unsigned L = *Bt->findConstructor("L"), N = *Bt->findConstructor("N");
+  TermRef I = Bt->attrTerm(S.Terms, 0);
+  TermRef Pos = S.Terms.mkGt(I, S.Terms.intConst(0));
+  T->addRule(Q, L, Pos, {}, S.Outputs.mkCons(L, {I}, {}));
+  T->addRule(Q, N, Pos, {{}, {}},
+             S.Outputs.mkCons(N, {I}, {S.Outputs.mkState(Q, 0),
+                                       S.Outputs.mkState(Q, 1)}));
+  TreeLanguage Dom = domainLanguage(*T);
+  TreeLanguage AllPos = makeAllPositiveLang(S, Bt);
+  // AllPos constrains only leaves... our transducer constrains every label.
+  RandomTreeGen Gen(S.Trees, Bt, /*Seed=*/67);
+  for (int I2 = 0; I2 < 100; ++I2) {
+    TreeRef Tr = Gen.generate();
+    EXPECT_EQ(Dom.contains(Tr), !runSttr(*T, S.Trees, Tr).empty());
+  }
+}
+
+TEST_F(ComposeTest, PreImageOfFilter) {
+  // pre-image(filter_ev, non-empty lists) == lists with at least one even.
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  TreeLanguage NonEmpty = makeNonEmptyListLang(S, IList);
+  TreeLanguage Pre = preImageLanguage(S.Solv, *Filter, NonEmpty);
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/71);
+  for (int I = 0; I < 100; ++I) {
+    TreeRef T = Gen.generate();
+    std::vector<int64_t> Values = readIList(T);
+    bool HasEven = std::any_of(Values.begin(), Values.end(),
+                               [](int64_t V) { return V % 2 == 0; });
+    EXPECT_EQ(Pre.contains(T), HasEven) << T->str();
+  }
+}
+
+TEST_F(ComposeTest, PreImageThroughMap) {
+  // pre-image(map_caesar, heads-with-value-0) == lists whose head maps to
+  // 0, i.e. head == 21 (mod 26 arithmetic on the sampled range).
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  auto A = std::make_shared<Sta>(IList);
+  unsigned Q = A->addState("head0");
+  TermRef I = IList->attrTerm(S.Terms, 0);
+  A->addRule(Q, *IList->findConstructor("cons"),
+             S.Terms.mkEq(I, S.Terms.intConst(0)), {{}});
+  TreeLanguage Head0(A, Q);
+  TreeLanguage Pre = preImageLanguage(S.Solv, *Map, Head0);
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/73);
+  for (int K = 0; K < 100; ++K) {
+    TreeRef T = Gen.generate();
+    std::vector<int64_t> Values = readIList(T);
+    bool Expected =
+        !Values.empty() && ((Values.front() + 5) % 26 + 26) % 26 == 0;
+    EXPECT_EQ(Pre.contains(T), Expected) << T->str();
+  }
+}
+
+TEST_F(ComposeTest, RestrictInput) {
+  std::shared_ptr<Sttr> I = identitySttr(S.Terms, S.Outputs, Bt);
+  TreeLanguage AllPos = makeAllPositiveLang(S, Bt);
+  std::shared_ptr<Sttr> R = restrictInput(S.Solv, *I, AllPos);
+  RandomTreeGen Gen(S.Trees, Bt, /*Seed=*/79);
+  for (int K = 0; K < 100; ++K) {
+    TreeRef T = Gen.generate();
+    std::vector<TreeRef> Out = runSttr(*R, S.Trees, T);
+    if (AllPos.contains(T)) {
+      ASSERT_EQ(Out.size(), 1u);
+      EXPECT_EQ(Out.front(), T);
+    } else {
+      EXPECT_TRUE(Out.empty());
+    }
+  }
+  // The restricted domain is exactly the language.
+  EXPECT_TRUE(areEquivalentLanguages(S.Solv, domainLanguage(*R), AllPos));
+}
+
+TEST_F(ComposeTest, RestrictOutputKeepsMatchingRuns) {
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  TreeLanguage NonEmpty = makeNonEmptyListLang(S, IList);
+  ComposeResult R = restrictOutput(S.Solv, S.Outputs, *Filter, NonEmpty);
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/83);
+  for (int K = 0; K < 100; ++K) {
+    TreeRef T = Gen.generate();
+    std::vector<TreeRef> Out = runSttr(*R.Composed, S.Trees, T);
+    std::vector<int64_t> Values = readIList(T);
+    bool HasEven = std::any_of(Values.begin(), Values.end(),
+                               [](int64_t V) { return V % 2 == 0; });
+    EXPECT_EQ(!Out.empty(), HasEven);
+    for (TreeRef O : Out)
+      EXPECT_TRUE(NonEmpty.contains(O));
+  }
+}
+
+TEST_F(ComposeTest, TypeCheck) {
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  // Outputs of map_caesar always lie in [0, 25].
+  auto InRange = [&](int64_t Lo, int64_t Hi) {
+    auto A = std::make_shared<Sta>(IList);
+    unsigned Q = A->addState("range");
+    TermRef I = IList->attrTerm(S.Terms, 0);
+    TermRef G = S.Terms.mkAnd(S.Terms.mkLe(S.Terms.intConst(Lo), I),
+                              S.Terms.mkLe(I, S.Terms.intConst(Hi)));
+    A->addRule(Q, *IList->findConstructor("nil"), S.Terms.trueTerm(), {});
+    A->addRule(Q, *IList->findConstructor("cons"), G, {{Q}});
+    return TreeLanguage(A, Q);
+  };
+  TreeLanguage AllLists = universalLanguage(S.Terms, IList);
+  EXPECT_TRUE(typeCheck(S.Solv, AllLists, *Map, InRange(0, 25)));
+  EXPECT_FALSE(typeCheck(S.Solv, AllLists, *Map, InRange(0, 10)));
+  // Restricted to inputs whose values stay below 6, outputs stay below 11.
+  EXPECT_TRUE(typeCheck(S.Solv, InRange(0, 5), *Map, InRange(5, 10)));
+}
+
+TEST_F(ComposeTest, ComposeWithIdentityIsIdentityOnBehaviour) {
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  std::shared_ptr<Sttr> I = identitySttr(S.Terms, S.Outputs, IList);
+  ComposeResult Left = composeSttr(S.Solv, S.Outputs, *I, *Map);
+  ComposeResult Right = composeSttr(S.Solv, S.Outputs, *Map, *I);
+  RandomTreeGen Gen(S.Trees, IList, /*Seed=*/89);
+  for (int K = 0; K < 50; ++K) {
+    TreeRef T = Gen.generate();
+    std::vector<TreeRef> Expected = runSttr(*Map, S.Trees, T);
+    EXPECT_EQ(runSttr(*Left.Composed, S.Trees, T), Expected);
+    EXPECT_EQ(runSttr(*Right.Composed, S.Trees, T), Expected);
+  }
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+//===- tests/transducers/DotTest.cpp - Graphviz export tests --------------===//
+
+#include "TestUtil.h"
+#include "transducers/Dot.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+TEST(DotTest, StaExportContainsStatesRulesAndRoots) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage Pos = makeAllPositiveLang(S, Sig);
+  std::string Dot = languageToDot(Pos, "positive");
+  EXPECT_NE(Dot.find("digraph positive"), std::string::npos);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos); // the root
+  EXPECT_NE(Dot.find("label=\"p\""), std::string::npos);  // state name
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);    // rule nodes
+  EXPECT_NE(Dot.find("y1"), std::string::npos);           // child edges
+  // Balanced braces: a crude well-formedness check.
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(DotTest, SttrExportShowsGuardsOutputsAndLookahead) {
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, Sig);
+  // Give it a lookahead constraint so the cluster is exercised.
+  TreeLanguage NonEmpty = [&] {
+    auto A = std::make_shared<Sta>(Sig);
+    unsigned Q = A->addState("ne");
+    A->addRule(Q, *Sig->findConstructor("cons"), S.Terms.trueTerm(), {{}});
+    return TreeLanguage(A, Q);
+  }();
+  std::shared_ptr<Sttr> R = restrictInput(S.Solv, *Filter, NonEmpty);
+  std::string Dot = sttrToDot(*R, "filter");
+  EXPECT_NE(Dot.find("digraph filter"), std::string::npos);
+  EXPECT_NE(Dot.find("cluster_lookahead"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(Dot.find("filter_ev"), std::string::npos);
+  EXPECT_NE(Dot.find("% "), std::string::npos); // the even guard
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(DotTest, LabelsAreEscaped) {
+  Session S;
+  SignatureRef Sig = makeHtmlSig();
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned Q = A->addState("q\"uote");
+  TermRef Tag = Sig->attrTerm(S.Terms, 0);
+  A->addRule(Q, 0, S.Terms.mkEq(Tag, S.Terms.stringConst("a\"b")), {});
+  std::string Dot = staToDot(*A, {Q});
+  // No raw unescaped quote inside a label.
+  EXPECT_NE(Dot.find("q\\\"uote"), std::string::npos);
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/transducers/EquivalenceTest.cpp - STTR equivalence tests -----===//
+
+#include "TestUtil.h"
+#include "transducers/Equivalence.h"
+#include "transducers/RandomAutomata.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+protected:
+  Session S;
+  SignatureRef IList = makeIListSig();
+  SignatureRef Bt = makeBtSig();
+};
+
+TEST_F(EquivalenceTest, IdenticalPipelinesAreProbablyEquivalent) {
+  // map;filter and filter-after-map composed: same function two ways.
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, IList);
+  std::shared_ptr<Sttr> C1 =
+      composeSttr(S.Solv, S.Outputs, *Map, *Filter).Composed;
+  std::shared_ptr<Sttr> I = identitySttr(S.Terms, S.Outputs, IList);
+  std::shared_ptr<Sttr> C2 =
+      composeSttr(S.Solv, S.Outputs,
+                  *composeSttr(S.Solv, S.Outputs, *Map, *I).Composed, *Filter)
+          .Composed;
+  EXPECT_TRUE(haveEquivalentDomains(S.Solv, *C1, *C2));
+  EquivalenceResult R = checkEquivalence(S, *C1, *C2);
+  EXPECT_EQ(R.Outcome, EquivalenceResult::Verdict::ProbablyEquivalent);
+}
+
+TEST_F(EquivalenceTest, DifferentShiftsAreRefuted) {
+  // map_caesar (+5 % 26) vs a +6 variant: behavioural difference found by
+  // sampling (domains are both universal).
+  std::shared_ptr<Sttr> Map5 = makeMapCaesar(S, IList);
+  auto Map6 = std::make_shared<Sttr>(IList);
+  unsigned Q = Map6->addState("map6");
+  Map6->setStartState(Q);
+  TermRef I = IList->attrTerm(S.Terms, 0);
+  Map6->addRule(Q, 0, S.Terms.trueTerm(), {},
+                S.Outputs.mkCons(0, {S.Terms.intConst(0)}, {}));
+  Map6->addRule(Q, 1, S.Terms.trueTerm(), {{}},
+                S.Outputs.mkCons(
+                    1, {S.Terms.mkMod(S.Terms.mkAdd(I, S.Terms.intConst(6)),
+                                      S.Terms.intConst(26))},
+                    {S.Outputs.mkState(Q, 0)}));
+  EXPECT_TRUE(haveEquivalentDomains(S.Solv, *Map5, *Map6));
+  EquivalenceResult R = checkEquivalence(S, *Map5, *Map6);
+  ASSERT_EQ(R.Outcome, EquivalenceResult::Verdict::Inequivalent);
+  ASSERT_NE(R.Counterexample, nullptr);
+  EXPECT_NE(runSttr(*Map5, S.Trees, R.Counterexample),
+            runSttr(*Map6, S.Trees, R.Counterexample));
+}
+
+TEST_F(EquivalenceTest, DomainDifferenceIsAGuaranteedCounterexample) {
+  // Identity restricted to all-positive trees vs unrestricted identity.
+  std::shared_ptr<Sttr> I = identitySttr(S.Terms, S.Outputs, Bt);
+  TreeLanguage AllPos = makeAllPositiveLang(S, Bt);
+  std::shared_ptr<Sttr> Restricted = restrictInput(S.Solv, *I, AllPos);
+  EXPECT_FALSE(haveEquivalentDomains(S.Solv, *I, *Restricted));
+  EquivalenceResult R = checkEquivalence(S, *I, *Restricted);
+  ASSERT_EQ(R.Outcome, EquivalenceResult::Verdict::Inequivalent);
+  ASSERT_NE(R.Counterexample, nullptr);
+  // The counterexample is outside the restriction.
+  EXPECT_FALSE(AllPos.contains(R.Counterexample));
+}
+
+TEST_F(EquivalenceTest, BuggyVsFixedSanitizerStyleDifference) {
+  // A transducer and its clone with one mutated rule are distinguished.
+  std::shared_ptr<Sttr> T =
+      randomDetLinearSttr(S.Terms, S.Outputs, Bt, /*Seed=*/5);
+  std::shared_ptr<Sttr> Mutant = cloneSttr(*T);
+  // Overlay a rule for L with guard true producing a distinct constant
+  // leaf; the mutant becomes nondeterministic with extra outputs.
+  unsigned L = *Bt->findConstructor("L");
+  Mutant->addRule(Mutant->startState(), L, S.Terms.trueTerm(), {},
+                  S.Outputs.mkCons(L, {S.Terms.intConst(9999)}, {}));
+  EquivalenceResult R = checkEquivalence(S, *T, *Mutant);
+  EXPECT_EQ(R.Outcome, EquivalenceResult::Verdict::Inequivalent);
+}
+
+TEST_F(EquivalenceTest, SelfEquivalenceOfRandomTransducers) {
+  for (unsigned Seed = 0; Seed < 4; ++Seed) {
+    std::shared_ptr<Sttr> T =
+        randomDetLinearSttr(S.Terms, S.Outputs, Bt, Seed);
+    std::shared_ptr<Sttr> Simplified = simplifyLookahead(S.Solv, *T);
+    EquivalenceResult R = checkEquivalence(S, *T, *Simplified);
+    EXPECT_EQ(R.Outcome, EquivalenceResult::Verdict::ProbablyEquivalent);
+  }
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/trees/TreeTest.cpp - Tree substrate tests --------------------===//
+
+#include "TestUtil.h"
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half - Half, Rational(0));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_TRUE(Third < Half);
+  EXPECT_EQ(Rational(2, 4), Half);
+  EXPECT_EQ(Rational(-1, -2), Half);
+  EXPECT_EQ(Rational(1, -2), -Half);
+  EXPECT_EQ(Rational(6, 3).str(), "2");
+  EXPECT_EQ(Rational(-3, 6).str(), "-1/2");
+}
+
+TEST(RationalTest, Parse) {
+  Rational R;
+  EXPECT_TRUE(Rational::parse("42", R));
+  EXPECT_EQ(R, Rational(42));
+  EXPECT_TRUE(Rational::parse("-2.5", R));
+  EXPECT_EQ(R, Rational(-5, 2));
+  EXPECT_TRUE(Rational::parse("7/4", R));
+  EXPECT_EQ(R, Rational(7, 4));
+  EXPECT_FALSE(Rational::parse("", R));
+  EXPECT_FALSE(Rational::parse("1/0", R));
+  EXPECT_FALSE(Rational::parse("abc", R));
+}
+
+TEST(TreeTest, InterningSharesStructure) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeRef L1 = btLeaf(S, Sig, 1);
+  TreeRef L2 = btLeaf(S, Sig, 1);
+  EXPECT_EQ(L1, L2);
+  TreeRef N1 = btNode(S, Sig, 0, L1, L2);
+  TreeRef N2 = btNode(S, Sig, 0, L1, L1);
+  EXPECT_EQ(N1, N2);
+  EXPECT_EQ(N1->size(), 3u);
+  EXPECT_EQ(N1->depth(), 2u);
+}
+
+TEST(TreeTest, PrintParseRoundTrip) {
+  Session S;
+  SignatureRef Sig = makeHtmlSig();
+  std::string Error;
+  const std::string Text =
+      "node[\"script\"](nil[\"\"], nil[\"\"], node[\"div\"](nil[\"\"], "
+      "nil[\"\"], nil[\"\"]))";
+  TreeRef T = parseTree(S.Trees, Sig, Text, Error);
+  ASSERT_NE(T, nullptr) << Error;
+  EXPECT_EQ(T->str(), Text);
+  // Parsing the printed form gives the identical (interned) node.
+  TreeRef T2 = parseTree(S.Trees, Sig, T->str(), Error);
+  EXPECT_EQ(T, T2);
+}
+
+TEST(TreeTest, ParseEscapes) {
+  Session S;
+  SignatureRef Sig = makeHtmlSig();
+  std::string Error;
+  TreeRef T = parseTree(S.Trees, Sig, "val[\"\\\\\"](nil[\"\"])", Error);
+  ASSERT_NE(T, nullptr) << Error;
+  EXPECT_EQ(T->attr(0).getString(), "\\");
+}
+
+TEST(TreeTest, ParseErrors) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  std::string Error;
+  EXPECT_EQ(parseTree(S.Trees, Sig, "M[1]", Error), nullptr);
+  EXPECT_NE(Error.find("unknown constructor"), std::string::npos);
+  EXPECT_EQ(parseTree(S.Trees, Sig, "N[1](L[1])", Error), nullptr);
+  EXPECT_EQ(parseTree(S.Trees, Sig, "L[1] garbage", Error), nullptr);
+  EXPECT_EQ(parseTree(S.Trees, Sig, "L[\"x\"]", Error), nullptr);
+  EXPECT_EQ(parseTree(S.Trees, Sig, "L[]", Error), nullptr);
+}
+
+TEST(TreeTest, IListHelpers) {
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::vector<int64_t> Values = {3, 1, 4, 1, 5};
+  EXPECT_EQ(readIList(makeIList(S, Sig, Values)), Values);
+  EXPECT_EQ(readIList(makeIList(S, Sig, {})), std::vector<int64_t>{});
+}
+
+TEST(RandomTreeTest, DeterministicAndBounded) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  RandomTreeOptions Options;
+  Options.MaxDepth = 4;
+  RandomTreeGen Gen1(S.Trees, Sig, /*Seed=*/7, Options);
+  RandomTreeGen Gen2(S.Trees, Sig, /*Seed=*/7, Options);
+  for (int I = 0; I < 50; ++I) {
+    TreeRef A = Gen1.generate();
+    TreeRef B = Gen2.generate();
+    EXPECT_EQ(A, B);
+    EXPECT_LE(A->depth(), 4u);
+  }
+}
+
+TEST(SignatureTest, Lookups) {
+  SignatureRef Sig = makeHtmlSig();
+  EXPECT_EQ(Sig->numConstructors(), 4u);
+  EXPECT_EQ(*Sig->findConstructor("attr"), 2u);
+  EXPECT_FALSE(Sig->findConstructor("bogus").has_value());
+  EXPECT_EQ(*Sig->findAttr("tag"), 0u);
+  EXPECT_EQ(Sig->maxRank(), 3u);
+  EXPECT_TRUE(Sig->isCompatibleWith(*makeHtmlSig()));
+  EXPECT_FALSE(Sig->isCompatibleWith(*makeBtSig()));
+}
+
+} // namespace
