@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ar_conflicts.dir/fig6_ar_conflicts.cpp.o"
+  "CMakeFiles/fig6_ar_conflicts.dir/fig6_ar_conflicts.cpp.o.d"
+  "fig6_ar_conflicts"
+  "fig6_ar_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ar_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

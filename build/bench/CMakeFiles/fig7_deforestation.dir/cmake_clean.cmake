@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_deforestation.dir/fig7_deforestation.cpp.o"
+  "CMakeFiles/fig7_deforestation.dir/fig7_deforestation.cpp.o.d"
+  "fig7_deforestation"
+  "fig7_deforestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_deforestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

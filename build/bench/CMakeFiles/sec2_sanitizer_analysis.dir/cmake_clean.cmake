@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_sanitizer_analysis.dir/sec2_sanitizer_analysis.cpp.o"
+  "CMakeFiles/sec2_sanitizer_analysis.dir/sec2_sanitizer_analysis.cpp.o.d"
+  "sec2_sanitizer_analysis"
+  "sec2_sanitizer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_sanitizer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

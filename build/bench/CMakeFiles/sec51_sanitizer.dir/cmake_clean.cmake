@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_sanitizer.dir/sec51_sanitizer.cpp.o"
+  "CMakeFiles/sec51_sanitizer.dir/sec51_sanitizer.cpp.o.d"
+  "sec51_sanitizer"
+  "sec51_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_program_analysis.dir/sec54_program_analysis.cpp.o"
+  "CMakeFiles/sec54_program_analysis.dir/sec54_program_analysis.cpp.o.d"
+  "sec54_program_analysis"
+  "sec54_program_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_program_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec6_symbolic_vs_classical.cpp" "bench/CMakeFiles/sec6_symbolic_vs_classical.dir/sec6_symbolic_vs_classical.cpp.o" "gcc" "bench/CMakeFiles/sec6_symbolic_vs_classical.dir/sec6_symbolic_vs_classical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fast_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/fast_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/transducers/CMakeFiles/fast_transducers.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/fast_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fast_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fast_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_symbolic_vs_classical.dir/sec6_symbolic_vs_classical.cpp.o"
+  "CMakeFiles/sec6_symbolic_vs_classical.dir/sec6_symbolic_vs_classical.cpp.o.d"
+  "sec6_symbolic_vs_classical"
+  "sec6_symbolic_vs_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_symbolic_vs_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

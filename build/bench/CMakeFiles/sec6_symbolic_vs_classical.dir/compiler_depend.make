@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6_symbolic_vs_classical.
+# This may be replaced when dependencies are built.

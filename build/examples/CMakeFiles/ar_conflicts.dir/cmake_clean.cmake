@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_conflicts.dir/ar_conflicts.cpp.o"
+  "CMakeFiles/ar_conflicts.dir/ar_conflicts.cpp.o.d"
+  "ar_conflicts"
+  "ar_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

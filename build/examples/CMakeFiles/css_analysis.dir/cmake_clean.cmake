@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/css_analysis.dir/css_analysis.cpp.o"
+  "CMakeFiles/css_analysis.dir/css_analysis.cpp.o.d"
+  "css_analysis"
+  "css_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/css_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deforestation.dir/deforestation.cpp.o"
+  "CMakeFiles/deforestation.dir/deforestation.cpp.o.d"
+  "deforestation"
+  "deforestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deforestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastc.dir/fastc.cpp.o"
+  "CMakeFiles/fastc.dir/fastc.cpp.o.d"
+  "fastc"
+  "fastc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_sanitizer.dir/html_sanitizer.cpp.o"
+  "CMakeFiles/html_sanitizer.dir/html_sanitizer.cpp.o.d"
+  "html_sanitizer"
+  "html_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

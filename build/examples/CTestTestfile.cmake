@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.html_sanitizer "/root/repo/build/examples/html_sanitizer")
+set_tests_properties(example.html_sanitizer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.ar_conflicts "/root/repo/build/examples/ar_conflicts" "5" "3")
+set_tests_properties(example.ar_conflicts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.css_analysis "/root/repo/build/examples/css_analysis")
+set_tests_properties(example.css_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.fastc_sanitizer "/root/repo/build/examples/fastc" "/root/repo/examples/sanitizer.fast")
+set_tests_properties(example.fastc_sanitizer PROPERTIES  PASS_REGULAR_EXPRESSION "FAILED.*script" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.fastc_program_analysis "/root/repo/build/examples/fastc" "/root/repo/examples/program_analysis.fast")
+set_tests_properties(example.fastc_program_analysis PROPERTIES  PASS_REGULAR_EXPRESSION "3 assertion\\(s\\), 0 failed" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.fastc_negate_odd "/root/repo/build/examples/fastc" "/root/repo/examples/negate_odd.fast")
+set_tests_properties(example.fastc_negate_odd PROPERTIES  PASS_REGULAR_EXPRESSION "4 assertion\\(s\\), 0 failed" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.fastc_tagger_conflicts "/root/repo/build/examples/fastc" "/root/repo/examples/tagger_conflicts.fast")
+set_tests_properties(example.fastc_tagger_conflicts PROPERTIES  PASS_REGULAR_EXPRESSION "3 assertion\\(s\\), 0 failed" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

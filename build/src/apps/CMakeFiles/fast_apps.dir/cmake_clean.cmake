@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_apps.dir/ArTaggers.cpp.o"
+  "CMakeFiles/fast_apps.dir/ArTaggers.cpp.o.d"
+  "CMakeFiles/fast_apps.dir/Classical.cpp.o"
+  "CMakeFiles/fast_apps.dir/Classical.cpp.o.d"
+  "CMakeFiles/fast_apps.dir/Css.cpp.o"
+  "CMakeFiles/fast_apps.dir/Css.cpp.o.d"
+  "CMakeFiles/fast_apps.dir/Deforestation.cpp.o"
+  "CMakeFiles/fast_apps.dir/Deforestation.cpp.o.d"
+  "CMakeFiles/fast_apps.dir/Html.cpp.o"
+  "CMakeFiles/fast_apps.dir/Html.cpp.o.d"
+  "libfast_apps.a"
+  "libfast_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

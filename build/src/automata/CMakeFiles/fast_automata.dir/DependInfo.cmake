@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/Determinize.cpp" "src/automata/CMakeFiles/fast_automata.dir/Determinize.cpp.o" "gcc" "src/automata/CMakeFiles/fast_automata.dir/Determinize.cpp.o.d"
+  "/root/repo/src/automata/Sta.cpp" "src/automata/CMakeFiles/fast_automata.dir/Sta.cpp.o" "gcc" "src/automata/CMakeFiles/fast_automata.dir/Sta.cpp.o.d"
+  "/root/repo/src/automata/StaOps.cpp" "src/automata/CMakeFiles/fast_automata.dir/StaOps.cpp.o" "gcc" "src/automata/CMakeFiles/fast_automata.dir/StaOps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trees/CMakeFiles/fast_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fast_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_automata.dir/Determinize.cpp.o"
+  "CMakeFiles/fast_automata.dir/Determinize.cpp.o.d"
+  "CMakeFiles/fast_automata.dir/Sta.cpp.o"
+  "CMakeFiles/fast_automata.dir/Sta.cpp.o.d"
+  "CMakeFiles/fast_automata.dir/StaOps.cpp.o"
+  "CMakeFiles/fast_automata.dir/StaOps.cpp.o.d"
+  "libfast_automata.a"
+  "libfast_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

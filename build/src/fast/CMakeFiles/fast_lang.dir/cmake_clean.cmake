@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_lang.dir/Compiler.cpp.o"
+  "CMakeFiles/fast_lang.dir/Compiler.cpp.o.d"
+  "CMakeFiles/fast_lang.dir/Evaluator.cpp.o"
+  "CMakeFiles/fast_lang.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/fast_lang.dir/Export.cpp.o"
+  "CMakeFiles/fast_lang.dir/Export.cpp.o.d"
+  "CMakeFiles/fast_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/fast_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/fast_lang.dir/Parser.cpp.o"
+  "CMakeFiles/fast_lang.dir/Parser.cpp.o.d"
+  "libfast_lang.a"
+  "libfast_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Minterms.cpp" "src/smt/CMakeFiles/fast_smt.dir/Minterms.cpp.o" "gcc" "src/smt/CMakeFiles/fast_smt.dir/Minterms.cpp.o.d"
+  "/root/repo/src/smt/SimpleSolver.cpp" "src/smt/CMakeFiles/fast_smt.dir/SimpleSolver.cpp.o" "gcc" "src/smt/CMakeFiles/fast_smt.dir/SimpleSolver.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/smt/CMakeFiles/fast_smt.dir/Solver.cpp.o" "gcc" "src/smt/CMakeFiles/fast_smt.dir/Solver.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/smt/CMakeFiles/fast_smt.dir/Term.cpp.o" "gcc" "src/smt/CMakeFiles/fast_smt.dir/Term.cpp.o.d"
+  "/root/repo/src/smt/Value.cpp" "src/smt/CMakeFiles/fast_smt.dir/Value.cpp.o" "gcc" "src/smt/CMakeFiles/fast_smt.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

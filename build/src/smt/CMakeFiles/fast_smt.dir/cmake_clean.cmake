@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_smt.dir/Minterms.cpp.o"
+  "CMakeFiles/fast_smt.dir/Minterms.cpp.o.d"
+  "CMakeFiles/fast_smt.dir/SimpleSolver.cpp.o"
+  "CMakeFiles/fast_smt.dir/SimpleSolver.cpp.o.d"
+  "CMakeFiles/fast_smt.dir/Solver.cpp.o"
+  "CMakeFiles/fast_smt.dir/Solver.cpp.o.d"
+  "CMakeFiles/fast_smt.dir/Term.cpp.o"
+  "CMakeFiles/fast_smt.dir/Term.cpp.o.d"
+  "CMakeFiles/fast_smt.dir/Value.cpp.o"
+  "CMakeFiles/fast_smt.dir/Value.cpp.o.d"
+  "libfast_smt.a"
+  "libfast_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

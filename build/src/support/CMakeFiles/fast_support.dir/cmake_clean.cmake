@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/fast_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/fast_support.dir/Rational.cpp.o"
+  "CMakeFiles/fast_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/fast_support.dir/Stack.cpp.o"
+  "CMakeFiles/fast_support.dir/Stack.cpp.o.d"
+  "CMakeFiles/fast_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/fast_support.dir/StringUtils.cpp.o.d"
+  "libfast_support.a"
+  "libfast_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

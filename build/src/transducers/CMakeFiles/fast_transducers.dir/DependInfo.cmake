@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transducers/Compose.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Compose.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Compose.cpp.o.d"
+  "/root/repo/src/transducers/Domain.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Domain.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Domain.cpp.o.d"
+  "/root/repo/src/transducers/Dot.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Dot.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Dot.cpp.o.d"
+  "/root/repo/src/transducers/Equivalence.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Equivalence.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Equivalence.cpp.o.d"
+  "/root/repo/src/transducers/Ops.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Ops.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Ops.cpp.o.d"
+  "/root/repo/src/transducers/Output.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Output.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Output.cpp.o.d"
+  "/root/repo/src/transducers/RandomAutomata.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/RandomAutomata.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/RandomAutomata.cpp.o.d"
+  "/root/repo/src/transducers/Run.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Run.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Run.cpp.o.d"
+  "/root/repo/src/transducers/Sttr.cpp" "src/transducers/CMakeFiles/fast_transducers.dir/Sttr.cpp.o" "gcc" "src/transducers/CMakeFiles/fast_transducers.dir/Sttr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/fast_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fast_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fast_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_transducers.dir/Compose.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Compose.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Domain.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Domain.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Dot.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Dot.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Equivalence.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Equivalence.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Ops.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Ops.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Output.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Output.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/RandomAutomata.cpp.o"
+  "CMakeFiles/fast_transducers.dir/RandomAutomata.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Run.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Run.cpp.o.d"
+  "CMakeFiles/fast_transducers.dir/Sttr.cpp.o"
+  "CMakeFiles/fast_transducers.dir/Sttr.cpp.o.d"
+  "libfast_transducers.a"
+  "libfast_transducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_transducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

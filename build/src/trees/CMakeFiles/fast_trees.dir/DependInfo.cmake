@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/RandomTrees.cpp" "src/trees/CMakeFiles/fast_trees.dir/RandomTrees.cpp.o" "gcc" "src/trees/CMakeFiles/fast_trees.dir/RandomTrees.cpp.o.d"
+  "/root/repo/src/trees/Signature.cpp" "src/trees/CMakeFiles/fast_trees.dir/Signature.cpp.o" "gcc" "src/trees/CMakeFiles/fast_trees.dir/Signature.cpp.o.d"
+  "/root/repo/src/trees/Tree.cpp" "src/trees/CMakeFiles/fast_trees.dir/Tree.cpp.o" "gcc" "src/trees/CMakeFiles/fast_trees.dir/Tree.cpp.o.d"
+  "/root/repo/src/trees/TreeText.cpp" "src/trees/CMakeFiles/fast_trees.dir/TreeText.cpp.o" "gcc" "src/trees/CMakeFiles/fast_trees.dir/TreeText.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/fast_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

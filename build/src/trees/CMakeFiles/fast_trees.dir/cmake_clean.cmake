@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_trees.dir/RandomTrees.cpp.o"
+  "CMakeFiles/fast_trees.dir/RandomTrees.cpp.o.d"
+  "CMakeFiles/fast_trees.dir/Signature.cpp.o"
+  "CMakeFiles/fast_trees.dir/Signature.cpp.o.d"
+  "CMakeFiles/fast_trees.dir/Tree.cpp.o"
+  "CMakeFiles/fast_trees.dir/Tree.cpp.o.d"
+  "CMakeFiles/fast_trees.dir/TreeText.cpp.o"
+  "CMakeFiles/fast_trees.dir/TreeText.cpp.o.d"
+  "libfast_trees.a"
+  "libfast_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/CaseStudyTest.cpp" "tests/CMakeFiles/fast_tests.dir/apps/CaseStudyTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/apps/CaseStudyTest.cpp.o.d"
+  "/root/repo/tests/apps/HtmlTest.cpp" "tests/CMakeFiles/fast_tests.dir/apps/HtmlTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/apps/HtmlTest.cpp.o.d"
+  "/root/repo/tests/automata/DeterminizeTest.cpp" "tests/CMakeFiles/fast_tests.dir/automata/DeterminizeTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/automata/DeterminizeTest.cpp.o.d"
+  "/root/repo/tests/automata/StaTest.cpp" "tests/CMakeFiles/fast_tests.dir/automata/StaTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/automata/StaTest.cpp.o.d"
+  "/root/repo/tests/fast/EvaluatorTest.cpp" "tests/CMakeFiles/fast_tests.dir/fast/EvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/fast/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/fast/ExportTest.cpp" "tests/CMakeFiles/fast_tests.dir/fast/ExportTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/fast/ExportTest.cpp.o.d"
+  "/root/repo/tests/fast/ParserTest.cpp" "tests/CMakeFiles/fast_tests.dir/fast/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/fast/ParserTest.cpp.o.d"
+  "/root/repo/tests/fast/RobustnessTest.cpp" "tests/CMakeFiles/fast_tests.dir/fast/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/fast/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/properties/LanguageLawsTest.cpp" "tests/CMakeFiles/fast_tests.dir/properties/LanguageLawsTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/properties/LanguageLawsTest.cpp.o.d"
+  "/root/repo/tests/properties/TheoryConsistencyTest.cpp" "tests/CMakeFiles/fast_tests.dir/properties/TheoryConsistencyTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/properties/TheoryConsistencyTest.cpp.o.d"
+  "/root/repo/tests/properties/TransducerLawsTest.cpp" "tests/CMakeFiles/fast_tests.dir/properties/TransducerLawsTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/properties/TransducerLawsTest.cpp.o.d"
+  "/root/repo/tests/smt/SimpleSolverTest.cpp" "tests/CMakeFiles/fast_tests.dir/smt/SimpleSolverTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/smt/SimpleSolverTest.cpp.o.d"
+  "/root/repo/tests/smt/SolverTest.cpp" "tests/CMakeFiles/fast_tests.dir/smt/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/smt/SolverTest.cpp.o.d"
+  "/root/repo/tests/smt/TermTest.cpp" "tests/CMakeFiles/fast_tests.dir/smt/TermTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/smt/TermTest.cpp.o.d"
+  "/root/repo/tests/transducers/ComposeTest.cpp" "tests/CMakeFiles/fast_tests.dir/transducers/ComposeTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/transducers/ComposeTest.cpp.o.d"
+  "/root/repo/tests/transducers/DotTest.cpp" "tests/CMakeFiles/fast_tests.dir/transducers/DotTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/transducers/DotTest.cpp.o.d"
+  "/root/repo/tests/transducers/EdgeCaseTest.cpp" "tests/CMakeFiles/fast_tests.dir/transducers/EdgeCaseTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/transducers/EdgeCaseTest.cpp.o.d"
+  "/root/repo/tests/transducers/EquivalenceTest.cpp" "tests/CMakeFiles/fast_tests.dir/transducers/EquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/transducers/EquivalenceTest.cpp.o.d"
+  "/root/repo/tests/transducers/RunTest.cpp" "tests/CMakeFiles/fast_tests.dir/transducers/RunTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/transducers/RunTest.cpp.o.d"
+  "/root/repo/tests/trees/TreeTest.cpp" "tests/CMakeFiles/fast_tests.dir/trees/TreeTest.cpp.o" "gcc" "tests/CMakeFiles/fast_tests.dir/trees/TreeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fast_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fast/CMakeFiles/fast_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/transducers/CMakeFiles/fast_transducers.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/fast_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fast_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/fast_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fast_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
