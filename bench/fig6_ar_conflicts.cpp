@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/ArTaggers.h"
+#include "BenchJson.h"
 
 #include <cstdlib>
 #include <iomanip>
@@ -138,5 +139,15 @@ int main(int Argc, char **Argv) {
   std::cout << "largest input-restricted transducer: " << MaxRestrictedStates
             << " states, " << MaxRestrictedRules
             << " rules (paper: up to 300 states / 4,000 rules)\n";
+
+  bench::BenchJsonWriter Json("BENCH_figs.json", "fig6");
+  std::string Stats = S.stats().json();
+  Json.add("fig6_compose_avg", NumTaggers, SumCompose / Pairs, "{}");
+  Json.add("fig6_input_restrict_avg", NumTaggers, SumInput / Pairs, "{}");
+  Json.add("fig6_output_restrict_avg", NumTaggers, SumOutput / Pairs, "{}");
+  Json.add("fig6_pairwise_check_avg", NumTaggers, SumTotal / Pairs, Stats);
+  if (Json.flush())
+    std::cout << "\nmachine-readable results merged into " << Json.path()
+              << "\n";
   return 0;
 }

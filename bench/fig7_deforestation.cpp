@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Deforestation.h"
+#include "BenchJson.h"
 
 #include <chrono>
 #include <iomanip>
@@ -42,10 +43,12 @@ int main(int Argc, char **Argv) {
   TreeRef Input = defo::randomList(S, Sig, ListLength, /*Seed=*/2014);
 
   std::cout << std::fixed << std::setprecision(2);
+  bench::BenchJsonWriter Json("BENCH_figs.json", "fig7");
   for (unsigned N : {16u, 32u, 64u, 128u, 256u, 512u}) {
     std::vector<std::shared_ptr<Sttr>> Pipeline;
     for (unsigned I = 0; I < N; ++I)
       Pipeline.push_back(defo::makeMapCaesar(S, Sig));
+    S.stats().reset(); // Per-n engine counters (composition only).
 
     auto T0 = std::chrono::steady_clock::now();
     TreeRef Naive = defo::runNaive(S, Pipeline, Input);
@@ -67,8 +70,14 @@ int main(int Argc, char **Argv) {
               << std::setw(16) << NaiveMs << std::setw(16) << FastMs
               << std::setw(18) << FusionMs << std::setw(11)
               << NaiveMs / FastMs << "x\n";
+    Json.add("fig7_naive", N, NaiveMs, "{}");
+    Json.add("fig7_fast", N, FastMs, "{}");
+    Json.add("fig7_fusion", N, FusionMs, S.stats().json());
   }
   std::cout << "\npaper at n=512: Fast 1,313 ms vs naive 4,686 ms "
                "(3.6x); expected shape: naive linear in n, Fast flat\n";
+  if (Json.flush())
+    std::cout << "machine-readable results merged into " << Json.path()
+              << "\n";
   return 0;
 }

@@ -5,6 +5,11 @@
 // composition, normalization, and solver queries.  These quantify where
 // the figure-level time goes.
 //
+// Besides the console table, every run writes the full results as
+// BENCH_micro.json (google-benchmark's JSON format).  The construction
+// benchmarks attach engine counters (states explored, rules emitted, guard
+// cache hits) to their records.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/Deforestation.h"
@@ -12,6 +17,10 @@
 #include "transducers/Run.h"
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
 
 using namespace fast;
 
@@ -44,15 +53,41 @@ void BM_LanguageMembership(benchmark::State &State) {
 }
 BENCHMARK(BM_LanguageMembership)->Arg(8 << 10)->Arg(64 << 10);
 
+/// Attach the engine counters accumulated in \p S to the benchmark record
+/// (averaged per iteration), so BENCH_micro.json carries them.
+void reportEngineCounters(benchmark::State &State, Session &S) {
+  engine::ConstructionStats Total;
+  for (const auto &[Name, C] : S.stats().constructions()) {
+    Total.StatesExplored += C.StatesExplored;
+    Total.RulesEmitted += C.RulesEmitted;
+    Total.SatQueries += C.SatQueries;
+    Total.SatCacheHits += C.SatCacheHits;
+    Total.MintermSplits += C.MintermSplits;
+    Total.MintermCacheHits += C.MintermCacheHits;
+  }
+  auto PerIter = [&](uint64_t V) {
+    return benchmark::Counter(static_cast<double>(V),
+                              benchmark::Counter::kAvgIterations);
+  };
+  State.counters["states_explored"] = PerIter(Total.StatesExplored);
+  State.counters["rules_emitted"] = PerIter(Total.RulesEmitted);
+  State.counters["sat_queries"] = PerIter(Total.SatQueries);
+  State.counters["sat_cache_hits"] = PerIter(Total.SatCacheHits);
+  State.counters["minterm_splits"] = PerIter(Total.MintermSplits);
+  State.counters["minterm_cache_hits"] = PerIter(Total.MintermCacheHits);
+}
+
 /// One composition of the Figure 8 transducers.
 void BM_ComposeMapFilter(benchmark::State &State) {
   Session S;
   SignatureRef Sig = defo::listSignature();
   std::shared_ptr<Sttr> Map = defo::makeMapCaesar(S, Sig);
   std::shared_ptr<Sttr> Filter = defo::makeFilterEven(S, Sig);
+  S.stats().reset();
   for (auto _ : State)
     benchmark::DoNotOptimize(
         composeSttr(S.Solv, S.Outputs, *Map, *Filter).Composed);
+  reportEngineCounters(State, S);
 }
 BENCHMARK(BM_ComposeMapFilter);
 
@@ -60,8 +95,10 @@ BENCHMARK(BM_ComposeMapFilter);
 void BM_NormalizeHtmlLang(benchmark::State &State) {
   Session S;
   html::Sanitizer Sani = html::buildSanitizer(S);
+  S.stats().reset();
   for (auto _ : State)
     benchmark::DoNotOptimize(normalize(S.Solv, Sani.NodeTree));
+  reportEngineCounters(State, S);
 }
 BENCHMARK(BM_NormalizeHtmlLang);
 
@@ -94,4 +131,26 @@ BENCHMARK(BM_EvalGuard);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the console table as usual, plus the complete results as
+// BENCH_micro.json for machine consumption.  The JSON output is wired as a
+// default the command line can still override with its own
+// --benchmark_out=... flags (later flags win).
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  std::string OutFlag = "--benchmark_out=BENCH_micro.json";
+  std::string FormatFlag = "--benchmark_out_format=json";
+  Args.push_back(OutFlag.data());
+  Args.push_back(FormatFlag.data());
+  for (int I = 1; I < argc; ++I)
+    Args.push_back(argv[I]);
+  int Argc = static_cast<int>(Args.size());
+
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "machine-readable results written to BENCH_micro.json\n";
+  return 0;
+}

@@ -3,9 +3,12 @@
 // Runs a .fast program: compiles the declarations, evaluates the defs, and
 // reports every assertion with its witness when one fails.
 //
-// Usage:  fastc [--dump] [--export NAME] <program.fast>
+// Usage:  fastc [--dump] [--stats] [--export NAME] <program.fast>
 //   --dump         also print every compiled language automaton and
 //                  transformation (states, rules, guards).
+//   --stats        print the exploration-engine statistics (states
+//                  explored, rules emitted, cache hit rates) per
+//                  construction after the program runs.
 //   --export NAME  print the named language/transformation as a
 //                  standalone, recompilable Fast program.
 //
@@ -23,12 +26,15 @@ using namespace fast;
 
 int main(int Argc, char **Argv) {
   bool Dump = false;
+  bool Stats = false;
   const char *ExportName = nullptr;
   const char *Path = nullptr;
   bool Bad = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--dump") == 0)
       Dump = true;
+    else if (std::strcmp(Argv[I], "--stats") == 0)
+      Stats = true;
     else if (std::strcmp(Argv[I], "--export") == 0 && I + 1 < Argc)
       ExportName = Argv[++I];
     else if (!Path)
@@ -37,7 +43,8 @@ int main(int Argc, char **Argv) {
       Bad = true;
   }
   if (!Path || Bad) {
-    std::cerr << "usage: fastc [--dump] [--export NAME] <program.fast>\n";
+    std::cerr
+        << "usage: fastc [--dump] [--stats] [--export NAME] <program.fast>\n";
     return 2;
   }
   std::ifstream File(Path);
@@ -101,5 +108,7 @@ int main(int Argc, char **Argv) {
   unsigned Failed = R.failedAssertions();
   std::cout << R.Assertions.size() << " assertion(s), " << Failed
             << " failed\n";
+  if (Stats)
+    std::cout << S.stats().report();
   return Failed == 0 ? 0 : 1;
 }

@@ -2,12 +2,12 @@
 
 #include "automata/Determinize.h"
 
+#include "engine/Engine.h"
 #include "smt/Minterms.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
-#include <set>
 
 using namespace fast;
 
@@ -28,28 +28,71 @@ StateSet DeterminizedSta::acceptingFor(const StateSet &Roots) const {
 
 DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
   assert(A.isNormalized() && "determinization requires a normalized STA");
+  engine::SessionEngine &E = engine::SessionEngine::of(S);
+  engine::ConstructionScope Scope(E.Stats, "determinize");
+  engine::GuardCache &G = E.Guards;
   const SignatureRef &Sig = A.signature();
 
   DeterminizedSta Result;
   Result.Automaton = std::make_shared<Sta>(Sig);
   Sta &Out = *Result.Automaton;
 
-  std::map<StateSet, unsigned> Ids;
+  // The subset construction's work items are (constructor, child det-state
+  // tuple) pairs.  A tuple is scheduled exactly once, when its largest det
+  // state is created: every tuple over states 0..N containing N is new at
+  // that moment, and every tuple whose members are all < N was scheduled
+  // when *its* largest member appeared.
+  using WorkItem = std::pair<unsigned, std::vector<unsigned>>;
+  engine::StateInterner<StateSet> DetStates(&Scope.stats());
+  engine::StateInterner<WorkItem> WorkItems;
+  engine::Exploration Explore(&Scope.stats(), E.Limits);
+
+  auto EnqueueItem = [&](unsigned CtorId, std::vector<unsigned> Tuple) {
+    auto [Id, Fresh] = WorkItems.intern({CtorId, std::move(Tuple)});
+    if (Fresh)
+      Explore.enqueue(Id);
+  };
+
+  auto ScheduleTuplesWith = [&](unsigned NewState) {
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      unsigned Rank = Sig->rank(CtorId);
+      if (Rank == 0)
+        continue;
+      std::vector<unsigned> Tuple(Rank, 0);
+      bool More = true;
+      while (More) {
+        if (std::find(Tuple.begin(), Tuple.end(), NewState) != Tuple.end())
+          EnqueueItem(CtorId, Tuple);
+        More = false;
+        for (unsigned I = 0; I < Rank; ++I) {
+          if (++Tuple[I] <= NewState) {
+            More = true;
+            break;
+          }
+          Tuple[I] = 0;
+        }
+      }
+    }
+  };
+
   auto GetState = [&](StateSet Set) {
     canonicalizeStateSet(Set);
-    auto It = Ids.find(Set);
-    if (It != Ids.end())
-      return It->second;
-    std::string Name = "{";
-    for (size_t I = 0; I < Set.size(); ++I) {
-      if (I != 0)
-        Name += ",";
-      Name += A.stateName(Set[I]);
+    auto [Id, Fresh] = DetStates.intern(std::move(Set));
+    if (Fresh) {
+      const StateSet &Canonical = DetStates.key(Id);
+      std::string Name = "{";
+      for (size_t I = 0; I < Canonical.size(); ++I) {
+        if (I != 0)
+          Name += ",";
+        Name += A.stateName(Canonical[I]);
+      }
+      Name += "}";
+      unsigned OutId = Out.addState(std::move(Name));
+      assert(OutId == Id && "interner and automaton ids must stay aligned");
+      (void)OutId;
+      Result.StateSets.push_back(Canonical);
+      ScheduleTuplesWith(Id);
     }
-    Name += "}";
-    unsigned Id = Out.addState(std::move(Name));
-    Ids.emplace(Set, Id);
-    Result.StateSets.push_back(std::move(Set));
     return Id;
   };
 
@@ -58,75 +101,54 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
   for (const StaRule &R : A.rules())
     RulesByCtor[R.CtorId].push_back(&R);
 
-  std::set<std::pair<unsigned, std::vector<unsigned>>> Processed;
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
-      unsigned Rank = Sig->rank(CtorId);
-      size_t NumDet = Result.StateSets.size();
-      if (Rank > 0 && NumDet == 0)
-        continue;
+  // Leaf constructors seed the exploration; their expansions create the
+  // first det states, which in turn schedule the positive-rank tuples.
+  for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId)
+    if (Sig->rank(CtorId) == 0)
+      EnqueueItem(CtorId, {});
 
-      // Enumerate all Rank-tuples over the currently discovered det states.
-      std::vector<unsigned> Tuple(Rank, 0);
-      bool MoreTuples = true;
-      while (MoreTuples) {
-        auto Key = std::make_pair(CtorId, Tuple);
-        if (!Processed.insert(Key).second) {
-          // Already handled; advance the odometer below.
-        } else {
-          Changed = true;
-          // Applicable rules: each child's singleton lookahead state must be
-          // in the child's det state set.
-          std::vector<std::pair<TermRef, unsigned>> Applicable;
-          for (const StaRule *R : RulesByCtor[CtorId]) {
-            bool Ok = true;
-            for (unsigned I = 0; I < Rank && Ok; ++I) {
-              const StateSet &ChildSet = Result.StateSets[Tuple[I]];
-              Ok = std::binary_search(ChildSet.begin(), ChildSet.end(),
-                                      R->Lookahead[I].front());
-            }
-            if (Ok)
-              Applicable.push_back({R->Guard, R->State});
-          }
+  Explore.runOrThrow("determinize", [&](unsigned ItemId) {
+    const auto &[CtorId, Tuple] = WorkItems.key(ItemId);
+    unsigned Rank = Sig->rank(CtorId);
 
-          // Split the label space on the minterms of the applicable guards.
-          std::vector<TermRef> Guards;
-          for (const auto &[Guard, Target] : Applicable)
-            Guards.push_back(Guard);
-          std::sort(Guards.begin(), Guards.end());
-          Guards.erase(std::unique(Guards.begin(), Guards.end()), Guards.end());
-          std::map<TermRef, unsigned> GuardIndex;
-          for (unsigned I = 0; I < Guards.size(); ++I)
-            GuardIndex[Guards[I]] = I;
-
-          std::vector<StateSet> ChildSets(Rank);
-          for (unsigned I = 0; I < Rank; ++I)
-            ChildSets[I] = {Tuple[I]};
-
-          for (const Minterm &M : computeMinterms(S, Guards)) {
-            StateSet Target;
-            for (const auto &[Guard, Q] : Applicable)
-              if (M.Polarity[GuardIndex[Guard]])
-                Target.push_back(Q);
-            unsigned TargetId = GetState(std::move(Target));
-            Out.addRule(TargetId, CtorId, M.Predicate, ChildSets);
-          }
-        }
-
-        // Advance the odometer over det states known at loop entry.
-        MoreTuples = false;
-        for (unsigned I = 0; I < Rank; ++I) {
-          if (++Tuple[I] < NumDet) {
-            MoreTuples = true;
-            break;
-          }
-          Tuple[I] = 0;
-        }
+    // Applicable rules: each child's singleton lookahead state must be in
+    // the child's det state set.
+    std::vector<std::pair<TermRef, unsigned>> Applicable;
+    for (const StaRule *R : RulesByCtor[CtorId]) {
+      bool Ok = true;
+      for (unsigned I = 0; I < Rank && Ok; ++I) {
+        const StateSet &ChildSet = DetStates.key(Tuple[I]);
+        Ok = std::binary_search(ChildSet.begin(), ChildSet.end(),
+                                R->Lookahead[I].front());
       }
+      if (Ok)
+        Applicable.push_back({R->Guard, R->State});
     }
-  }
+
+    // Split the label space on the minterms of the applicable guards; the
+    // GuardCache canonicalizes the set and reuses prior enumerations.
+    std::vector<TermRef> Guards;
+    for (const auto &[Guard, Target] : Applicable)
+      Guards.push_back(Guard);
+    const engine::GuardCache::MintermSplit &Split = G.minterms(Guards);
+    std::map<TermRef, unsigned> GuardIndex;
+    for (unsigned I = 0; I < Split.Guards.size(); ++I)
+      GuardIndex[Split.Guards[I]] = I;
+
+    std::vector<StateSet> ChildSets(Rank);
+    for (unsigned I = 0; I < Rank; ++I)
+      ChildSets[I] = {Tuple[I]};
+
+    for (const Minterm &M : Split.Regions) {
+      StateSet Target;
+      for (const auto &[Guard, Q] : Applicable)
+        if (M.Polarity[GuardIndex[Guard]])
+          Target.push_back(Q);
+      unsigned TargetId = GetState(std::move(Target));
+      Out.addRule(TargetId, CtorId, M.Predicate, ChildSets);
+      ++Scope.stats().RulesEmitted;
+    }
+  });
   return Result;
 }
 

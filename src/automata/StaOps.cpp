@@ -2,9 +2,9 @@
 
 #include "automata/StaOps.h"
 
+#include "engine/Engine.h"
+
 #include <cassert>
-#include <deque>
-#include <map>
 
 using namespace fast;
 
@@ -34,17 +34,23 @@ std::vector<StateSet> unionLookahead(const std::vector<StateSet> &X,
   return Result;
 }
 
-} // namespace
-
-NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
-                                  std::span<const StateSet> Seeds) {
+/// The merged-state construction shared by normalization proper and the
+/// product (intersection) entry point, which differ only in their seeds
+/// and in the construction name their engine statistics accrue to.
+NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
+                              std::span<const StateSet> Seeds,
+                              std::string_view Construction) {
+  engine::SessionEngine &E = engine::SessionEngine::of(S);
+  engine::ConstructionScope Scope(E.Stats, Construction);
+  engine::GuardCache &G = E.Guards;
   TermFactory &F = S.factory();
   const SignatureRef &Sig = A.signature();
   auto Out = std::make_shared<Sta>(Sig);
 
-  // Merged states, identified by their canonical member set.
-  std::map<StateSet, unsigned> MergedIds;
-  std::deque<StateSet> Worklist;
+  // Merged states, identified by their canonical member set; interned ids
+  // coincide with Out's state ids.
+  engine::StateInterner<StateSet> Merged(&Scope.stats());
+  engine::Exploration Explore(&Scope.stats(), E.Limits);
 
   auto NameOf = [&](const StateSet &Set) {
     std::string Name = "{";
@@ -58,12 +64,13 @@ NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
 
   auto GetState = [&](StateSet Set) {
     canonicalizeStateSet(Set);
-    auto It = MergedIds.find(Set);
-    if (It != MergedIds.end())
-      return It->second;
-    unsigned Id = Out->addState(NameOf(Set));
-    MergedIds.emplace(Set, Id);
-    Worklist.push_back(std::move(Set));
+    auto [Id, Fresh] = Merged.intern(std::move(Set));
+    if (Fresh) {
+      unsigned OutId = Out->addState(NameOf(Merged.key(Id)));
+      assert(OutId == Id && "interner and automaton ids must stay aligned");
+      (void)OutId;
+      Explore.enqueue(Id);
+    }
     return Id;
   };
 
@@ -71,25 +78,22 @@ NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
   for (const StateSet &Seed : Seeds)
     Result.SeedStates.push_back(GetState(Seed));
 
-  while (!Worklist.empty()) {
-    StateSet Merged = std::move(Worklist.front());
-    Worklist.pop_front();
-    unsigned Source = MergedIds.at(Merged);
-
+  Explore.runOrThrow(Construction, [&](unsigned Source) {
+    const StateSet &MergedSet = Merged.key(Source);
     for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
       unsigned Rank = Sig->rank(CtorId);
       // delta_f(emptyset): one unconstrained rule; delta_f(p u {q}) merges
       // each accumulated rule with each rule of q on f.
       std::vector<MergedRule> Accumulated = {
           {F.trueTerm(), std::vector<StateSet>(Rank)}};
-      for (unsigned Q : Merged) {
+      for (unsigned Q : MergedSet) {
         const std::vector<unsigned> &QRules = A.rulesFrom(Q, CtorId);
         std::vector<MergedRule> Next;
         for (const MergedRule &Acc : Accumulated) {
           for (unsigned RuleIndex : QRules) {
             const StaRule &R = A.rule(RuleIndex);
             TermRef Guard = F.mkAnd(Acc.Guard, R.Guard);
-            if (!S.isSat(Guard))
+            if (!G.isSat(Guard))
               continue; // Eager elimination (footnote 7).
             Next.push_back({Guard, unionLookahead(Acc.Lookahead, R.Lookahead)});
           }
@@ -103,12 +107,20 @@ NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
         for (unsigned I = 0; I < Rank; ++I)
           Children[I] = {GetState(MR.Lookahead[I])};
         Out->addRule(Source, CtorId, MR.Guard, std::move(Children));
+        ++Scope.stats().RulesEmitted;
       }
     }
-  }
+  });
 
   Result.Automaton = std::move(Out);
   return Result;
+}
+
+} // namespace
+
+NormalizedSta fast::normalizeSets(Solver &S, const Sta &A,
+                                  std::span<const StateSet> Seeds) {
+  return normalizeSetsAs(S, A, Seeds, "normalize");
 }
 
 TreeLanguage fast::normalize(Solver &S, const TreeLanguage &L) {
@@ -283,7 +295,7 @@ TreeLanguage fast::intersectLanguages(Solver &S, const TreeLanguage &A,
   for (unsigned RA : A.roots())
     for (unsigned RB : B.roots())
       Seeds.push_back({RA + OffA, RB + OffB});
-  NormalizedSta N = normalizeSets(S, Combined, Seeds);
+  NormalizedSta N = normalizeSetsAs(S, Combined, Seeds, "product");
   return TreeLanguage(std::move(N.Automaton),
                       StateSet(N.SeedStates.begin(), N.SeedStates.end()));
 }
@@ -322,33 +334,34 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
   const Sta &A = N.automaton();
   std::vector<bool> Productive = productiveStates(S, A);
 
+  engine::SessionEngine &E = engine::SessionEngine::of(S);
+  engine::ConstructionScope Scope(E.Stats, "clean");
+  engine::GuardCache &G = E.Guards;
+
   // Reachability from the roots through rules with all-productive children.
   std::vector<bool> Reachable(A.numStates(), false);
-  std::deque<unsigned> Worklist;
-  for (unsigned Root : N.roots())
-    if (Productive[Root] && !Reachable[Root]) {
-      Reachable[Root] = true;
-      Worklist.push_back(Root);
+  engine::Exploration Explore(&Scope.stats(), E.Limits);
+  auto Enqueue = [&](unsigned Q) {
+    if (!Reachable[Q]) {
+      Reachable[Q] = true;
+      Explore.enqueue(Q);
     }
-  while (!Worklist.empty()) {
-    unsigned Q = Worklist.front();
-    Worklist.pop_front();
+  };
+  for (unsigned Root : N.roots())
+    if (Productive[Root])
+      Enqueue(Root);
+  Explore.runOrThrow("clean", [&](unsigned Q) {
     for (unsigned Index : A.rulesFrom(Q)) {
       const StaRule &R = A.rule(Index);
-      bool Viable = S.isSat(R.Guard);
+      bool Viable = G.isSat(R.Guard);
       for (const StateSet &Set : R.Lookahead)
         Viable = Viable && Productive[Set.front()];
       if (!Viable)
         continue;
-      for (const StateSet &Set : R.Lookahead) {
-        unsigned Child = Set.front();
-        if (!Reachable[Child]) {
-          Reachable[Child] = true;
-          Worklist.push_back(Child);
-        }
-      }
+      for (const StateSet &Set : R.Lookahead)
+        Enqueue(Set.front());
     }
-  }
+  });
 
   // Rebuild with only useful states.
   auto Out = std::make_shared<Sta>(A.signature());
@@ -357,7 +370,7 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
     if (Reachable[Q])
       Remap[Q] = Out->addState(A.stateName(Q));
   for (const StaRule &R : A.rules()) {
-    if (!Reachable[R.State] || !S.isSat(R.Guard))
+    if (!Reachable[R.State] || !G.isSat(R.Guard))
       continue;
     bool Viable = true;
     std::vector<StateSet> Lookahead;
@@ -368,8 +381,10 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
       }
       Lookahead.push_back({Remap[Set.front()]});
     }
-    if (Viable)
+    if (Viable) {
       Out->addRule(Remap[R.State], R.CtorId, R.Guard, std::move(Lookahead));
+      ++Scope.stats().RulesEmitted;
+    }
   }
   StateSet Roots;
   for (unsigned Root : N.roots())

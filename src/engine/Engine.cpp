@@ -1,0 +1,15 @@
+//===- engine/Engine.cpp - Session-scoped exploration engine --------------===//
+
+#include "engine/Engine.h"
+
+using namespace fast;
+using namespace fast::engine;
+
+SessionEngine &SessionEngine::of(Solver &Solv) {
+  if (auto *Existing = dynamic_cast<SessionEngine *>(Solv.extension()))
+    return *Existing;
+  auto Fresh = std::make_unique<SessionEngine>(Solv);
+  SessionEngine &Engine = *Fresh;
+  Solv.setExtension(std::move(Fresh));
+  return Engine;
+}

@@ -1,0 +1,44 @@
+//===- engine/Engine.h - Session-scoped exploration engine ------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SessionEngine bundles the pieces every fixpoint construction shares
+/// within one analysis session: the Stats registry, the GuardCache, and
+/// the default ExplorationLimits.  It is attached to the session's Solver
+/// as its SolverExtension (a Session owns exactly one Solver, so
+/// per-Solver means per-Session), which lets construction entry points
+/// that receive only a `Solver &` reach the shared state without threading
+/// a new context parameter through every caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_ENGINE_ENGINE_H
+#define FAST_ENGINE_ENGINE_H
+
+#include "engine/Exploration.h"
+#include "engine/GuardCache.h"
+#include "engine/StateInterner.h"
+#include "engine/Stats.h"
+
+namespace fast::engine {
+
+class SessionEngine : public SolverExtension {
+public:
+  /// The engine of \p Solv's session, created and installed on first use.
+  static SessionEngine &of(Solver &Solv);
+
+  explicit SessionEngine(Solver &Solv) : Guards(Solv, Stats) {}
+
+  StatsRegistry Stats;
+  GuardCache Guards;
+  /// Budgets applied by every construction's Exploration; unlimited by
+  /// default.  Exceeding one makes the construction throw ExplorationError.
+  ExplorationLimits Limits;
+};
+
+} // namespace fast::engine
+
+#endif // FAST_ENGINE_ENGINE_H

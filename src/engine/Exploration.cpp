@@ -1,0 +1,27 @@
+//===- engine/Exploration.cpp - Shared worklist fixpoint driver -----------===//
+
+#include "engine/Exploration.h"
+
+using namespace fast::engine;
+
+const char *fast::engine::toString(ExplorationOutcome Outcome) {
+  switch (Outcome) {
+  case ExplorationOutcome::Completed:
+    return "completed";
+  case ExplorationOutcome::StateBudgetExceeded:
+    return "state budget exceeded";
+  case ExplorationOutcome::StepBudgetExceeded:
+    return "step budget exceeded";
+  case ExplorationOutcome::TimedOut:
+    return "timed out";
+  case ExplorationOutcome::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+ExplorationError::ExplorationError(std::string_view Construction,
+                                   ExplorationOutcome Outcome)
+    : std::runtime_error(std::string(Construction) +
+                         " exploration stopped: " + toString(Outcome)),
+      Outcome(Outcome) {}

@@ -1,0 +1,131 @@
+//===- engine/Exploration.h - Shared worklist fixpoint driver ---*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist driver behind every lazy reachable-state fixpoint of the
+/// codebase: STA normalization/product, determinization, STTR composition
+/// and pre-image building, domain construction, and reachability cleaning.
+/// Items are dense unsigned ids (pair the driver with a StateInterner for
+/// structured states); expansion is a pluggable callback that may enqueue
+/// further items.  The driver enforces optional state/step budgets, a wall
+/// clock timeout, and a cancellation hook, so pathological products fail
+/// gracefully instead of spinning, and it records its progress into the
+/// session Stats registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_ENGINE_EXPLORATION_H
+#define FAST_ENGINE_EXPLORATION_H
+
+#include "engine/Stats.h"
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace fast::engine {
+
+/// Budgets applied to one exploration; all unlimited by default.
+struct ExplorationLimits {
+  /// Maximum distinct items enqueued over the whole run (0 = unlimited).
+  size_t MaxStates = 0;
+  /// Maximum items expanded (0 = unlimited).
+  size_t MaxSteps = 0;
+  /// Wall-clock bound on the run (zero = unlimited).
+  std::chrono::milliseconds Timeout{0};
+  /// Polled before each expansion; returning true aborts the run.
+  std::function<bool()> CancelRequested;
+};
+
+enum class ExplorationOutcome {
+  Completed,
+  StateBudgetExceeded,
+  StepBudgetExceeded,
+  TimedOut,
+  Cancelled,
+};
+
+const char *toString(ExplorationOutcome Outcome);
+
+/// Thrown by constructions whose exploration exhausted a budget or was
+/// cancelled; carries the construction name and the triggering outcome.
+class ExplorationError : public std::runtime_error {
+public:
+  ExplorationError(std::string_view Construction, ExplorationOutcome Outcome);
+  ExplorationOutcome outcome() const { return Outcome; }
+
+private:
+  ExplorationOutcome Outcome;
+};
+
+/// The shared worklist driver (FIFO, so constructions discover states in
+/// breadth-first order and produce small witnesses/names first).
+class Exploration {
+public:
+  explicit Exploration(ConstructionStats *Stats = nullptr,
+                       ExplorationLimits Limits = {})
+      : Stats(Stats), Limits(std::move(Limits)) {}
+
+  /// Enqueues item \p Id.  Callers deduplicate (typically through a
+  /// StateInterner's Fresh bit or a visited bitset); every enqueued id is
+  /// expanded exactly once.
+  void enqueue(unsigned Id) {
+    Queue.push_back(Id);
+    ++Enqueued;
+  }
+
+  /// Total items ever enqueued.
+  size_t enqueued() const { return Enqueued; }
+
+  /// Drains the worklist, calling `Expand(Id)` on each item; Expand may
+  /// enqueue further items.  Returns Completed when the worklist is empty,
+  /// or the limit outcome that stopped the run early.  May be called again
+  /// after items are enqueued later (budgets keep accumulating).
+  template <typename ExpandFn> ExplorationOutcome run(ExpandFn &&Expand) {
+    auto Deadline = std::chrono::steady_clock::time_point::max();
+    if (Limits.Timeout.count() > 0)
+      Deadline = std::chrono::steady_clock::now() + Limits.Timeout;
+    while (!Queue.empty()) {
+      if (Limits.CancelRequested && Limits.CancelRequested())
+        return ExplorationOutcome::Cancelled;
+      if (Limits.MaxStates != 0 && Enqueued > Limits.MaxStates)
+        return ExplorationOutcome::StateBudgetExceeded;
+      if (Limits.MaxSteps != 0 && Steps >= Limits.MaxSteps)
+        return ExplorationOutcome::StepBudgetExceeded;
+      if (Limits.Timeout.count() > 0 &&
+          std::chrono::steady_clock::now() >= Deadline)
+        return ExplorationOutcome::TimedOut;
+      unsigned Id = Queue.front();
+      Queue.pop_front();
+      ++Steps;
+      if (Stats)
+        ++Stats->StatesExplored;
+      Expand(Id);
+    }
+    return ExplorationOutcome::Completed;
+  }
+
+  /// run(), but throws ExplorationError on any outcome but Completed.
+  template <typename ExpandFn>
+  void runOrThrow(std::string_view Construction, ExpandFn &&Expand) {
+    ExplorationOutcome Outcome = run(std::forward<ExpandFn>(Expand));
+    if (Outcome != ExplorationOutcome::Completed)
+      throw ExplorationError(Construction, Outcome);
+  }
+
+private:
+  ConstructionStats *Stats;
+  ExplorationLimits Limits;
+  std::deque<unsigned> Queue;
+  size_t Steps = 0;
+  size_t Enqueued = 0;
+};
+
+} // namespace fast::engine
+
+#endif // FAST_ENGINE_EXPLORATION_H

@@ -1,0 +1,54 @@
+//===- engine/GuardCache.cpp - Session guard-sat & minterm memo -----------===//
+
+#include "engine/GuardCache.h"
+
+#include <algorithm>
+
+using namespace fast;
+using namespace fast::engine;
+
+bool GuardCache::isSat(TermRef Pred) {
+  count(&ConstructionStats::SatQueries);
+  auto [It, Fresh] = SatMemo.try_emplace(Pred, false);
+  if (!Fresh) {
+    count(&ConstructionStats::SatCacheHits);
+    return It->second;
+  }
+  It->second = Solv.isSat(Pred);
+  return It->second;
+}
+
+bool GuardCache::isValid(TermRef Pred) {
+  count(&ConstructionStats::SatQueries);
+  auto [It, Fresh] = ValidMemo.try_emplace(Pred, false);
+  if (!Fresh) {
+    count(&ConstructionStats::SatCacheHits);
+    return It->second;
+  }
+  It->second = Solv.isValid(Pred);
+  return It->second;
+}
+
+const GuardCache::MintermSplit &
+GuardCache::minterms(std::span<const TermRef> Guards) {
+  std::vector<TermRef> Canonical(Guards.begin(), Guards.end());
+  std::sort(Canonical.begin(), Canonical.end());
+  Canonical.erase(std::unique(Canonical.begin(), Canonical.end()),
+                  Canonical.end());
+
+  auto It = MintermMemo.find(Canonical);
+  if (It != MintermMemo.end()) {
+    count(&ConstructionStats::MintermCacheHits);
+    return It->second;
+  }
+
+  MintermSplit Split;
+  Split.Guards = Canonical;
+  Split.Regions = computeMinterms(Solv, Split.Guards);
+  if (ConstructionStats *C = Stats.current()) {
+    ++C->MintermSplits;
+    C->MintermsProduced += Split.Regions.size();
+  }
+  return MintermMemo.emplace(std::move(Canonical), std::move(Split))
+      .first->second;
+}

@@ -1,0 +1,82 @@
+//===- engine/GuardCache.h - Session guard-sat & minterm memo ---*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-session memo for guard satisfiability/validity and minterm
+/// enumerations, keyed on interned term identity and layered over the
+/// Solver's own query cache.  Every construction issues its guard queries
+/// through this cache, so identical guard sets recurring across
+/// constructions (e.g. determinize-then-product pipelines in type
+/// checking) are split exactly once per session, and every query is
+/// attributed to the innermost active ConstructionScope of the Stats
+/// registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_ENGINE_GUARDCACHE_H
+#define FAST_ENGINE_GUARDCACHE_H
+
+#include "engine/Stats.h"
+#include "smt/Minterms.h"
+#include "smt/Solver.h"
+
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace fast::engine {
+
+class GuardCache {
+public:
+  GuardCache(Solver &Solv, StatsRegistry &Stats) : Solv(Solv), Stats(Stats) {}
+  GuardCache(const GuardCache &) = delete;
+  GuardCache &operator=(const GuardCache &) = delete;
+
+  Solver &solver() { return Solv; }
+  TermFactory &factory() { return Solv.factory(); }
+
+  /// Satisfiability of \p Pred, memoized by term identity.
+  bool isSat(TermRef Pred);
+  bool isUnsat(TermRef Pred) { return !isSat(Pred); }
+
+  /// Validity of \p Pred, memoized by term identity (the Solver caches only
+  /// satisfiability, so validity queries repeated across constructions
+  /// would otherwise re-enter Z3).
+  bool isValid(TermRef Pred);
+
+  /// One cached minterm enumeration: the canonical guard set together with
+  /// its satisfiable regions.  Region polarities index into Guards.
+  struct MintermSplit {
+    std::vector<TermRef> Guards;
+    std::vector<Minterm> Regions;
+  };
+
+  /// The minterm partition of \p Guards.  The input is canonicalized
+  /// (sorted by term identity, deduplicated) before lookup, so any
+  /// permutation or duplication of the same guard set hits the same cache
+  /// entry.  The returned reference is stable for the session's lifetime.
+  const MintermSplit &minterms(std::span<const TermRef> Guards);
+
+  StatsRegistry &statsRegistry() { return Stats; }
+
+private:
+  /// Bumps \p CounterField on the innermost active construction.
+  template <typename Field> void count(Field ConstructionStats::*Counter) {
+    if (ConstructionStats *C = Stats.current())
+      ++(C->*Counter);
+  }
+
+  Solver &Solv;
+  StatsRegistry &Stats;
+  std::unordered_map<TermRef, bool> SatMemo;
+  std::unordered_map<TermRef, bool> ValidMemo;
+  std::map<std::vector<TermRef>, MintermSplit> MintermMemo;
+};
+
+} // namespace fast::engine
+
+#endif // FAST_ENGINE_GUARDCACHE_H

@@ -1,0 +1,75 @@
+//===- engine/Stats.cpp - Per-construction exploration statistics ---------===//
+
+#include "engine/Stats.h"
+
+#include <iomanip>
+#include <sstream>
+
+using namespace fast::engine;
+
+ConstructionStats &StatsRegistry::construction(std::string_view Name) {
+  auto It = Constructions.find(Name);
+  if (It == Constructions.end())
+    It = Constructions.emplace(std::string(Name), ConstructionStats()).first;
+  return It->second;
+}
+
+std::string StatsRegistry::report() const {
+  std::ostringstream Out;
+  Out << std::left << std::setw(14) << "construction" << std::right
+      << std::setw(6) << "runs" << std::setw(10) << "explored" << std::setw(10)
+      << "interned" << std::setw(8) << "rules" << std::setw(10) << "sat-q"
+      << std::setw(10) << "sat-hit" << std::setw(8) << "splits" << std::setw(10)
+      << "split-hit" << std::setw(10) << "regions" << std::setw(11)
+      << "wall-ms" << "\n";
+  for (const auto &[Name, C] : Constructions) {
+    Out << std::left << std::setw(14) << Name << std::right << std::setw(6)
+        << C.Runs << std::setw(10) << C.StatesExplored << std::setw(10)
+        << C.StatesInterned << std::setw(8) << C.RulesEmitted << std::setw(10)
+        << C.SatQueries << std::setw(10) << C.SatCacheHits << std::setw(8)
+        << C.MintermSplits << std::setw(10) << C.MintermCacheHits
+        << std::setw(10) << C.MintermsProduced << std::setw(11) << std::fixed
+        << std::setprecision(1) << C.WallMs << "\n";
+  }
+  return Out.str();
+}
+
+std::string StatsRegistry::json() const {
+  std::ostringstream Out;
+  Out << "{";
+  bool First = true;
+  for (const auto &[Name, C] : Constructions) {
+    if (!First)
+      Out << ", ";
+    First = false;
+    Out << "\"" << Name << "\": {"
+        << "\"runs\": " << C.Runs
+        << ", \"states_explored\": " << C.StatesExplored
+        << ", \"states_interned\": " << C.StatesInterned
+        << ", \"rules_emitted\": " << C.RulesEmitted
+        << ", \"sat_queries\": " << C.SatQueries
+        << ", \"sat_cache_hits\": " << C.SatCacheHits
+        << ", \"minterm_splits\": " << C.MintermSplits
+        << ", \"minterm_cache_hits\": " << C.MintermCacheHits
+        << ", \"minterms_produced\": " << C.MintermsProduced
+        << ", \"wall_ms\": " << std::fixed << std::setprecision(3) << C.WallMs
+        << "}";
+  }
+  Out << "}";
+  return Out.str();
+}
+
+ConstructionScope::ConstructionScope(StatsRegistry &Registry,
+                                     std::string_view Name)
+    : Registry(Registry), Stats(Registry.construction(Name)),
+      Start(std::chrono::steady_clock::now()) {
+  ++Stats.Runs;
+  Registry.ScopeStack.push_back(&Stats);
+}
+
+ConstructionScope::~ConstructionScope() {
+  Stats.WallMs += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  Registry.ScopeStack.pop_back();
+}

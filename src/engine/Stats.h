@@ -1,0 +1,109 @@
+//===- engine/Stats.h - Per-construction exploration statistics -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A session-wide registry of statistics for the reachable-state fixpoint
+/// constructions (normalize/product, determinize, compose, pre-image,
+/// domain, clean).  Every engine piece — StateInterner, Exploration,
+/// GuardCache — records into the ConstructionStats of the construction it
+/// is running for; nested constructions (e.g. the normalization performed
+/// inside composition) attribute their counters to the innermost active
+/// ConstructionScope.  Surfaced through Session, printed by `fastc
+/// --stats`, and emitted as JSON by the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_ENGINE_STATS_H
+#define FAST_ENGINE_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fast::engine {
+
+/// Counters for one named construction, accumulated over every run of that
+/// construction within a session.
+struct ConstructionStats {
+  /// Number of times the construction was entered (ConstructionScope).
+  uint64_t Runs = 0;
+  /// Worklist items expanded by Exploration::run.
+  uint64_t StatesExplored = 0;
+  /// Fresh states/items created through a StateInterner.
+  uint64_t StatesInterned = 0;
+  /// Output rules produced.
+  uint64_t RulesEmitted = 0;
+  /// Guard-satisfiability checks issued through the GuardCache.
+  uint64_t SatQueries = 0;
+  /// ... of which were answered from the GuardCache's memo.
+  uint64_t SatCacheHits = 0;
+  /// Minterm enumerations actually computed (cache misses).
+  uint64_t MintermSplits = 0;
+  /// Minterm enumerations answered from the GuardCache's memo.
+  uint64_t MintermCacheHits = 0;
+  /// Total satisfiable regions across all computed splits.
+  uint64_t MintermsProduced = 0;
+  /// Inclusive wall time spent inside the construction, in milliseconds.
+  /// Nested constructions are included in their parents' time but record
+  /// their event counters only to themselves.
+  double WallMs = 0;
+};
+
+/// The per-session registry, keyed by construction name.
+class StatsRegistry {
+public:
+  /// The (created-on-demand) stats slot for \p Name.  References remain
+  /// valid for the registry's lifetime.
+  ConstructionStats &construction(std::string_view Name);
+
+  /// The innermost active ConstructionScope's stats, or null outside any.
+  ConstructionStats *current() {
+    return ScopeStack.empty() ? nullptr : ScopeStack.back();
+  }
+
+  const std::map<std::string, ConstructionStats, std::less<>> &
+  constructions() const {
+    return Constructions;
+  }
+
+  /// Human-readable table of every construction's counters.
+  std::string report() const;
+
+  /// Machine-readable single-line JSON object, keyed by construction name.
+  std::string json() const;
+
+  void reset() { Constructions.clear(); }
+
+private:
+  friend class ConstructionScope;
+  std::map<std::string, ConstructionStats, std::less<>> Constructions;
+  std::vector<ConstructionStats *> ScopeStack;
+};
+
+/// RAII marker: "the session is now inside construction Name".  Counts the
+/// run, accumulates inclusive wall time on exit, and makes the construction
+/// the attribution target for GuardCache queries issued while active.
+class ConstructionScope {
+public:
+  ConstructionScope(StatsRegistry &Registry, std::string_view Name);
+  ~ConstructionScope();
+  ConstructionScope(const ConstructionScope &) = delete;
+  ConstructionScope &operator=(const ConstructionScope &) = delete;
+
+  ConstructionStats &stats() { return Stats; }
+
+private:
+  StatsRegistry &Registry;
+  ConstructionStats &Stats;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace fast::engine
+
+#endif // FAST_ENGINE_STATS_H

@@ -66,7 +66,7 @@ public:
       std::shared_ptr<Sttr> T = evalTrans(*E.Args[0]);
       if (!T)
         return std::nullopt;
-      return FastValue::ofLang(domainLanguage(*T));
+      return FastValue::ofLang(domainLanguage(*T, &S.Solv));
     }
     case OpKind::PreImage: {
       std::shared_ptr<Sttr> T = evalTrans(*E.Args[0]);
@@ -239,7 +239,7 @@ public:
         return std::make_pair(Empty, Detail);
       }
       if (V->K == FastValue::Kind::Trans) {
-        TreeLanguage Dom = domainLanguage(*V->Trans);
+        TreeLanguage Dom = domainLanguage(*V->Trans, &S.Solv);
         bool Empty = isEmptyLanguage(S.Solv, Dom);
         std::string Detail;
         if (!Empty)
@@ -276,7 +276,7 @@ public:
       if (R->K == FastValue::Kind::Lang)
         L = R->Lang;
       else if (R->K == FastValue::Kind::Trans)
-        L = domainLanguage(*R->Trans);
+        L = domainLanguage(*R->Trans, &S.Solv);
       else {
         Diags.error(E.Loc, "right-hand side of 'in' must be a language or "
                            "transformation");

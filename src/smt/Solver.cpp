@@ -166,6 +166,8 @@ Solver::Solver(TermFactory &Factory, unsigned TimeoutMs)
 
 Solver::~Solver() = default;
 
+SolverExtension::~SolverExtension() = default;
+
 void Solver::setCacheEnabled(bool Enabled) {
   CacheEnabled = Enabled;
   if (!Enabled)

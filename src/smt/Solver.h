@@ -34,6 +34,15 @@ namespace fast {
 /// predicate are unconstrained and absent from the map.
 using AttrModel = std::unordered_map<TermRef, Value>;
 
+/// Base class for session-scoped state that higher layers hang off the
+/// solver (see engine/Engine.h's SessionEngine).  Owned by the solver so
+/// its lifetime matches the analysis session's; term references held by an
+/// extension stay valid because the TermFactory outlives the solver.
+class SolverExtension {
+public:
+  virtual ~SolverExtension();
+};
+
 /// Satisfiability and equivalence checking for label-theory predicates.
 class Solver {
 public:
@@ -80,10 +89,18 @@ public:
   /// Z3 (smt/SimpleSolver.h); on by default (ablation knob).
   void setFastPathEnabled(bool Enabled) { FastPathEnabled = Enabled; }
 
+  /// The installed session extension, or null.
+  SolverExtension *extension() const { return Ext.get(); }
+  /// Installs (replacing any previous) the session extension.
+  void setExtension(std::unique_ptr<SolverExtension> Extension) {
+    Ext = std::move(Extension);
+  }
+
 private:
   struct Impl;
   TermFactory &Factory;
   std::unique_ptr<Impl> Z3;
+  std::unique_ptr<SolverExtension> Ext;
   std::unordered_map<TermRef, bool> SatCache;
   bool CacheEnabled = true;
   bool FastPathEnabled = true;

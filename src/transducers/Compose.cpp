@@ -15,11 +15,10 @@
 
 #include "transducers/Compose.h"
 
+#include "engine/Engine.h"
 #include "transducers/Ops.h"
 
 #include <cassert>
-#include <deque>
-#include <map>
 #include <set>
 
 using namespace fast;
@@ -42,8 +41,8 @@ PairsLookahead withPair(const PairsLookahead &L, unsigned Index, unsigned P,
 /// output side of some transducer Src) on an output term of Src.
 class LookEngine {
 public:
-  LookEngine(Solver &Solv, const Sta &B)
-      : Solv(Solv), F(Solv.factory()), B(B) {}
+  LookEngine(engine::GuardCache &Guards, const Sta &B)
+      : Guards(Guards), F(Guards.factory()), B(B) {}
 
   struct LookResult {
     TermRef Guard;
@@ -67,7 +66,7 @@ public:
       const StaRule &R = B.rule(RuleIndex);
       TermRef Guard =
           F.mkAnd(Gamma, F.substituteAttrs(R.Guard, U->labelExprs()));
-      if (!Solv.isSat(Guard))
+      if (!Guards.isSat(Guard))
         continue; // 2(a) IsSat check.
       std::vector<LookResult> Thread = {{Guard, L}};
       for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
@@ -86,7 +85,7 @@ public:
   }
 
 private:
-  Solver &Solv;
+  engine::GuardCache &Guards;
   TermFactory &F;
   const Sta &B;
 };
@@ -96,8 +95,11 @@ private:
 /// offset 0 and pair states (p, m) are created lazily.
 class PreImageBuilder {
 public:
-  PreImageBuilder(Solver &Solv, const Sttr &Src, const Sta &B, Sta &Out)
-      : Src(Src), B(B), Out(Out), Look(Solv, B) {
+  PreImageBuilder(engine::SessionEngine &Engine, const Sttr &Src, const Sta &B,
+                  Sta &Out)
+      : Engine(Engine), Stats(Engine.Stats.construction("preimage")), Src(Src),
+        B(B), Out(Out), Look(Engine.Guards, B), Pairs(&Stats),
+        Explore(&Stats, Engine.Limits) {
     LaOffset = Out.import(Src.lookahead());
   }
 
@@ -105,21 +107,20 @@ public:
 
   /// The STA state for the pair (p, m), created (and queued) on demand.
   unsigned pairState(unsigned P, unsigned M) {
-    auto It = PairIds.find({P, M});
-    if (It != PairIds.end())
-      return It->second;
-    unsigned Id = Out.addState(Src.stateName(P) + "." + B.stateName(M));
-    PairIds.emplace(std::make_pair(P, M), Id);
-    Worklist.push_back({P, M});
-    return Id;
+    auto [Id, Fresh] = Pairs.intern({P, M});
+    if (Fresh) {
+      StateOf.push_back(Out.addState(Src.stateName(P) + "." + B.stateName(M)));
+      Explore.enqueue(Id);
+    }
+    return StateOf[Id];
   }
 
   /// Builds rules for every queued pair state (which may queue more).
   void processAll() {
-    while (!Worklist.empty()) {
-      auto [P, M] = Worklist.front();
-      Worklist.pop_front();
-      unsigned Source = PairIds.at({P, M});
+    engine::ConstructionScope Scope(Engine.Stats, "preimage");
+    Explore.runOrThrow("preimage", [&](unsigned Id) {
+      auto [P, M] = Pairs.key(Id);
+      unsigned Source = StateOf[Id];
       for (const SttrRule &R : Src.rules()) {
         if (R.State != P)
           continue;
@@ -134,19 +135,25 @@ public:
               Children[I].push_back(pairState(PP, MM));
           }
           Out.addRule(Source, R.CtorId, LR.Guard, std::move(Children));
+          ++Stats.RulesEmitted;
         }
       }
-    }
+    });
   }
 
 private:
+  engine::SessionEngine &Engine;
+  engine::ConstructionStats &Stats;
   const Sttr &Src;
   const Sta &B;
   Sta &Out;
   LookEngine Look;
   unsigned LaOffset = 0;
-  std::map<std::pair<unsigned, unsigned>, unsigned> PairIds;
-  std::deque<std::pair<unsigned, unsigned>> Worklist;
+  engine::StateInterner<std::pair<unsigned, unsigned>> Pairs;
+  /// Out's state id of each interned pair (pair ids are dense but Out also
+  /// holds the imported lookahead states, so the two id spaces differ).
+  std::vector<unsigned> StateOf;
+  engine::Exploration Explore;
 };
 
 /// Orchestrates the least-fixpoint over pair transducer states with the
@@ -155,22 +162,25 @@ class ComposeEngine {
 public:
   ComposeEngine(Solver &Solv, OutputFactory &Outputs, const Sttr &S,
                 const Sttr &T)
-      : Solv(Solv), F(Solv.factory()), Outputs(Outputs), S(S), T(T),
-        Composed(std::make_shared<Sttr>(S.signature())) {
+      : Engine(engine::SessionEngine::of(Solv)),
+        Stats(Engine.Stats.construction("compose")), Solv(Solv),
+        F(Solv.factory()), Outputs(Outputs), S(S), T(T),
+        Composed(std::make_shared<Sttr>(S.signature())), TransIds(&Stats),
+        Explore(&Stats, Engine.Limits) {
     buildNormalizedDomain();
-    Pre = std::make_unique<PreImageBuilder>(Solv, S, *NDT.Automaton,
+    Pre = std::make_unique<PreImageBuilder>(Engine, S, *NDT.Automaton,
                                             Composed->lookahead());
-    NDTLook = std::make_unique<LookEngine>(Solv, *NDT.Automaton);
+    NDTLook = std::make_unique<LookEngine>(Engine.Guards, *NDT.Automaton);
   }
 
   std::shared_ptr<Sttr> run() {
+    engine::ConstructionScope Scope(Engine.Stats, "compose");
     unsigned Start = pairTransState(S.startState(), T.startState());
     Composed->setStartState(Start);
-    while (!Worklist.empty()) {
-      auto [P, Q] = Worklist.front();
-      Worklist.pop_front();
-      composeFrom(P, Q);
-    }
+    Explore.runOrThrow("compose", [&](unsigned Id) {
+      auto [P, Q] = TransIds.key(Id);
+      composeFrom(P, Q, Id);
+    });
     // Flush the pre-image pairs discovered while building rules.
     Pre->processAll();
     return Composed;
@@ -187,8 +197,8 @@ private:
   /// l_i cup St(i, t) that the rule requires of the i-th subtree of the
   /// redex (the paper's q_tau pseudo-state).
   void buildNormalizedDomain() {
-    DomainAutomaton DT = domainAutomaton(T);
-    std::map<StateSet, unsigned> SeedIds;
+    DomainAutomaton DT = domainAutomaton(T, &Solv);
+    engine::StateInterner<StateSet> SeedIds;
     std::vector<StateSet> Seeds;
     SeedIndexOfRule.resize(T.numRules());
     for (unsigned RI = 0; RI < T.numRules(); ++RI) {
@@ -198,29 +208,30 @@ private:
         for (unsigned P : statesAppliedTo(R.Out, I))
           Set.push_back(DT.StateOf[P]);
         canonicalizeStateSet(Set);
-        auto [It, Fresh] = SeedIds.emplace(Set, Seeds.size());
+        auto [SeedIndex, Fresh] = SeedIds.intern(Set);
         if (Fresh)
-          Seeds.push_back(Set);
-        SeedIndexOfRule[RI].push_back(It->second);
+          Seeds.push_back(std::move(Set));
+        SeedIndexOfRule[RI].push_back(SeedIndex);
       }
     }
     NDT = normalizeSets(Solv, *DT.Automaton, Seeds);
   }
 
   unsigned pairTransState(unsigned P, unsigned Q) {
-    auto It = TransIds.find({P, Q});
-    if (It != TransIds.end())
-      return It->second;
-    unsigned Id = Composed->addState(S.stateName(P) + "." + T.stateName(Q));
-    TransIds.emplace(std::make_pair(P, Q), Id);
-    Worklist.push_back({P, Q});
+    auto [Id, Fresh] = TransIds.intern({P, Q});
+    if (Fresh) {
+      unsigned ComposedId =
+          Composed->addState(S.stateName(P) + "." + T.stateName(Q));
+      assert(ComposedId == Id && "interner and transducer ids must align");
+      (void)ComposedId;
+      Explore.enqueue(Id);
+    }
     return Id;
   }
 
   /// Compose(p, q, f) for every f: one composed rule per S rule and per
   /// irreducible reduction of T over its output.
-  void composeFrom(unsigned P, unsigned Q) {
-    unsigned Source = TransIds.at({P, Q});
+  void composeFrom(unsigned P, unsigned Q, unsigned Source) {
     for (const SttrRule &R : S.rules()) {
       if (R.State != P)
         continue;
@@ -236,6 +247,7 @@ private:
         }
         Composed->addRule(Source, R.CtorId, Red.Guard, std::move(Lookahead),
                           Red.Out);
+        ++Stats.RulesEmitted;
       }
     }
   }
@@ -257,7 +269,7 @@ private:
       const SttrRule &Tau = T.rule(RI);
       TermRef Guard =
           F.mkAnd(Gamma, F.substituteAttrs(Tau.Guard, U->labelExprs()));
-      if (!Solv.isSat(Guard))
+      if (!Engine.Guards.isSat(Guard))
         continue;
       std::vector<LookEngine::LookResult> Thread = {{Guard, L}};
       for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
@@ -325,6 +337,8 @@ private:
     return Results;
   }
 
+  engine::SessionEngine &Engine;
+  engine::ConstructionStats &Stats;
   Solver &Solv;
   TermFactory &F;
   OutputFactory &Outputs;
@@ -335,8 +349,8 @@ private:
   std::vector<std::vector<unsigned>> SeedIndexOfRule;
   std::unique_ptr<PreImageBuilder> Pre;
   std::unique_ptr<LookEngine> NDTLook;
-  std::map<std::pair<unsigned, unsigned>, unsigned> TransIds;
-  std::deque<std::pair<unsigned, unsigned>> Worklist;
+  engine::StateInterner<std::pair<unsigned, unsigned>> TransIds;
+  engine::Exploration Explore;
 };
 
 } // namespace
@@ -362,7 +376,8 @@ TreeLanguage fast::preImageLanguage(Solver &Solv, const Sttr &T,
          "pre-image over incompatible signatures");
   TreeLanguage NL = normalize(Solv, L);
   auto Out = std::make_shared<Sta>(T.signature());
-  PreImageBuilder Builder(Solv, T, NL.automaton(), *Out);
+  PreImageBuilder Builder(engine::SessionEngine::of(Solv), T, NL.automaton(),
+                          *Out);
   StateSet Roots;
   for (unsigned R : NL.roots())
     Roots.push_back(Builder.pairState(T.startState(), R));

@@ -2,11 +2,23 @@
 
 #include "transducers/Domain.h"
 
+#include "engine/Engine.h"
+
 #include <cassert>
+#include <optional>
 
 using namespace fast;
 
-DomainAutomaton fast::domainAutomaton(const Sttr &S) {
+DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
+  std::optional<engine::ConstructionScope> Scope;
+  engine::ExplorationLimits Limits;
+  if (Solv) {
+    engine::SessionEngine &E = engine::SessionEngine::of(*Solv);
+    Scope.emplace(E.Stats, "domain");
+    Limits = E.Limits;
+  }
+  engine::ConstructionStats *Stats = Scope ? &Scope->stats() : nullptr;
+
   DomainAutomaton Result;
   Result.Automaton = std::make_shared<Sta>(S.signature());
   Sta &Out = *Result.Automaton;
@@ -19,23 +31,37 @@ DomainAutomaton fast::domainAutomaton(const Sttr &S) {
   for (unsigned Q = 0; Q < S.numStates(); ++Q)
     Result.StateOf.push_back(Out.addState("dom(" + S.stateName(Q) + ")"));
 
-  for (const SttrRule &R : S.rules()) {
-    std::vector<StateSet> Children;
-    Children.reserve(R.Lookahead.size());
-    for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
-      StateSet Set = R.Lookahead[I]; // Lookahead-STA ids, offset 0.
-      for (unsigned P : statesAppliedTo(R.Out, I))
-        Set.push_back(Result.StateOf[P]);
-      canonicalizeStateSet(Set);
-      Children.push_back(std::move(Set));
+  // One worklist item per transducer state; its expansion emits the domain
+  // rules of that state's transduction rules.
+  std::vector<std::vector<unsigned>> RulesByState(S.numStates());
+  for (unsigned RI = 0; RI < S.numRules(); ++RI)
+    RulesByState[S.rule(RI).State].push_back(RI);
+
+  engine::Exploration Explore(Stats, Limits);
+  for (unsigned Q = 0; Q < S.numStates(); ++Q)
+    Explore.enqueue(Q);
+  Explore.runOrThrow("domain", [&](unsigned Q) {
+    for (unsigned RI : RulesByState[Q]) {
+      const SttrRule &R = S.rule(RI);
+      std::vector<StateSet> Children;
+      Children.reserve(R.Lookahead.size());
+      for (unsigned I = 0; I < R.Lookahead.size(); ++I) {
+        StateSet Set = R.Lookahead[I]; // Lookahead-STA ids, offset 0.
+        for (unsigned P : statesAppliedTo(R.Out, I))
+          Set.push_back(Result.StateOf[P]);
+        canonicalizeStateSet(Set);
+        Children.push_back(std::move(Set));
+      }
+      Out.addRule(Result.StateOf[Q], R.CtorId, R.Guard, std::move(Children));
+      if (Stats)
+        ++Stats->RulesEmitted;
     }
-    Out.addRule(Result.StateOf[R.State], R.CtorId, R.Guard, std::move(Children));
-  }
+  });
   return Result;
 }
 
-TreeLanguage fast::domainLanguage(const Sttr &S) {
-  DomainAutomaton D = domainAutomaton(S);
+TreeLanguage fast::domainLanguage(const Sttr &S, Solver *Solv) {
+  DomainAutomaton D = domainAutomaton(S, Solv);
   unsigned Root = D.StateOf[S.startState()];
   return TreeLanguage(std::move(D.Automaton), Root);
 }

@@ -32,12 +32,15 @@ struct DomainAutomaton {
   std::vector<unsigned> StateOf;
 };
 
-/// Builds d(S) per Definition 6.
-DomainAutomaton domainAutomaton(const Sttr &S);
+/// Builds d(S) per Definition 6.  Pass the session's solver when one is at
+/// hand so the construction runs under the session's engine budgets and
+/// its counters land in the session Stats registry; with \p Solv null it
+/// runs unbudgeted and unrecorded.
+DomainAutomaton domainAutomaton(const Sttr &S, Solver *Solv = nullptr);
 
 /// The domain of \p S as a language (the `domain t` operation of
 /// Section 3.5).
-TreeLanguage domainLanguage(const Sttr &S);
+TreeLanguage domainLanguage(const Sttr &S, Solver *Solv = nullptr);
 
 } // namespace fast
 

@@ -12,7 +12,8 @@ using namespace fast;
 
 bool fast::haveEquivalentDomains(Solver &Solv, const Sttr &T1,
                                  const Sttr &T2) {
-  return areEquivalentLanguages(Solv, domainLanguage(T1), domainLanguage(T2));
+  return areEquivalentLanguages(Solv, domainLanguage(T1, &Solv),
+                                domainLanguage(T2, &Solv));
 }
 
 EquivalenceResult fast::checkEquivalence(Session &S, const Sttr &T1,
@@ -28,8 +29,8 @@ EquivalenceResult fast::checkEquivalence(Session &S, const Sttr &T1,
 
   // Phase 1 (decidable): compare domains.  A tree in one domain but not
   // the other has a non-empty output set on one side only.
-  TreeLanguage Dom1 = domainLanguage(T1);
-  TreeLanguage Dom2 = domainLanguage(T2);
+  TreeLanguage Dom1 = domainLanguage(T1, &S.Solv);
+  TreeLanguage Dom2 = domainLanguage(T2, &S.Solv);
   for (const auto &[A, B] : {std::pair(&Dom1, &Dom2), std::pair(&Dom2, &Dom1)}) {
     TreeLanguage OnlyA = differenceLanguages(S.Solv, *A, *B);
     if (std::optional<TreeRef> W = witness(S.Solv, OnlyA, S.Trees)) {

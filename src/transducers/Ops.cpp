@@ -83,7 +83,7 @@ bool fast::typeCheck(Solver &Solv, const TreeLanguage &In, const Sttr &T,
 }
 
 bool fast::isEmptyTransducer(Solver &Solv, const Sttr &T) {
-  return isEmptyLanguage(Solv, domainLanguage(T));
+  return isEmptyLanguage(Solv, domainLanguage(T, &Solv));
 }
 
 std::shared_ptr<Sttr> fast::simplifyLookahead(Solver &Solv, const Sttr &T) {

@@ -16,6 +16,7 @@
 #ifndef FAST_TRANSDUCERS_SESSION_H
 #define FAST_TRANSDUCERS_SESSION_H
 
+#include "engine/Engine.h"
 #include "smt/Solver.h"
 #include "transducers/Output.h"
 #include "trees/Tree.h"
@@ -32,6 +33,14 @@ struct Session {
   Session() : Solv(Terms) {}
   Session(const Session &) = delete;
   Session &operator=(const Session &) = delete;
+
+  /// The exploration engine attached to this session's solver (created on
+  /// first use).  Holds the stats registry, the guard cache, and the
+  /// exploration budgets shared by every fixpoint construction.
+  engine::SessionEngine &engine() { return engine::SessionEngine::of(Solv); }
+
+  /// The session-wide stats registry (counters per construction).
+  engine::StatsRegistry &stats() { return engine().Stats; }
 };
 
 } // namespace fast

@@ -1,0 +1,194 @@
+//===- tests/engine/EngineTest.cpp - Exploration engine tests -------------===//
+//
+// Unit tests for the shared fixpoint engine (StateInterner, Exploration,
+// GuardCache) plus end-to-end checks that the constructions actually run
+// on it: stats counters populate, cross-construction guard caching hits,
+// and budgets make pathological explorations fail gracefully.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "engine/Engine.h"
+#include "engine/Exploration.h"
+#include "engine/StateInterner.h"
+
+#include <string>
+#include <vector>
+
+using namespace fast;
+using namespace fast::engine;
+using namespace fast::test;
+
+namespace {
+
+TEST(StateInternerTest, DenseStableIds) {
+  StateInterner<std::vector<unsigned>> I;
+  auto A = I.intern({1, 2, 3});
+  auto B = I.intern({4});
+  auto A2 = I.intern({1, 2, 3});
+  EXPECT_EQ(A.Id, 0u);
+  EXPECT_TRUE(A.Fresh);
+  EXPECT_EQ(B.Id, 1u);
+  EXPECT_TRUE(B.Fresh);
+  EXPECT_EQ(A2.Id, A.Id);
+  EXPECT_FALSE(A2.Fresh);
+  EXPECT_EQ(I.size(), 2u);
+  EXPECT_EQ(I.key(1), std::vector<unsigned>({4}));
+  EXPECT_EQ(I.lookup({4}), std::optional<unsigned>(1));
+  EXPECT_FALSE(I.lookup({9}).has_value());
+}
+
+TEST(StateInternerTest, KeyReferencesSurviveGrowth) {
+  // Expansion callbacks hold key references while interning more states;
+  // the reference must not dangle as the interner grows.
+  StateInterner<std::string> I;
+  const std::string &First = I.key(I.intern("state-with-a-long-name-0").Id);
+  for (int K = 1; K < 1000; ++K)
+    I.intern("state-with-a-long-name-" + std::to_string(K));
+  EXPECT_EQ(First, "state-with-a-long-name-0");
+  EXPECT_EQ(I.size(), 1000u);
+}
+
+TEST(StateInternerTest, CountsFreshInternsIntoStats) {
+  ConstructionStats Stats;
+  StateInterner<int> I(&Stats);
+  I.intern(7);
+  I.intern(7);
+  I.intern(8);
+  EXPECT_EQ(Stats.StatesInterned, 2u);
+}
+
+TEST(ExplorationTest, DrainsBreadthFirst) {
+  Exploration E;
+  std::vector<unsigned> Order;
+  E.enqueue(0);
+  EXPECT_EQ(E.run([&](unsigned Id) {
+    Order.push_back(Id);
+    if (Id < 3)
+      E.enqueue(Id + 1);
+  }),
+            ExplorationOutcome::Completed);
+  EXPECT_EQ(Order, std::vector<unsigned>({0, 1, 2, 3}));
+  EXPECT_EQ(E.enqueued(), 4u);
+}
+
+TEST(ExplorationTest, StepBudgetStopsInfiniteExpansion) {
+  ExplorationLimits Limits;
+  Limits.MaxSteps = 50;
+  Exploration E(nullptr, Limits);
+  E.enqueue(0);
+  // Expansion that would never terminate: always enqueues more.
+  EXPECT_EQ(E.run([&](unsigned Id) { E.enqueue(Id + 1); }),
+            ExplorationOutcome::StepBudgetExceeded);
+}
+
+TEST(ExplorationTest, StateBudgetStopsBlowup) {
+  ExplorationLimits Limits;
+  Limits.MaxStates = 10;
+  Exploration E(nullptr, Limits);
+  E.enqueue(0);
+  EXPECT_EQ(E.run([&](unsigned Id) {
+    E.enqueue(2 * Id + 1);
+    E.enqueue(2 * Id + 2);
+  }),
+            ExplorationOutcome::StateBudgetExceeded);
+}
+
+TEST(ExplorationTest, CancellationHookAborts) {
+  unsigned Expanded = 0;
+  ExplorationLimits Limits;
+  Limits.CancelRequested = [&] { return Expanded >= 5; };
+  Exploration E(nullptr, Limits);
+  E.enqueue(0);
+  EXPECT_EQ(E.run([&](unsigned Id) {
+    ++Expanded;
+    E.enqueue(Id + 1);
+  }),
+            ExplorationOutcome::Cancelled);
+  EXPECT_EQ(Expanded, 5u);
+}
+
+TEST(ExplorationTest, RunOrThrowRaisesTypedError) {
+  ExplorationLimits Limits;
+  Limits.MaxSteps = 1;
+  Exploration E(nullptr, Limits);
+  E.enqueue(0);
+  try {
+    E.runOrThrow("test-construction", [&](unsigned Id) { E.enqueue(Id + 1); });
+    FAIL() << "expected ExplorationError";
+  } catch (const ExplorationError &Err) {
+    EXPECT_EQ(Err.outcome(), ExplorationOutcome::StepBudgetExceeded);
+    EXPECT_NE(std::string(Err.what()).find("test-construction"),
+              std::string::npos);
+  }
+}
+
+class EngineIntegrationTest : public ::testing::Test {
+protected:
+  Session S;
+  SignatureRef Sig = makeBtSig();
+};
+
+TEST_F(EngineIntegrationTest, NormalizationPopulatesStats) {
+  TreeLanguage L = makeAllPositiveLang(S, Sig);
+  normalize(S.Solv, L);
+  const ConstructionStats &N = S.stats().construction("normalize");
+  EXPECT_GE(N.Runs, 1u);
+  EXPECT_GT(N.StatesExplored, 0u);
+  EXPECT_GT(N.StatesInterned, 0u);
+  EXPECT_GT(N.RulesEmitted, 0u);
+  EXPECT_GT(N.SatQueries, 0u);
+}
+
+TEST_F(EngineIntegrationTest, GuardCacheHitsAcrossConstructions) {
+  // Determinize-then-intersect pipeline over the same guards: the second
+  // and third constructions must hit the session guard cache.
+  TreeLanguage Pos = makeAllPositiveLang(S, Sig);
+  TreeLanguage Odd = makeAllOddLang(S, Sig);
+
+  TreeLanguage NPos = normalize(S.Solv, Pos);
+  determinize(S.Solv, NPos.automaton());
+  // Second determinization of the same automaton: every minterm split was
+  // already computed — all lookups must hit.
+  determinize(S.Solv, NPos.automaton());
+  const ConstructionStats &D = S.stats().construction("determinize");
+  EXPECT_GT(D.MintermSplits, 0u);
+  EXPECT_GT(D.MintermCacheHits, 0u);
+
+  intersectLanguages(S.Solv, Pos, Odd);
+  const ConstructionStats &P = S.stats().construction("product");
+  EXPECT_GT(P.SatQueries, 0u);
+  EXPECT_GT(P.SatCacheHits, 0u) << "product must reuse cached guard queries";
+}
+
+TEST_F(EngineIntegrationTest, StateBudgetFailsConstructionGracefully) {
+  // Depth-counting chain: normalization reaches one merged set per level,
+  // so a small state budget trips mid-construction.
+  auto A = std::make_shared<Sta>(Sig);
+  unsigned L = *Sig->findConstructor("L"), N = *Sig->findConstructor("N");
+  std::vector<unsigned> Q;
+  for (int K = 0; K < 8; ++K)
+    Q.push_back(A->addState("q" + std::to_string(K)));
+  for (int K = 0; K < 7; ++K)
+    A->addRule(Q[K], N, S.Terms.trueTerm(), {{Q[K + 1]}, {Q[K + 1]}});
+  A->addRule(Q.back(), L, S.Terms.trueTerm(), {});
+  TreeLanguage Chain(std::move(A), Q.front());
+
+  S.engine().Limits.MaxStates = 3; // Far fewer than the 8 reachable sets.
+  EXPECT_THROW(normalize(S.Solv, Chain), ExplorationError);
+  S.engine().Limits = {}; // Unlimited again: the same call now succeeds.
+  EXPECT_NO_THROW(normalize(S.Solv, Chain));
+}
+
+TEST_F(EngineIntegrationTest, StatsReportAndJsonMentionConstructions) {
+  TreeLanguage L = makeAllPositiveLang(S, Sig);
+  normalize(S.Solv, L);
+  std::string Report = S.stats().report();
+  EXPECT_NE(Report.find("normalize"), std::string::npos);
+  std::string Json = S.stats().json();
+  EXPECT_NE(Json.find("\"normalize\""), std::string::npos);
+  EXPECT_NE(Json.find("\"states_explored\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- tests/smt/MintermsTest.cpp - Mintermization edge cases -------------===//
+//
+// Edge cases of the minterm enumeration that determinization depends on:
+// the output must always be a partition of the input space — regions
+// pairwise unsatisfiable together, their union valid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Minterms.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+class MintermsTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  TermRef X = F.attr(0, Sort::Int, "x");
+
+  /// Asserts that \p Regions partition the whole space: every region is
+  /// satisfiable, distinct regions are disjoint, and the union is valid.
+  void expectPartition(const std::vector<Minterm> &Regions) {
+    std::vector<TermRef> Preds;
+    for (const Minterm &M : Regions) {
+      EXPECT_TRUE(S.isSat(M.Predicate)) << "empty region in partition";
+      Preds.push_back(M.Predicate);
+    }
+    for (size_t I = 0; I < Regions.size(); ++I)
+      for (size_t J = I + 1; J < Regions.size(); ++J)
+        EXPECT_FALSE(
+            S.isSat(F.mkAnd(Regions[I].Predicate, Regions[J].Predicate)))
+            << "regions " << I << " and " << J << " overlap";
+    EXPECT_TRUE(S.isValid(F.mkOr(Preds)))
+        << "regions do not cover the space";
+  }
+};
+
+TEST_F(MintermsTest, EmptyGuardSet) {
+  // No predicates: one region — the whole space (true, empty polarity).
+  std::vector<TermRef> Guards;
+  std::vector<Minterm> Regions = computeMinterms(S, Guards);
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_TRUE(Regions[0].Polarity.empty());
+  EXPECT_TRUE(S.isValid(Regions[0].Predicate));
+  expectPartition(Regions);
+}
+
+TEST_F(MintermsTest, SingleUnsatGuard) {
+  // x < x is unsatisfiable: the only region is its negation.
+  std::vector<TermRef> Guards = {F.mkLt(X, X)};
+  std::vector<Minterm> Regions = computeMinterms(S, Guards);
+  ASSERT_EQ(Regions.size(), 1u);
+  ASSERT_EQ(Regions[0].Polarity.size(), 1u);
+  EXPECT_FALSE(Regions[0].Polarity[0]);
+  expectPartition(Regions);
+}
+
+TEST_F(MintermsTest, DuplicateGuards) {
+  // The same predicate three times still splits into exactly two regions
+  // (inside/outside), with consistent polarities.
+  TermRef P = F.mkLt(X, F.intConst(10));
+  std::vector<TermRef> Guards = {P, P, P};
+  std::vector<Minterm> Regions = computeMinterms(S, Guards);
+  ASSERT_EQ(Regions.size(), 2u);
+  for (const Minterm &M : Regions) {
+    ASSERT_EQ(M.Polarity.size(), 3u);
+    EXPECT_EQ(M.Polarity[0], M.Polarity[1]);
+    EXPECT_EQ(M.Polarity[1], M.Polarity[2]);
+  }
+  expectPartition(Regions);
+}
+
+TEST_F(MintermsTest, ManyOverlappingGuards) {
+  // 16 nested half-spaces x > 0, x > 1, ..., x > 15.  The chain structure
+  // admits only the 17 "staircase" regions out of 2^16 combinations; eager
+  // unsat pruning must find exactly those.
+  std::vector<TermRef> Guards;
+  for (int I = 0; I < 16; ++I)
+    Guards.push_back(F.mkLt(F.intConst(I), X));
+  std::vector<Minterm> Regions = computeMinterms(S, Guards);
+  EXPECT_EQ(Regions.size(), 17u);
+  // Each region's polarity vector is monotonically decreasing: once a
+  // guard x > k is false, every stricter guard is false too.
+  for (const Minterm &M : Regions) {
+    ASSERT_EQ(M.Polarity.size(), 16u);
+    for (size_t I = 1; I < M.Polarity.size(); ++I)
+      EXPECT_LE(M.Polarity[I], M.Polarity[I - 1]);
+  }
+  expectPartition(Regions);
+}
+
+TEST_F(MintermsTest, MixedIndependentGuards) {
+  // Two independent predicates over different attributes: full 4-way split.
+  TermRef Tag = F.attr(1, Sort::String, "tag");
+  std::vector<TermRef> Guards = {F.mkLt(X, F.intConst(0)),
+                                 F.mkEq(Tag, F.stringConst("script"))};
+  std::vector<Minterm> Regions = computeMinterms(S, Guards);
+  EXPECT_EQ(Regions.size(), 4u);
+  expectPartition(Regions);
+}
+
+} // namespace

@@ -123,7 +123,9 @@ TEST_F(EdgeCaseTest, DeepListsRunUnderALargeStack) {
   std::vector<int64_t> Big(100000, 3);
   TreeRef In = makeIList(S, IList, Big);
   std::vector<TreeRef> Out;
-  runWithStack(512u << 20, [&] {
+  // 2 GiB: ASan builds inflate each frame several-fold, and the pages are
+  // only committed as touched.
+  runWithStack(size_t{2} << 30, [&] {
     SttrRunner Runner(*Map, S.Trees);
     Out = Runner.run(In);
   });
