@@ -1,0 +1,90 @@
+//===- bench/fuzz_throughput.cpp - Differential-harness throughput --------===//
+//
+// Measures the cost structure of one fastfuzz round: instance generation,
+// each oracle individually, and a whole all-oracles round.  The smoke test
+// budget in tools/CMakeLists.txt (200 rounds in tier-1) is set against
+// these numbers; if an oracle regresses badly here, the smoke test is the
+// next thing to time out.
+//
+// Results also land in BENCH_fuzz_throughput.json (google-benchmark JSON).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Fuzzer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace fast;
+using namespace fast::testing;
+
+namespace {
+
+/// Seeded instance generation alone: languages, four transducers, samples.
+void BM_MakeInstance(benchmark::State &State) {
+  InstanceOptions Opts;
+  Opts.SignatureIndex = static_cast<unsigned>(State.range(0));
+  unsigned Seed = 1;
+  for (auto _ : State) {
+    Session S;
+    benchmark::DoNotOptimize(makeInstance(S, Seed++, Opts));
+  }
+}
+BENCHMARK(BM_MakeInstance)->DenseRange(0, 2);
+
+/// One oracle on a fresh default-shaped instance, by registry index.
+void BM_Oracle(benchmark::State &State) {
+  const Oracle &O = allOracles()[static_cast<size_t>(State.range(0))];
+  State.SetLabel(O.Name);
+  unsigned Seed = 1;
+  unsigned Skipped = 0;
+  for (auto _ : State) {
+    Session S;
+    FuzzInstance I = makeInstance(S, Seed++, InstanceOptions{});
+    OracleRun Run = runOracle(O, S, I, OracleOptions{});
+    Skipped += Run.Skipped;
+    benchmark::DoNotOptimize(Run);
+  }
+  State.counters["skipped"] = Skipped;
+}
+BENCHMARK(BM_Oracle)->DenseRange(0, 8)->Unit(benchmark::kMillisecond);
+
+/// A complete fuzz round sweep, as the smoke test runs it (strides on,
+/// shrinking off — clean code has nothing to shrink).
+void BM_FuzzRounds(benchmark::State &State) {
+  for (auto _ : State) {
+    FuzzConfig Config;
+    Config.Rounds = static_cast<unsigned>(State.range(0));
+    Config.Seed = 1;
+    Config.Shrink = false;
+    benchmark::DoNotOptimize(runFuzz(Config));
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+  State.SetLabel("rounds");
+}
+BENCHMARK(BM_FuzzRounds)->Arg(5)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  std::string OutFlag = "--benchmark_out=BENCH_fuzz_throughput.json";
+  std::string FormatFlag = "--benchmark_out_format=json";
+  Args.push_back(OutFlag.data());
+  Args.push_back(FormatFlag.data());
+  for (int I = 1; I < argc; ++I)
+    Args.push_back(argv[I]);
+  int Argc = static_cast<int>(Args.size());
+
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "machine-readable results written to BENCH_fuzz_throughput.json\n";
+  return 0;
+}

@@ -83,9 +83,10 @@ TreeRef fast::defo::runNaive(Session &S,
     // across passes, which is precisely the inefficiency deforestation
     // removes.
     SttrRunner Runner(*T, S.Trees);
-    std::vector<TreeRef> Out = Runner.run(Current);
-    assert(Out.size() == 1 && "pipeline stages must be deterministic");
-    Current = Out.front();
+    SttrRunResult Out = Runner.runChecked(Current);
+    assert(Out.Outputs.size() == 1 && "pipeline stages must be deterministic");
+    assert(!Out.Truncated && "pipeline stage output was truncated");
+    Current = Out.Outputs.front();
   }
   return Current;
 }
@@ -101,7 +102,8 @@ std::shared_ptr<Sttr> fast::defo::composePipeline(
 
 TreeRef fast::defo::runComposed(Session &S, const Sttr &T, TreeRef Input) {
   SttrRunner Runner(T, S.Trees);
-  std::vector<TreeRef> Out = Runner.run(Input);
-  assert(Out.size() == 1 && "composed pipeline must be deterministic");
-  return Out.front();
+  SttrRunResult Out = Runner.runChecked(Input);
+  assert(Out.Outputs.size() == 1 && "composed pipeline must be deterministic");
+  assert(!Out.Truncated && "composed pipeline output was truncated");
+  return Out.Outputs.front();
 }

@@ -574,10 +574,15 @@ fast::html::sanitizeHtmlString(Session &S, const Sanitizer &Sani,
   if (!Doc)
     return std::nullopt;
   SttrRunner Runner(*Sani.Sani, S.Trees);
-  std::vector<TreeRef> Out = Runner.run(Doc);
-  if (Out.empty()) {
+  SttrRunResult Out = Runner.runChecked(Doc);
+  if (Out.Outputs.empty()) {
     Error = "input is outside the sanitizer's domain";
     return std::nullopt;
   }
-  return renderHtml(Out.front());
+  if (Out.Truncated) {
+    Error = "sanitizer output set was truncated; refusing to pick an "
+            "arbitrary representative";
+    return std::nullopt;
+  }
+  return renderHtml(Out.Outputs.front());
 }

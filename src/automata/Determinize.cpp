@@ -53,6 +53,15 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
       Explore.enqueue(Id);
   };
 
+  // Enumerate only the tuples that actually contain NewState, but in the
+  // exact order the naive filtered counter would visit them, so the BFS
+  // enqueue sequence (and hence det-state numbering) is unchanged: walk a
+  // little-endian counter over positions 1..Rank-1; when that suffix
+  // already contains NewState every value of position 0 qualifies,
+  // otherwise only Tuple[0] == NewState does.  This drops the per-state
+  // scheduling cost from O(N^Rank) to O(N^(Rank-1) + tuples emitted),
+  // which the fuzz harness's budget sweeps showed dominating large subset
+  // constructions at rank >= 2.
   auto ScheduleTuplesWith = [&](unsigned NewState) {
     for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
       unsigned Rank = Sig->rank(CtorId);
@@ -61,10 +70,20 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
       std::vector<unsigned> Tuple(Rank, 0);
       bool More = true;
       while (More) {
-        if (std::find(Tuple.begin(), Tuple.end(), NewState) != Tuple.end())
+        bool SuffixHasNew =
+            std::find(Tuple.begin() + 1, Tuple.end(), NewState) != Tuple.end();
+        if (SuffixHasNew) {
+          for (unsigned First = 0; First <= NewState; ++First) {
+            Tuple[0] = First;
+            EnqueueItem(CtorId, Tuple);
+          }
+        } else {
+          Tuple[0] = NewState;
           EnqueueItem(CtorId, Tuple);
+        }
+        Tuple[0] = 0;
         More = false;
-        for (unsigned I = 0; I < Rank; ++I) {
+        for (unsigned I = 1; I < Rank; ++I) {
           if (++Tuple[I] <= NewState) {
             More = true;
             break;

@@ -3,6 +3,7 @@
 #include "fast/Compiler.h"
 
 #include <cassert>
+#include <cerrno>
 #include <cstdlib>
 
 using namespace fast;
@@ -138,8 +139,21 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   switch (E.Op) {
   case AexpOp::Const:
     switch (E.Lit) {
-    case AexpLit::Int:
-      return F.intConst(std::strtoll(E.Text.c_str(), nullptr, 10));
+    case AexpLit::Int: {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(E.Text.c_str(), &End, 10);
+      if (errno == ERANGE) {
+        Diags.error(E.Loc, "integer literal '" + E.Text +
+                               "' does not fit in 64 bits");
+        return nullptr;
+      }
+      if (End == E.Text.c_str() || *End != '\0') {
+        Diags.error(E.Loc, "malformed integer literal '" + E.Text + "'");
+        return nullptr;
+      }
+      return F.intConst(V);
+    }
     case AexpLit::Real: {
       Rational R;
       if (!Rational::parse(E.Text, R)) {

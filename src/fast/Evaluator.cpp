@@ -117,17 +117,22 @@ public:
         Diags.error(E.Loc, "apply needs a tree argument");
         return std::nullopt;
       }
-      std::vector<TreeRef> Out = runSttr(*T, S.Trees, In->Tree);
-      if (Out.empty()) {
+      SttrRunResult Out = runSttrChecked(*T, S.Trees, In->Tree);
+      if (Out.Outputs.empty()) {
         Diags.error(E.Loc, "apply: input tree is outside the "
                            "transformation's domain");
         return std::nullopt;
       }
-      if (Out.size() > 1)
+      if (Out.Truncated)
+        Diags.warning(E.Loc, "apply: output set was truncated at the "
+                             "evaluation bound; the transformation has "
+                             "more outputs here than reported");
+      if (Out.Outputs.size() > 1)
         Diags.warning(E.Loc, "apply: transformation is nondeterministic "
                              "here; using the first of " +
-                                 std::to_string(Out.size()) + " outputs");
-      return FastValue::ofTree(Out.front());
+                                 std::to_string(Out.Outputs.size()) +
+                                 " outputs");
+      return FastValue::ofTree(Out.Outputs.front());
     }
     case OpKind::GetWitness: {
       std::optional<TreeLanguage> L = evalLang(*E.Args[0]);

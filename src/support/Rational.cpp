@@ -2,17 +2,14 @@
 
 #include "support/Rational.h"
 
-#include <cassert>
+#include <cerrno>
 #include <cstdlib>
-#include <numeric>
 
 using namespace fast;
 
-namespace {
-
-/// Reduces \p Num / \p Den (128-bit) and asserts the result fits in 64 bits.
-Rational makeReduced(__int128 Num, __int128 Den) {
-  assert(Den != 0 && "rational with zero denominator");
+Rational Rational::makeReduced(__int128 Num, __int128 Den) {
+  if (Den == 0)
+    throw ArithmeticError("rational with zero denominator");
   if (Den < 0) {
     Num = -Num;
     Den = -Den;
@@ -28,26 +25,17 @@ Rational makeReduced(__int128 Num, __int128 Den) {
     Num /= A;
     Den /= A;
   }
-  assert(Num >= INT64_MIN && Num <= INT64_MAX && Den <= INT64_MAX &&
-         "rational overflow");
-  return Rational(static_cast<int64_t>(Num), static_cast<int64_t>(Den));
+  if (Num < INT64_MIN || Num > INT64_MAX || Den > INT64_MAX)
+    throw ArithmeticError("rational overflow: normalized result does not "
+                          "fit in 64 bits");
+  return Rational(ReducedTag{}, static_cast<int64_t>(Num),
+                  static_cast<int64_t>(Den));
 }
 
-} // namespace
-
 Rational::Rational(int64_t N, int64_t D) {
-  assert(D != 0 && "rational with zero denominator");
-  if (D < 0) {
-    N = -N;
-    D = -D;
-  }
-  int64_t G = std::gcd(N < 0 ? -N : N, D);
-  if (G > 1) {
-    N /= G;
-    D /= G;
-  }
-  Num = N;
-  Den = D;
+  Rational R = makeReduced(static_cast<__int128>(N), static_cast<__int128>(D));
+  Num = R.Num;
+  Den = R.Den;
 }
 
 Rational Rational::operator+(const Rational &RHS) const {
@@ -60,13 +48,18 @@ Rational Rational::operator-(const Rational &RHS) const {
   return *this + (-RHS);
 }
 
+Rational Rational::operator-() const {
+  return makeReduced(-static_cast<__int128>(Num), static_cast<__int128>(Den));
+}
+
 Rational Rational::operator*(const Rational &RHS) const {
   return makeReduced(static_cast<__int128>(Num) * RHS.Num,
                      static_cast<__int128>(Den) * RHS.Den);
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
-  assert(!RHS.isZero() && "rational division by zero");
+  if (RHS.isZero())
+    throw ArithmeticError("rational division by zero");
   return makeReduced(static_cast<__int128>(Num) * RHS.Den,
                      static_cast<__int128>(Den) * RHS.Num);
 }
@@ -93,20 +86,24 @@ bool Rational::parse(const std::string &Text, Rational &Result) {
   // Fractional form "n/d".
   auto Slash = Text.find('/');
   if (Slash != std::string::npos) {
+    errno = 0;
     char *End = nullptr;
     long long N = std::strtoll(Text.c_str(), &End, 10);
-    if (End != Text.c_str() + Slash)
+    if (errno == ERANGE || End != Text.c_str() + Slash)
       return false;
     long long D = std::strtoll(Text.c_str() + Slash + 1, &End, 10);
-    if (*End != '\0' || D == 0)
+    if (errno == ERANGE || *End != '\0' || D == 0)
       return false;
     Result = Rational(N, D);
     return true;
   }
   // Decimal form "i" or "i.frac".
   auto Dot = Text.find('.');
+  errno = 0;
   char *End = nullptr;
   long long Whole = std::strtoll(Text.c_str(), &End, 10);
+  if (errno == ERANGE)
+    return false;
   if (Dot == std::string::npos)
     return *End == '\0' && (Result = Rational(Whole), true);
   if (End != Text.c_str() + Dot)
@@ -121,7 +118,7 @@ bool Rational::parse(const std::string &Text, Rational &Result) {
     Scale *= 10;
   }
   long long FracValue = std::strtoll(Frac.c_str(), &End, 10);
-  if (*End != '\0')
+  if (errno == ERANGE || *End != '\0')
     return false;
   bool Negative = Text[0] == '-';
   Rational Magnitude =

@@ -17,22 +17,36 @@
 #define FAST_SUPPORT_RATIONAL_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace fast {
 
+/// Thrown when exact rational arithmetic leaves the representable range
+/// (normalized numerator/denominator outside 64 bits) or is undefined
+/// (zero denominator, division by zero).  The check is always on — it
+/// must not compile out under NDEBUG, because a silently wrapped rational
+/// corrupts guard evaluation and witness models without any signal.
+class ArithmeticError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
 /// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
 ///
-/// Arithmetic uses 128-bit intermediates and asserts on overflow of the
-/// normalized result; the values flowing through Fast programs (node
-/// attributes, guard constants) are small, so saturating or bignum behaviour
-/// is not needed.
+/// Arithmetic uses 128-bit intermediates and throws ArithmeticError when
+/// the normalized result does not fit 64 bits; the values flowing through
+/// Fast programs (node attributes, guard constants) are small, so
+/// saturating or bignum behaviour is not needed, but overflow must never
+/// pass silently.
 class Rational {
 public:
   Rational() : Num(0), Den(1) {}
   /// Creates the integer rational \p Value / 1.
   Rational(int64_t Value) : Num(Value), Den(1) {}
-  /// Creates \p Num / \p Den, normalizing sign and common factors.
+  /// Creates \p Num / \p Den, normalizing sign and common factors; throws
+  /// ArithmeticError on a zero denominator or if normalization overflows
+  /// (e.g. INT64_MIN / -1).
   Rational(int64_t Num, int64_t Den);
 
   int64_t numerator() const { return Num; }
@@ -45,9 +59,10 @@ public:
   Rational operator+(const Rational &RHS) const;
   Rational operator-(const Rational &RHS) const;
   Rational operator*(const Rational &RHS) const;
-  /// Exact division; asserts that \p RHS is non-zero.
+  /// Exact division; throws ArithmeticError when \p RHS is zero.
   Rational operator/(const Rational &RHS) const;
-  Rational operator-() const { return Rational(-Num, Den); }
+  /// Negation; throws ArithmeticError for INT64_MIN numerators.
+  Rational operator-() const;
 
   bool operator==(const Rational &RHS) const {
     return Num == RHS.Num && Den == RHS.Den;
@@ -66,6 +81,13 @@ public:
   static bool parse(const std::string &Text, Rational &Result);
 
 private:
+  struct ReducedTag {};
+  /// Trusted constructor for already-normalized values.
+  Rational(ReducedTag, int64_t N, int64_t D) : Num(N), Den(D) {}
+  /// Reduces Num/Den with 128-bit intermediates; throws ArithmeticError on
+  /// zero denominators and whenever the normalized result leaves 64 bits.
+  static Rational makeReduced(__int128 Num, __int128 Den);
+
   int64_t Num;
   int64_t Den;
 };

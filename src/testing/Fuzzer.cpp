@@ -1,0 +1,186 @@
+//===- testing/Fuzzer.cpp - Seeded differential fuzzing loop --------------===//
+
+#include "testing/Fuzzer.h"
+
+#include "transducers/Dot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <random>
+#include <sstream>
+
+using namespace fast;
+using namespace fast::testing;
+
+namespace {
+
+/// Round-local shape variation: small instances dominate (they shrink and
+/// debug fastest) but every dimension still moves.
+InstanceOptions roundOptions(unsigned BaseSeed, unsigned Round) {
+  std::mt19937 Rng(BaseSeed * 2654435761u + Round);
+  InstanceOptions Opts;
+  Opts.SignatureIndex =
+      Rng() % static_cast<unsigned>(signaturePool().size());
+  Opts.NumStates = 2 + Rng() % 2;
+  Opts.MaxRulesPerCtor = 1 + Rng() % 2;
+  Opts.ConstraintProbability = 0.3 + 0.1 * (Rng() % 5);
+  Opts.TreeDepth = 3 + Rng() % 3;
+  Opts.NumSamples = 20 + Rng() % 21;
+  return Opts;
+}
+
+std::string reproCommand(const FuzzFailure &F, const OracleOptions &Run) {
+  std::ostringstream Out;
+  Out << "fastfuzz --rounds=1 --seed=" << F.Seed << " --oracle="
+      << F.OracleName;
+  if (Run.MaxOutputs != OracleOptions().MaxOutputs)
+    Out << " --max-outputs=" << Run.MaxOutputs;
+  if (Run.IgnoreTruncation)
+    Out << " --ignore-truncation";
+  Out << "\n";
+  return Out.str();
+}
+
+/// Writes the repro directory; returns its path, or "" on I/O failure.
+std::string dumpRepro(const FuzzFailure &F, const FuzzConfig &Config,
+                      std::ostream *Log) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::path Dir = fs::path(Config.ReproDir) /
+                 (F.OracleName + "-seed" + std::to_string(F.Seed));
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    if (Log)
+      *Log << "fastfuzz: cannot create repro dir " << Dir.string() << ": "
+           << Ec.message() << "\n";
+    return "";
+  }
+  auto WriteFile = [&](const char *Name, const std::string &Text) {
+    std::ofstream Out(Dir / Name);
+    Out << Text;
+  };
+
+  std::ostringstream Failure;
+  Failure << "oracle: " << F.OracleName << "\n"
+          << "seed: " << F.Seed << "\n"
+          << "message: " << F.Message << "\n";
+  if (!F.Counterexample.empty())
+    Failure << "counterexample: " << F.Counterexample << "\n";
+  if (F.ShrinkSteps != 0) {
+    Failure << "shrink steps: " << F.ShrinkSteps << "\n"
+            << "minimized message: " << F.MinimizedMessage << "\n";
+    if (!F.MinimizedCounterexample.empty())
+      Failure << "minimized counterexample: " << F.MinimizedCounterexample
+              << "\n";
+  }
+  WriteFile("failure.txt", Failure.str());
+  WriteFile("command.txt", reproCommand(F, Config.Run));
+
+  // Regenerate the (minimized, if available) instance to dump it together
+  // with DOT renderings of every symbolic object.
+  const InstanceOptions &Opts =
+      F.ShrinkSteps != 0 ? F.MinimizedOptions : F.Options;
+  Session S;
+  FuzzInstance I = makeInstance(S, F.Seed, Opts);
+  WriteFile("instance.txt", describeInstance(I));
+  WriteFile("lang-a.dot", languageToDot(I.LangA, "lang_a"));
+  WriteFile("lang-b.dot", languageToDot(I.LangB, "lang_b"));
+  WriteFile("det1.dot", sttrToDot(*I.Det1, "det1"));
+  WriteFile("det2.dot", sttrToDot(*I.Det2, "det2"));
+  WriteFile("nondet.dot", sttrToDot(*I.Nondet, "nondet"));
+  WriteFile("dup.dot", sttrToDot(*I.Dup, "dup"));
+  return Dir.string();
+}
+
+} // namespace
+
+FuzzReport fast::testing::runFuzz(const FuzzConfig &Config,
+                                  std::ostream *Log) {
+  FuzzReport Report;
+
+  // Explicit selection pins the oracle to every round; the full registry
+  // honours each oracle's rotation stride.
+  std::vector<const Oracle *> Selected;
+  bool UseStride = Config.Oracles.empty();
+  if (UseStride) {
+    for (const Oracle &O : allOracles())
+      Selected.push_back(&O);
+  } else {
+    for (const std::string &Name : Config.Oracles) {
+      if (const Oracle *O = findOracle(Name))
+        Selected.push_back(O);
+      else if (Log)
+        *Log << "fastfuzz: unknown oracle '" << Name << "' (skipped)\n";
+    }
+  }
+
+  for (unsigned Round = 0; Round < Config.Rounds; ++Round) {
+    unsigned Seed = Config.Seed + Round;
+    InstanceOptions Opts = roundOptions(Config.Seed, Round);
+    Session S;
+    FuzzInstance I = makeInstance(S, Seed, Opts);
+    bool RoundFailed = false;
+
+    for (const Oracle *O : Selected) {
+      if (UseStride && O->Stride > 1 && Round % O->Stride != 0)
+        continue;
+      OracleRun Run = runOracle(*O, S, I, Config.Run);
+      ++Report.ChecksRun;
+      if (Run.Skipped) {
+        ++Report.ChecksSkipped;
+        if (Log)
+          *Log << "fastfuzz: skip round " << Round << " oracle " << O->Name
+               << " (" << Run.SkipReason << ")\n";
+        continue;
+      }
+      const OracleResult &R = Run.Result;
+      if (!R)
+        continue;
+      RoundFailed = true;
+
+      FuzzFailure F;
+      F.OracleName = O->Name;
+      F.Seed = Seed;
+      F.Options = Opts;
+      F.Message = R->Message;
+      if (R->Counterexample)
+        F.Counterexample = R->Counterexample->str();
+      if (Log)
+        *Log << "fastfuzz: FAIL round " << Round << " seed " << Seed
+             << " oracle " << O->Name << ": " << F.Message << "\n";
+
+      if (Config.Shrink) {
+        ShrinkResult Min = shrinkFailure(*O, Seed, Opts, Config.Run);
+        F.MinimizedOptions = Min.Options;
+        F.MinimizedMessage = Min.Message;
+        F.MinimizedCounterexample = Min.Counterexample;
+        F.MinimizedDescription = Min.Description;
+        F.ShrinkSteps = Min.StepsTaken;
+        if (Log && Min.StepsTaken != 0)
+          *Log << "fastfuzz: shrunk in " << Min.StepsTaken
+               << " steps to states=" << Min.Options.NumStates
+               << " depth=" << Min.Options.TreeDepth
+               << " samples=" << Min.Options.NumSamples
+               << (Min.Counterexample.empty()
+                       ? std::string()
+                       : " counterexample=" + Min.Counterexample)
+               << "\n";
+      }
+      if (!Config.ReproDir.empty())
+        F.ReproPath = dumpRepro(F, Config, Log);
+      if (Log && !F.ReproPath.empty())
+        *Log << "fastfuzz: repro written to " << F.ReproPath << "\n";
+      Report.Failures.push_back(std::move(F));
+    }
+
+    ++Report.RoundsRun;
+    if (Log && (Round + 1) % 50 == 0)
+      *Log << "fastfuzz: " << (Round + 1) << "/" << Config.Rounds
+           << " rounds, " << Report.ChecksRun << " checks, "
+           << Report.Failures.size() << " failures\n";
+    if (RoundFailed && Config.StopOnFailure)
+      break;
+  }
+  return Report;
+}

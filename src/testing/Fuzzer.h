@@ -1,0 +1,82 @@
+//===- testing/Fuzzer.h - Seeded differential fuzzing loop ------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The round loop of the fastfuzz driver: N seeded rounds, each building a
+/// FuzzInstance in a fresh Session (instances are session-local, so every
+/// round starts clean), running the registered oracles, and — on failure —
+/// shrinking greedily and dumping a self-contained repro directory
+/// (instance dump, DOT renderings, the exact command line that replays the
+/// round).  Everything is derived from the base seed, so a report is
+/// reproducible from its numbers alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TESTING_FUZZER_H
+#define FAST_TESTING_FUZZER_H
+
+#include "testing/Shrink.h"
+
+#include <iosfwd>
+
+namespace fast::testing {
+
+/// Configuration of one fuzzing run.
+struct FuzzConfig {
+  /// Number of seeded rounds.
+  unsigned Rounds = 200;
+  /// Base seed; round R uses instance seed Seed + R.
+  unsigned Seed = 1;
+  /// Oracle names to run; empty means all registered oracles.
+  std::vector<std::string> Oracles;
+  /// Knobs forwarded to every oracle (output bound, truncation handling).
+  OracleOptions Run;
+  /// Shrink failures before reporting.
+  bool Shrink = true;
+  /// Directory for repro dumps; empty disables dumping.
+  std::string ReproDir;
+  /// Stop after the first failing round.
+  bool StopOnFailure = false;
+};
+
+/// One recorded failure.  Strings only — the sessions that produced the
+/// objects are gone by the time a report is read.
+struct FuzzFailure {
+  std::string OracleName;
+  unsigned Seed = 0;
+  InstanceOptions Options;
+  std::string Message;
+  std::string Counterexample;
+  /// Present when shrinking ran.
+  InstanceOptions MinimizedOptions;
+  std::string MinimizedMessage;
+  std::string MinimizedCounterexample;
+  std::string MinimizedDescription;
+  unsigned ShrinkSteps = 0;
+  /// Repro directory for this failure, when dumping was enabled.
+  std::string ReproPath;
+};
+
+/// Outcome of a fuzzing run.
+struct FuzzReport {
+  unsigned RoundsRun = 0;
+  unsigned ChecksRun = 0;
+  /// Checks abandoned because an instance blew the exploration budget
+  /// (OracleOptions::MaxExplorationStates); counted within ChecksRun.
+  unsigned ChecksSkipped = 0;
+  std::vector<FuzzFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Runs the loop.  Progress and failures are narrated to \p Log when
+/// non-null.  Never throws on oracle failures (they land in the report);
+/// repro-dump I/O errors are reported in-line on Log and skipped.
+FuzzReport runFuzz(const FuzzConfig &Config, std::ostream *Log = nullptr);
+
+} // namespace fast::testing
+
+#endif // FAST_TESTING_FUZZER_H

@@ -1,0 +1,96 @@
+//===- testing/Instance.cpp - Seeded differential-test instances ----------===//
+
+#include "testing/Instance.h"
+
+#include "transducers/Sttr.h"
+
+#include <sstream>
+
+using namespace fast;
+using namespace fast::testing;
+
+const std::vector<SignatureRef> &fast::testing::signaturePool() {
+  static const std::vector<SignatureRef> Pool = {
+      // BT of Example 2: binary trees over one Int attribute.
+      TreeSignature::create("BT", {{"i", Sort::Int}}, {{"L", 0}, {"N", 2}}),
+      // IList of Figure 8: unary lists over one Int attribute.
+      TreeSignature::create("IList", {{"i", Sort::Int}},
+                            {{"nil", 0}, {"cons", 1}}),
+      // A mixed String+Int alphabet with a binary constructor, the HtmlE
+      // flavour kept at rank 2 so determinization stays affordable.
+      TreeSignature::create("Mix", {{"tag", Sort::String}, {"n", Sort::Int}},
+                            {{"nil", 0}, {"one", 1}, {"two", 2}}),
+  };
+  return Pool;
+}
+
+FuzzInstance fast::testing::makeInstance(Session &S, unsigned Seed,
+                                         const InstanceOptions &Options) {
+  FuzzInstance I;
+  I.Seed = Seed;
+  I.Options = Options;
+  const std::vector<SignatureRef> &Pool = signaturePool();
+  I.Sig = Pool[Options.SignatureIndex % Pool.size()];
+
+  RandomAutomatonOptions AutoOptions;
+  AutoOptions.NumStates = std::max(1u, Options.NumStates);
+  AutoOptions.MaxRulesPerCtor = std::max(1u, Options.MaxRulesPerCtor);
+  AutoOptions.ConstraintProbability = Options.ConstraintProbability;
+
+  // Sub-seeds are spread with a fixed stride so the five objects are
+  // independent but jointly regenerable from one instance seed.
+  I.LangA = randomLanguage(S.Terms, I.Sig, Seed * 11 + 1, AutoOptions);
+  I.LangB = randomLanguage(S.Terms, I.Sig, Seed * 11 + 2, AutoOptions);
+  I.Det1 =
+      randomDetLinearSttr(S.Terms, S.Outputs, I.Sig, Seed * 11 + 3, AutoOptions);
+  I.Det2 =
+      randomDetLinearSttr(S.Terms, S.Outputs, I.Sig, Seed * 11 + 4, AutoOptions);
+  I.Nondet =
+      randomNondetSttr(S.Terms, S.Outputs, I.Sig, Seed * 11 + 5, AutoOptions);
+  I.Dup =
+      randomNonlinearSttr(S.Terms, S.Outputs, I.Sig, Seed * 11 + 7, AutoOptions);
+
+  RandomTreeOptions TreeOptions;
+  TreeOptions.MaxDepth = std::max(1u, Options.TreeDepth);
+  RandomTreeGen Gen(S.Trees, I.Sig, Seed * 11 + 6, TreeOptions);
+  I.Samples.reserve(Options.NumSamples);
+  for (unsigned N = 0; N < Options.NumSamples; ++N)
+    I.Samples.push_back(Gen.generate());
+  return I;
+}
+
+std::string fast::testing::describeInstance(const FuzzInstance &I) {
+  std::ostringstream Out;
+  Out << "seed: " << I.Seed << "\n"
+      << "signature: " << I.Sig->typeName() << " (pool index "
+      << I.Options.SignatureIndex << ")\n"
+      << "options: states=" << I.Options.NumStates
+      << " rules-per-ctor=" << I.Options.MaxRulesPerCtor
+      << " constraint-p=" << I.Options.ConstraintProbability
+      << " tree-depth=" << I.Options.TreeDepth
+      << " samples=" << I.Options.NumSamples << "\n";
+
+  auto DumpLang = [&](const char *Name, const TreeLanguage &L) {
+    Out << "--- language " << Name << " (roots:";
+    for (unsigned Root : L.roots())
+      Out << ' ' << Root;
+    Out << ") ---\n" << L.automaton().str();
+  };
+  DumpLang("A", I.LangA);
+  DumpLang("B", I.LangB);
+
+  auto DumpSttr = [&](const char *Name, const Sttr &T) {
+    Out << "--- transducer " << Name << " ---\n" << T.str();
+    if (T.lookahead().numStates() != 0)
+      Out << "lookahead " << T.lookahead().str();
+  };
+  DumpSttr("Det1", *I.Det1);
+  DumpSttr("Det2", *I.Det2);
+  DumpSttr("Nondet", *I.Nondet);
+  DumpSttr("Dup", *I.Dup);
+
+  Out << "--- samples (" << I.Samples.size() << ") ---\n";
+  for (TreeRef T : I.Samples)
+    Out << T->str() << "\n";
+  return Out.str();
+}

@@ -1,0 +1,90 @@
+//===- testing/Instance.h - Seeded differential-test instances --*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One fuzz instance: a signature, random languages, random transducers,
+/// and a sample set of concrete trees, all derived deterministically from
+/// (seed, options) on top of RandomTrees/RandomAutomata.  Instances are
+/// regenerable — the shrinker re-derives them with smaller options and the
+/// repro dump records everything needed to rebuild one by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TESTING_INSTANCE_H
+#define FAST_TESTING_INSTANCE_H
+
+#include "transducers/RandomAutomata.h"
+#include "transducers/Session.h"
+#include "trees/RandomTrees.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fast::testing {
+
+/// Shape of one generated instance.  Every field participates in
+/// shrinking, so keep them individually reducible.
+struct InstanceOptions {
+  /// Which signature from the built-in pool (see signaturePool()).
+  unsigned SignatureIndex = 0;
+  /// States per random language / transducer.
+  unsigned NumStates = 3;
+  /// Max rules per (state, constructor) in random languages.
+  unsigned MaxRulesPerCtor = 2;
+  /// Probability of a lookahead constraint in random languages.
+  double ConstraintProbability = 0.5;
+  /// Depth bound for sampled concrete trees.
+  unsigned TreeDepth = 5;
+  /// Number of sampled concrete trees.
+  unsigned NumSamples = 40;
+};
+
+/// The signatures instances are drawn over.  Index 0 is the paper's BT
+/// (one Int attribute, ranks 0/2); the others exercise unary lists and a
+/// mixed String+Int alphabet.
+const std::vector<SignatureRef> &signaturePool();
+
+/// One regenerable instance.  All symbolic objects live in the Session the
+/// instance was built against.
+struct FuzzInstance {
+  unsigned Seed = 0;
+  InstanceOptions Options;
+  SignatureRef Sig;
+
+  /// Random alternating-STA languages.
+  TreeLanguage LangA;
+  TreeLanguage LangB;
+  /// Deterministic, linear, total transducers (both Theorem 4
+  /// preconditions hold for their compositions).
+  std::shared_ptr<Sttr> Det1;
+  std::shared_ptr<Sttr> Det2;
+  /// A nondeterministic transducer (overlapping guards, may delete
+  /// subtrees).
+  std::shared_ptr<Sttr> Nondet;
+  /// A subtree-duplicating transducer: nonlinear whenever the signature
+  /// can express duplication (check isLinear()).  Compositions with it as
+  /// the second operand exercise Theorem 4's inexact regime.
+  std::shared_ptr<Sttr> Dup;
+  /// Sampled concrete trees the oracles evaluate laws on.  The shrinker
+  /// replaces this set wholesale when minimizing a counterexample.
+  std::vector<TreeRef> Samples;
+};
+
+/// Builds the instance derived from (Seed, Options) inside \p S.  The same
+/// arguments always rebuild the same instance (modulo tree interning
+/// identity, which is session-local).
+FuzzInstance makeInstance(Session &S, unsigned Seed,
+                          const InstanceOptions &Options);
+
+/// Self-contained textual dump: seed, options, automata and transducer
+/// rule listings, and the sample trees — enough to reconstruct the
+/// instance without re-running the generator.
+std::string describeInstance(const FuzzInstance &Instance);
+
+} // namespace fast::testing
+
+#endif // FAST_TESTING_INSTANCE_H

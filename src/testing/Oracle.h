@@ -1,0 +1,116 @@
+//===- testing/Oracle.h - Differential & metamorphic oracles ----*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The law registry of the differential testing subsystem.  Each oracle
+/// checks one algebraic identity of the symbolic constructions (product,
+/// complement, determinize, minimize, compose, pre-image, domain,
+/// type-check) on a random FuzzInstance, cross-validating the symbolic
+/// result against direct concrete evaluation (SttrRunner / STA membership)
+/// on the instance's sampled trees — the forward/backward-application laws
+/// of Fülöp & Vogler and the Frisch–Hosoya typechecking setup, mechanized.
+///
+/// Oracles are truncation-aware: a transduction whose output set was
+/// capped (SttrRunResult::Truncated) is a lower bound, so equality and
+/// inclusion checks are weakened accordingly.  OracleOptions::
+/// IgnoreTruncation deliberately re-introduces the historical bug of
+/// comparing capped sets as if complete; the harness's own tests use it to
+/// prove the oracles catch that class of silent wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TESTING_ORACLE_H
+#define FAST_TESTING_ORACLE_H
+
+#include "testing/Instance.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace fast::testing {
+
+/// Knobs applied to every oracle run.
+struct OracleOptions {
+  /// Per-(state, node) output bound handed to SttrRunner.  The default is
+  /// ample for the generated instance sizes; composing the duplicating
+  /// transducer can exceed any bound, and samples whose output sets do are
+  /// skipped by the truncation-aware laws rather than enumerated.  Harness
+  /// self-tests shrink this further to force truncation.
+  size_t MaxOutputs = 1024;
+  /// Re-introduces the pre-fix behaviour of treating truncated output
+  /// sets as complete.  Only for testing the harness itself: with a small
+  /// MaxOutputs this makes the composition oracles report failures that
+  /// the truncation flag would otherwise (correctly) suppress.
+  bool IgnoreTruncation = false;
+  /// Exploration-engine state budget applied while an oracle runs (0 =
+  /// unlimited).  Random instances occasionally make the determinization-
+  /// based decision procedures blow up exponentially; exceeding the budget
+  /// abandons the law on that instance (a skip, not a failure) instead of
+  /// hanging the loop.  Deterministic, unlike a wall-clock bound, so
+  /// skips reproduce exactly under the same seed.  The default is ~3x what
+  /// the generated instances normally need; it is deliberately tight
+  /// because expansion cost grows quadratically with discovered states, so
+  /// even a few hundred states of a pathological determinization cost
+  /// tens of seconds.
+  size_t MaxExplorationStates = 100;
+};
+
+/// One oracle violation.
+struct OracleFailure {
+  /// What law broke and how, with enough values interpolated to read the
+  /// failure without re-running.
+  std::string Message;
+  /// The concrete input tree exhibiting the violation, when the law is
+  /// sample-based (nullptr for purely symbolic laws).
+  TreeRef Counterexample = nullptr;
+};
+
+/// nullopt == the law held on this instance.
+using OracleResult = std::optional<OracleFailure>;
+
+/// One registered law.
+struct Oracle {
+  std::string Name;
+  /// The identity being checked, human-readable.
+  std::string Law;
+  /// When the fuzzer runs the whole registry, this oracle only runs on
+  /// every Stride-th round — heavyweight decision-procedure laws rotate so
+  /// the loop's throughput stays dominated by the cheap concrete laws.
+  /// Explicitly selected oracles run every round regardless.
+  unsigned Stride = 1;
+  std::function<OracleResult(Session &, const FuzzInstance &,
+                             const OracleOptions &)>
+      Check;
+};
+
+/// Outcome of one budgeted oracle evaluation.
+struct OracleRun {
+  /// The oracle's verdict; meaningless when Skipped.
+  OracleResult Result;
+  /// True when an exploration budget was exhausted before the law could be
+  /// decided on this instance.
+  bool Skipped = false;
+  /// The construction that exhausted the budget, for the log.
+  std::string SkipReason;
+};
+
+/// Evaluates \p O on \p I under \p Options.MaxExplorationStates, mapping
+/// budget exhaustion to a skip.  The session's engine limits are restored
+/// afterwards.  This is the entry point the fuzzer and shrinker use;
+/// calling O.Check directly runs unbudgeted.
+OracleRun runOracle(const Oracle &O, Session &S, const FuzzInstance &I,
+                    const OracleOptions &Options);
+
+/// All registered oracles, in a fixed order.
+const std::vector<Oracle> &allOracles();
+
+/// Looks an oracle up by name; nullptr if unknown.
+const Oracle *findOracle(const std::string &Name);
+
+} // namespace fast::testing
+
+#endif // FAST_TESTING_ORACLE_H

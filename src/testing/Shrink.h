@@ -1,0 +1,54 @@
+//===- testing/Shrink.h - Greedy failure minimization -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy shrinking of a failing (oracle, seed, options) triple.  Two
+/// phases: first the instance options are reduced dimension by dimension
+/// (fewer states, fewer rules, shallower and fewer sample trees),
+/// regenerating the instance from the *same* seed and keeping a reduction
+/// only while the oracle still fails; then, if the surviving failure names
+/// a concrete counterexample tree, that tree is minimized structurally
+/// (descend into children, default the attributes) with the sample set
+/// replaced by the single candidate.  The result carries only strings and
+/// plain options, so it outlives the sessions the search ran in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TESTING_SHRINK_H
+#define FAST_TESTING_SHRINK_H
+
+#include "testing/Oracle.h"
+
+namespace fast::testing {
+
+/// Outcome of a shrink search.  Always describes a still-failing
+/// configuration (shrinking starts from a known failure and only accepts
+/// reductions that preserve it).
+struct ShrinkResult {
+  /// The minimized instance options (same seed as the original failure).
+  InstanceOptions Options;
+  /// The oracle's message at the minimum.
+  std::string Message;
+  /// str() of the minimized counterexample tree; empty when the law is
+  /// purely symbolic.  Parseable back with parseTree().
+  std::string Counterexample;
+  /// describeInstance() of the minimized instance.
+  std::string Description;
+  /// Number of successful reduction steps taken.
+  unsigned StepsTaken = 0;
+};
+
+/// Minimizes the failure of \p O on the instance derived from
+/// (\p Seed, \p Options) under \p Run.  Precondition: that configuration
+/// actually fails; if it does not (flaky failure), the original options
+/// are returned with an explanatory message.
+ShrinkResult shrinkFailure(const Oracle &O, unsigned Seed,
+                           const InstanceOptions &Options,
+                           const OracleOptions &Run);
+
+} // namespace fast::testing
+
+#endif // FAST_TESTING_SHRINK_H

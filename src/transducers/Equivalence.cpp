@@ -23,8 +23,15 @@ EquivalenceResult fast::checkEquivalence(Session &S, const Sttr &T1,
          "equivalence check over incompatible signatures");
   EquivalenceResult Result;
 
+  // A difference is only trusted when both output sets are complete: a
+  // truncated set is a lower bound, so set inequality proves nothing.
+  // Emptiness is still decisive (truncation caps a set, never empties it).
   auto Differs = [&](TreeRef Input) {
-    return runSttr(T1, S.Trees, Input) != runSttr(T2, S.Trees, Input);
+    SttrRunResult R1 = runSttrChecked(T1, S.Trees, Input);
+    SttrRunResult R2 = runSttrChecked(T2, S.Trees, Input);
+    if (R1.Truncated || R2.Truncated)
+      return R1.Outputs.empty() != R2.Outputs.empty();
+    return R1.Outputs != R2.Outputs;
   };
 
   // Phase 1 (decidable): compare domains.  A tree in one domain but not

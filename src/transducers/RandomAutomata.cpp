@@ -244,3 +244,58 @@ std::shared_ptr<Sttr> fast::randomNondetSttr(TermFactory &F,
   }
   return T;
 }
+
+std::shared_ptr<Sttr> fast::randomNonlinearSttr(TermFactory &F,
+                                                OutputFactory &Outputs,
+                                                SignatureRef Sig,
+                                                unsigned Seed,
+                                                RandomAutomatonOptions Options) {
+  std::shared_ptr<Sttr> T =
+      randomNondetSttr(F, Outputs, Sig, Seed + 1, Options);
+
+  // Duplication needs an output constructor with at least two children.
+  std::optional<unsigned> WideCtor;
+  for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId)
+    if (Sig->rank(CtorId) >= 2) {
+      WideCtor = CtorId;
+      break;
+    }
+  if (!WideCtor)
+    return T;
+
+  std::mt19937 Rng(Seed);
+  auto RandomState = [&]() {
+    return std::uniform_int_distribution<unsigned>(0, T->numStates() - 1)(Rng);
+  };
+  // Output F[e](q_a(y_0), q_b(y_0), ...): y_0 used twice — nonlinear.
+  auto AddDuplicatingRule = [&](unsigned Q, unsigned CtorId) {
+    std::vector<TermRef> LabelExprs;
+    for (unsigned I = 0; I < Sig->numAttrs(); ++I)
+      LabelExprs.push_back(randomLabelExpr(F, Sig, I, Rng, Options));
+    std::vector<OutputRef> Children;
+    Children.push_back(Outputs.mkState(RandomState(), 0));
+    Children.push_back(Outputs.mkState(RandomState(), 0));
+    for (unsigned I = 2; I < Sig->rank(*WideCtor); ++I)
+      Children.push_back(
+          Outputs.mkState(RandomState(), std::min(I, Sig->rank(CtorId) - 1)));
+    T->addRule(Q, CtorId, F.trueTerm(),
+               std::vector<StateSet>(Sig->rank(CtorId)),
+               Outputs.mkCons(*WideCtor, std::move(LabelExprs),
+                              std::move(Children)));
+  };
+
+  bool Added = false;
+  for (unsigned Q = 0; Q < T->numStates(); ++Q) {
+    for (unsigned CtorId = 0; CtorId < Sig->numConstructors(); ++CtorId) {
+      if (Sig->rank(CtorId) == 0 ||
+          std::uniform_int_distribution<int>(0, 1)(Rng))
+        continue;
+      AddDuplicatingRule(Q, CtorId);
+      Added = true;
+    }
+  }
+  if (!Added)
+    AddDuplicatingRule(T->startState(), *WideCtor);
+  assert(!T->isLinear() && "duplicating construction must be nonlinear");
+  return T;
+}

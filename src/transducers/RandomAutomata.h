@@ -66,6 +66,18 @@ std::shared_ptr<Sttr> randomNondetSttr(TermFactory &F, OutputFactory &Outputs,
                                        SignatureRef Sig, unsigned Seed,
                                        RandomAutomatonOptions Options = {});
 
+/// Generates a random *nonlinear* STTR: on top of the nondeterministic
+/// construction, extra rules duplicate an input subtree (apply two states
+/// to the same y_i under a rank-≥2 output constructor), so neither
+/// Theorem 4 precondition holds for compositions with it as the second
+/// operand.  Falls back to the nondeterministic construction when the
+/// signature has no rank-≥2 constructor (duplication is inexpressible);
+/// callers must therefore consult isLinear() rather than assume.
+std::shared_ptr<Sttr> randomNonlinearSttr(TermFactory &F,
+                                          OutputFactory &Outputs,
+                                          SignatureRef Sig, unsigned Seed,
+                                          RandomAutomatonOptions Options = {});
+
 } // namespace fast
 
 #endif // FAST_TRANSDUCERS_RANDOMAUTOMATA_H

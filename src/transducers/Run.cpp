@@ -18,14 +18,21 @@ void dedupOutputs(std::vector<TreeRef> &Outputs) {
 
 } // namespace
 
-std::vector<TreeRef> SttrRunner::runFrom(unsigned State, TreeRef Input) {
+SttrRunResult SttrRunner::runFromChecked(unsigned State, TreeRef Input) {
+  const Entry &E = computeFrom(State, Input);
+  return {E.Outputs, E.Truncated};
+}
+
+const SttrRunner::Entry &SttrRunner::computeFrom(unsigned State,
+                                                 TreeRef Input) {
   auto Key = std::make_pair(State, Input);
   auto It = Memo.find(Key);
   if (It != Memo.end())
     return It->second;
-  // Reserve the memo slot first: trees are acyclic so recursion cannot
-  // revisit (State, Input), but rule iteration below re-enters runFrom.
-  std::vector<TreeRef> Outputs;
+  // Trees are acyclic so recursion cannot revisit (State, Input), but rule
+  // iteration below re-enters computeFrom; the memo slot is only filled
+  // once the entry is complete.
+  Entry Result;
   for (unsigned Index : T.rulesFrom(State, Input->ctorId())) {
     const SttrRule &R = T.rule(Index);
     if (!evalPredicate(R.Guard, Input->attrs()))
@@ -35,22 +42,26 @@ std::vector<TreeRef> SttrRunner::runFrom(unsigned State, TreeRef Input) {
       LookaheadOk = Lookahead.acceptsAll(R.Lookahead[I], Input->child(I));
     if (!LookaheadOk)
       continue;
-    std::vector<TreeRef> RuleOutputs = instantiate(R.Out, Input);
-    Outputs.insert(Outputs.end(), RuleOutputs.begin(), RuleOutputs.end());
-    if (Outputs.size() > MaxOutputs) {
-      Truncated = true;
-      Outputs.resize(MaxOutputs);
+    Entry RuleOutputs = instantiate(R.Out, Input);
+    Result.Truncated |= RuleOutputs.Truncated;
+    Result.Outputs.insert(Result.Outputs.end(), RuleOutputs.Outputs.begin(),
+                          RuleOutputs.Outputs.end());
+    if (Result.Outputs.size() > MaxOutputs) {
+      Result.Truncated = true;
+      Result.Outputs.resize(MaxOutputs);
       break;
     }
   }
-  dedupOutputs(Outputs);
-  Memo.emplace(Key, Outputs);
-  return Outputs;
+  dedupOutputs(Result.Outputs);
+  Truncated |= Result.Truncated;
+  return Memo.emplace(Key, std::move(Result)).first->second;
 }
 
-std::vector<TreeRef> SttrRunner::instantiate(OutputRef Out, TreeRef Input) {
-  if (Out->isState())
-    return runFrom(Out->state(), Input->child(Out->childIndex()));
+SttrRunner::Entry SttrRunner::instantiate(OutputRef Out, TreeRef Input) {
+  if (Out->isState()) {
+    const Entry &E = computeFrom(Out->state(), Input->child(Out->childIndex()));
+    return E;
+  }
 
   // Constructor: evaluate the label expressions once, then take the
   // cartesian product of the children's output sets.
@@ -60,25 +71,29 @@ std::vector<TreeRef> SttrRunner::instantiate(OutputRef Out, TreeRef Input) {
   for (TermRef Expr : Out->labelExprs())
     Attrs.push_back(evalTerm(Expr, Input->attrs()));
 
+  Entry Result;
   std::vector<std::vector<TreeRef>> ChildSets;
   ChildSets.reserve(Out->children().size());
   for (OutputRef Child : Out->children()) {
-    ChildSets.push_back(instantiate(Child, Input));
-    if (ChildSets.back().empty())
-      return {}; // One child failed; the whole constructor produces nothing.
+    Entry ChildResult = instantiate(Child, Input);
+    Result.Truncated |= ChildResult.Truncated;
+    if (ChildResult.Outputs.empty())
+      return {{}, Result.Truncated}; // One child failed; the whole
+                                     // constructor produces nothing.
+    ChildSets.push_back(std::move(ChildResult.Outputs));
   }
 
-  std::vector<TreeRef> Results;
   std::vector<size_t> Pick(ChildSets.size(), 0);
   while (true) {
     std::vector<TreeRef> Children;
     Children.reserve(ChildSets.size());
     for (size_t I = 0; I < ChildSets.size(); ++I)
       Children.push_back(ChildSets[I][Pick[I]]);
-    Results.push_back(
+    Result.Outputs.push_back(
         Trees.make(Sig, Out->ctorId(), Attrs, std::move(Children)));
-    if (Results.size() > MaxOutputs) {
-      Truncated = true;
+    if (Result.Outputs.size() > MaxOutputs) {
+      Result.Truncated = true;
+      Result.Outputs.resize(MaxOutputs);
       break;
     }
     // Advance the odometer.
@@ -91,11 +106,17 @@ std::vector<TreeRef> SttrRunner::instantiate(OutputRef Out, TreeRef Input) {
     if (I == ChildSets.size())
       break;
   }
-  return Results;
+  return Result;
 }
 
 std::vector<TreeRef> fast::runSttr(const Sttr &T, TreeFactory &Trees,
                                    TreeRef Input) {
   SttrRunner Runner(T, Trees);
   return Runner.run(Input);
+}
+
+SttrRunResult fast::runSttrChecked(const Sttr &T, TreeFactory &Trees,
+                                   TreeRef Input) {
+  SttrRunner Runner(T, Trees);
+  return Runner.runChecked(Input);
 }

@@ -12,6 +12,14 @@
 /// Nondeterministic transducers may produce several outputs per input;
 /// the runner returns them all (deduplicated, in a deterministic order).
 ///
+/// The runner bounds the number of outputs tracked per (state, node).
+/// When a bound trips, the affected output set is *incomplete* and every
+/// result derived from it inherits that incompleteness, so truncation is
+/// tracked per memo entry, propagated to every dependent entry, and
+/// surfaced through runChecked() / truncated().  Callers that compare or
+/// act on output sets must consult the flag — a truncated set is a lower
+/// bound on the transduction, not the transduction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FAST_TRANSDUCERS_RUN_H
@@ -21,6 +29,14 @@
 
 namespace fast {
 
+/// Output set of one transduction run plus its completeness signal.
+struct SttrRunResult {
+  std::vector<TreeRef> Outputs;
+  /// True if Outputs is potentially incomplete because the per-(state,
+  /// node) output bound tripped somewhere in the run.
+  bool Truncated = false;
+};
+
 /// Runs one STTR over concrete trees, memoizing per (state, node).
 class SttrRunner {
 public:
@@ -28,22 +44,44 @@ public:
       : T(T), Trees(Trees), Lookahead(T.lookahead()) {}
 
   /// All outputs of the transduction at the start state (empty if the
-  /// input is outside the domain).
+  /// input is outside the domain).  Unchecked convenience; prefer
+  /// runChecked() whenever the result is compared or enumerated.
   std::vector<TreeRef> run(TreeRef Input) {
-    return runFrom(T.startState(), Input);
+    return runChecked(Input).Outputs;
+  }
+
+  /// run() plus the completeness flag for this input.
+  SttrRunResult runChecked(TreeRef Input) {
+    return runFromChecked(T.startState(), Input);
   }
 
   /// All outputs of T_q (Definition 7).
-  std::vector<TreeRef> runFrom(unsigned State, TreeRef Input);
+  std::vector<TreeRef> runFrom(unsigned State, TreeRef Input) {
+    return runFromChecked(State, Input).Outputs;
+  }
+
+  /// runFrom() plus the completeness flag for this (state, input).
+  SttrRunResult runFromChecked(unsigned State, TreeRef Input);
 
   /// Bounds the number of outputs tracked per (state, node); exceeding it
-  /// sets truncated().  The default is ample for every analysis in the
-  /// paper (transducers there are single-valued or nearly so).
-  void setMaxOutputs(size_t Max) { MaxOutputs = Max; }
+  /// marks the affected results as truncated.  The default is ample for
+  /// every analysis in the paper (transducers there are single-valued or
+  /// nearly so).  Clamped to at least 1 so truncation can cap an output
+  /// set but never empty it (emptiness always means "outside the domain").
+  void setMaxOutputs(size_t Max) { MaxOutputs = Max == 0 ? 1 : Max; }
+
+  /// True if any output set computed by this runner so far was truncated.
+  /// Per-result attribution is available through runChecked().
   bool truncated() const { return Truncated; }
 
 private:
-  std::vector<TreeRef> instantiate(OutputRef Out, TreeRef Input);
+  struct Entry {
+    std::vector<TreeRef> Outputs;
+    bool Truncated = false;
+  };
+
+  const Entry &computeFrom(unsigned State, TreeRef Input);
+  Entry instantiate(OutputRef Out, TreeRef Input);
 
   struct KeyHash {
     std::size_t operator()(const std::pair<unsigned, TreeRef> &K) const {
@@ -56,14 +94,16 @@ private:
   const Sttr &T;
   TreeFactory &Trees;
   StaMembership Lookahead;
-  std::unordered_map<std::pair<unsigned, TreeRef>, std::vector<TreeRef>, KeyHash>
-      Memo;
+  std::unordered_map<std::pair<unsigned, TreeRef>, Entry, KeyHash> Memo;
   size_t MaxOutputs = 1u << 16;
   bool Truncated = false;
 };
 
 /// Convenience wrapper: runs \p T on \p Input once.
 std::vector<TreeRef> runSttr(const Sttr &T, TreeFactory &Trees, TreeRef Input);
+
+/// Like runSttr, but reports whether the output set was truncated.
+SttrRunResult runSttrChecked(const Sttr &T, TreeFactory &Trees, TreeRef Input);
 
 } // namespace fast
 

@@ -115,6 +115,26 @@ TEST(RobustnessTest, UnterminatedConstructs) {
   }
 }
 
+TEST(RobustnessTest, OutOfRangeIntegerLiteralIsDiagnosed) {
+  // 2^63 does not fit int64_t; strtoll saturates to INT64_MAX, which once
+  // compiled into a silently wrong guard constant.  It must be a
+  // diagnostic, not a different number.
+  FastProgramResult R = runQuietly(
+      "type T[i : Int] { c(0) }\n"
+      "lang a : T { c() where (i > 9223372036854775808) }\n"
+      "assert-false (is-empty a)\n");
+  EXPECT_GT(R.ErrorCount, 0u);
+  EXPECT_NE(R.DiagText.find("does not fit in 64 bits"), std::string::npos)
+      << R.DiagText;
+
+  // The largest representable literal still compiles.
+  FastProgramResult Ok = runQuietly(
+      "type T[i : Int] { c(0) }\n"
+      "lang a : T { c() where (i < 9223372036854775807) }\n"
+      "assert-false (is-empty a)\n");
+  EXPECT_EQ(Ok.ErrorCount, 0u) << Ok.DiagText;
+}
+
 TEST(RobustnessTest, HugeLiteralsAreHandled) {
   FastProgramResult R = runQuietly(
       "type T[i : Int] { c(0) }\n"

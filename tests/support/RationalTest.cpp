@@ -1,0 +1,83 @@
+//===- tests/support/RationalTest.cpp - Exact arithmetic bounds -----------===//
+//
+// Rational arithmetic must throw ArithmeticError — in every build type,
+// NDEBUG included — whenever a normalized result leaves 64 bits or the
+// operation is undefined.  A silently wrapped rational corrupts guard
+// evaluation and witness models with no signal, which is exactly the class
+// of bug the differential harness exists to catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace fast;
+
+namespace {
+
+constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+
+TEST(RationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), ArithmeticError);
+  EXPECT_THROW(Rational(0, 0), ArithmeticError);
+}
+
+TEST(RationalTest, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), ArithmeticError);
+}
+
+TEST(RationalTest, ConstructorOverflowThrows) {
+  // INT64_MIN / -1 normalizes the sign into the numerator, which needs
+  // +2^63 — one past INT64_MAX.
+  EXPECT_THROW(Rational(Min, -1), ArithmeticError);
+}
+
+TEST(RationalTest, NegationOfMinThrows) {
+  EXPECT_THROW(-Rational(Min), ArithmeticError);
+}
+
+TEST(RationalTest, AdditionOverflowThrows) {
+  EXPECT_THROW(Rational(Max) + Rational(1), ArithmeticError);
+  EXPECT_THROW(Rational(Min) + Rational(-1), ArithmeticError);
+  // Cross-denominator: a/b + c/d overflows in the scaled numerator even
+  // though both operands are representable.
+  EXPECT_THROW(Rational(Max, 2) + Rational(Max, 3), ArithmeticError);
+}
+
+TEST(RationalTest, MultiplicationOverflowThrows) {
+  EXPECT_THROW(Rational(Max) * Rational(2), ArithmeticError);
+  EXPECT_THROW(Rational(1u << 20) * Rational(int64_t(1) << 44),
+               ArithmeticError);
+}
+
+TEST(RationalTest, NearLimitValuesStayExact) {
+  EXPECT_EQ((Rational(Max) + Rational(0)).numerator(), Max);
+  EXPECT_EQ((-Rational(Max)).numerator(), -Max);
+  EXPECT_EQ((Rational(Min) + Rational(1)).numerator(), Min + 1);
+  // Reduction keeps results representable even when the 128-bit
+  // intermediate is huge: (2/Max) * (Max/2) == 1.
+  EXPECT_EQ(Rational(2, Max) * Rational(Max, 2), Rational(1));
+}
+
+TEST(RationalTest, NormalizationReduces) {
+  Rational R(6, -4);
+  EXPECT_EQ(R.numerator(), -3);
+  EXPECT_EQ(R.denominator(), 2);
+  EXPECT_EQ(R.str(), "-3/2");
+}
+
+TEST(RationalTest, ParseRejectsOutOfRangeLiterals) {
+  Rational R;
+  // One past INT64_MAX.
+  EXPECT_FALSE(Rational::parse("9223372036854775808", R));
+  EXPECT_FALSE(Rational::parse("1/99999999999999999999", R));
+  EXPECT_TRUE(Rational::parse("9223372036854775807", R));
+  EXPECT_EQ(R.numerator(), Max);
+}
+
+} // namespace

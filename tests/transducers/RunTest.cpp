@@ -2,6 +2,8 @@
 
 #include "TestUtil.h"
 
+#include <algorithm>
+
 using namespace fast;
 using namespace fast::test;
 
@@ -158,6 +160,80 @@ TEST_F(RunTest, NonLinearDuplication) {
   std::vector<TreeRef> Out = runSttr(*G, S.Trees, In);
   ASSERT_EQ(Out.size(), 1u);
   EXPECT_EQ(Out.front(), btNode(S, Bt, 0, In, In));
+}
+
+/// A transducer with 2 output choices per list cell, so a k-cell list has
+/// 2^k outputs — the shape that trips the output bound.
+static std::shared_ptr<Sttr> makeDoubler(Session &S, const SignatureRef &Sig) {
+  auto T = std::make_shared<Sttr>(Sig);
+  unsigned Q = T->addState("q");
+  T->setStartState(Q);
+  unsigned Nil = *Sig->findConstructor("nil");
+  unsigned Cons = *Sig->findConstructor("cons");
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  T->addRule(Q, Nil, S.Terms.trueTerm(), {}, S.Outputs.mkCons(Nil, {I}, {}));
+  for (int64_t Delta : {0, 1})
+    T->addRule(Q, Cons, S.Terms.trueTerm(), {{}},
+               S.Outputs.mkCons(Cons, {S.Terms.mkAdd(I, S.Terms.intConst(Delta))},
+                                {S.Outputs.mkState(Q, 0)}));
+  return T;
+}
+
+TEST_F(RunTest, TruncationFlagRaisedAtBound) {
+  std::shared_ptr<Sttr> T = makeDoubler(S, IList);
+  TreeRef In = makeIList(S, IList, {1, 2, 3, 4, 5, 6});
+
+  // Unbounded (default bound is far above 2^6): exact, no truncation.
+  SttrRunResult Full = runSttrChecked(*T, S.Trees, In);
+  EXPECT_EQ(Full.Outputs.size(), 64u);
+  EXPECT_FALSE(Full.Truncated);
+
+  // Bounded below 2^6: capped set, flag raised, and everything returned
+  // is a genuine output (a sound lower bound).
+  SttrRunner Bounded(*T, S.Trees);
+  Bounded.setMaxOutputs(10);
+  SttrRunResult Capped = Bounded.runChecked(In);
+  EXPECT_TRUE(Capped.Truncated);
+  EXPECT_TRUE(Bounded.truncated());
+  EXPECT_LE(Capped.Outputs.size(), 10u);
+  EXPECT_FALSE(Capped.Outputs.empty());
+  for (TreeRef O : Capped.Outputs)
+    EXPECT_TRUE(std::find(Full.Outputs.begin(), Full.Outputs.end(), O) !=
+                Full.Outputs.end());
+}
+
+TEST_F(RunTest, TruncationPropagatesFromSubtrees) {
+  // The cap is hit deep inside the list; the flag must reach the root
+  // result even though the root rule itself stays under the bound.
+  std::shared_ptr<Sttr> T = makeDoubler(S, IList);
+  TreeRef In = makeIList(S, IList, {1, 2, 3, 4, 5, 6, 7, 8});
+  SttrRunner Bounded(*T, S.Trees);
+  Bounded.setMaxOutputs(16); // 2^4: inner cells truncate, outer ones don't.
+  SttrRunResult R = Bounded.runChecked(In);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_LE(R.Outputs.size(), 16u);
+}
+
+TEST_F(RunTest, ZeroBoundIsClampedToOne) {
+  // A bound of zero would make every output set empty, turning "truncated
+  // lower bound" into "provably empty" — the clamp keeps at least one
+  // representative so emptiness stays meaningful.
+  std::shared_ptr<Sttr> T = makeDoubler(S, IList);
+  SttrRunner R(*T, S.Trees);
+  R.setMaxOutputs(0);
+  SttrRunResult Out = R.runChecked(makeIList(S, IList, {1, 2}));
+  EXPECT_EQ(Out.Outputs.size(), 1u);
+  EXPECT_TRUE(Out.Truncated);
+}
+
+TEST_F(RunTest, UntruncatedRunsLeaveFlagClear) {
+  std::shared_ptr<Sttr> Map = makeMapCaesar(S, IList);
+  SttrRunner R(*Map, S.Trees);
+  R.setMaxOutputs(4);
+  SttrRunResult Out = R.runChecked(makeIList(S, IList, {1, 2, 3}));
+  EXPECT_EQ(Out.Outputs.size(), 1u);
+  EXPECT_FALSE(Out.Truncated);
+  EXPECT_FALSE(R.truncated());
 }
 
 } // namespace

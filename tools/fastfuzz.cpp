@@ -1,0 +1,110 @@
+//===- tools/fastfuzz.cpp - Differential fuzzing driver -------------------===//
+//
+// Runs N seeded rounds of the differential testing harness: each round
+// generates random languages, transducers, and sample trees, then checks
+// the registered algebraic laws (complement, connectives, representation
+// changes, Theorem 4 composition, pre-image, domain, type-check, and the
+// truncation signal itself) by cross-validating the symbolic constructions
+// against direct concrete evaluation.  Failures are shrunk greedily and
+// dumped as self-contained repro directories.
+//
+// Usage:  fastfuzz [options]
+//   --rounds=N            number of seeded rounds (default 200)
+//   --seed=N              base seed; round R uses seed N+R (default 1)
+//   --oracle=NAME         run only this oracle (repeatable)
+//   --repro-dir=PATH      dump repro directories for failures
+//   --max-outputs=N       per-(state,node) transduction output bound
+//   --max-exploration=N   engine state budget per oracle run; instances
+//                         that blow it are skipped, not failed (0 = off)
+//   --ignore-truncation   treat truncated output sets as complete
+//                         (re-introduces the historical bug; for testing
+//                         the harness itself)
+//   --no-shrink           report failures without minimizing them
+//   --stop-on-failure     exit after the first failing round
+//   --list                list the registered oracles and exit
+//
+// Exit status: 0 iff every check passed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Fuzzer.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace fast::testing;
+
+namespace {
+
+bool parseUnsigned(const char *Text, unsigned long &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoul(Text, &End, 10);
+  return errno == 0 && End != Text && *End == '\0';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzConfig Config;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    unsigned long N = 0;
+    if (std::strncmp(Arg, "--rounds=", 9) == 0 && parseUnsigned(Arg + 9, N)) {
+      Config.Rounds = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--seed=", 7) == 0 &&
+               parseUnsigned(Arg + 7, N)) {
+      Config.Seed = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--oracle=", 9) == 0) {
+      if (!findOracle(Arg + 9)) {
+        std::cerr << "fastfuzz: unknown oracle '" << (Arg + 9)
+                  << "' (use --list)\n";
+        return 2;
+      }
+      Config.Oracles.push_back(Arg + 9);
+    } else if (std::strncmp(Arg, "--repro-dir=", 12) == 0) {
+      Config.ReproDir = Arg + 12;
+    } else if (std::strncmp(Arg, "--max-outputs=", 14) == 0 &&
+               parseUnsigned(Arg + 14, N)) {
+      Config.Run.MaxOutputs = N;
+    } else if (std::strncmp(Arg, "--max-exploration=", 18) == 0 &&
+               parseUnsigned(Arg + 18, N)) {
+      Config.Run.MaxExplorationStates = N;
+    } else if (std::strcmp(Arg, "--ignore-truncation") == 0) {
+      Config.Run.IgnoreTruncation = true;
+    } else if (std::strcmp(Arg, "--no-shrink") == 0) {
+      Config.Shrink = false;
+    } else if (std::strcmp(Arg, "--stop-on-failure") == 0) {
+      Config.StopOnFailure = true;
+    } else if (std::strcmp(Arg, "--list") == 0) {
+      for (const Oracle &O : allOracles())
+        std::cout << O.Name << "\n    " << O.Law << "\n";
+      return 0;
+    } else {
+      std::cerr << "fastfuzz: bad argument '" << Arg << "'\n"
+                << "usage: fastfuzz [--rounds=N] [--seed=N] [--oracle=NAME]\n"
+                << "                [--repro-dir=PATH] [--max-outputs=N]\n"
+                << "                [--max-exploration=N]\n"
+                << "                [--ignore-truncation] [--no-shrink]\n"
+                << "                [--stop-on-failure] [--list]\n";
+      return 2;
+    }
+  }
+
+  FuzzReport Report = runFuzz(Config, &std::cerr);
+  std::cout << "fastfuzz: " << Report.RoundsRun << " rounds, "
+            << Report.ChecksRun << " checks (" << Report.ChecksSkipped
+            << " over budget), " << Report.Failures.size() << " failures\n";
+  for (const FuzzFailure &F : Report.Failures) {
+    std::cout << "FAIL " << F.OracleName << " seed=" << F.Seed << ": "
+              << F.Message << "\n";
+    if (F.ShrinkSteps != 0)
+      std::cout << "  minimized (" << F.ShrinkSteps
+                << " steps): " << F.MinimizedMessage << "\n";
+    if (!F.ReproPath.empty())
+      std::cout << "  repro: " << F.ReproPath << "\n";
+  }
+  return Report.ok() ? 0 : 1;
+}
