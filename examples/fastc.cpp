@@ -108,7 +108,15 @@ int main(int Argc, char **Argv) {
   unsigned Failed = R.failedAssertions();
   std::cout << R.Assertions.size() << " assertion(s), " << Failed
             << " failed\n";
-  if (Stats)
+  if (Stats) {
     std::cout << S.stats().report();
+    const Solver::Stats &Q = S.Solv.stats();
+    std::cout << "solver: " << Q.Queries << " queries, " << Q.CacheHits
+              << " cache-hits, " << Q.CoreChecks << " core-checks, "
+              << Q.Z3Checks << " z3-checks, " << Q.FastPathAnswers
+              << " fast-path, " << Q.ScopedChecks << " scoped-checks, "
+              << Q.LiteralsAsserted << " literals-asserted, "
+              << Q.SubsumptionAnswers << " subsumption-answers\n";
+  }
   return Failed == 0 ? 0 : 1;
 }

@@ -3,7 +3,6 @@
 #include "automata/Determinize.h"
 
 #include "engine/Engine.h"
-#include "smt/Minterms.h"
 
 #include <algorithm>
 #include <cassert>
@@ -228,7 +227,8 @@ struct TransitionTable {
 
 /// True if states \p P and \p Q react distinguishably (w.r.t. \p Block) for
 /// some constructor, position, and sibling assignment.
-bool distinguishable(Solver &S, const Sta &A, const TransitionTable &Table,
+bool distinguishable(engine::GuardCache &G, const Sta &A,
+                     const TransitionTable &Table,
                      const std::vector<int> &Block, unsigned P, unsigned Q) {
   const SignatureRef &Sig = A.signature();
   unsigned NumStates = A.numStates();
@@ -262,7 +262,7 @@ bool distinguishable(Solver &S, const Sta &A, const TransitionTable &Table,
             for (const auto &[GuardQ, TargetQ] : ItQ->second) {
               if (Block[TargetP] == Block[TargetQ])
                 continue;
-              if (S.isSat(S.factory().mkAnd(GuardP, GuardQ)))
+              if (G.isSat(G.factory().mkAnd(GuardP, GuardQ)))
                 return true;
             }
         }
@@ -283,6 +283,7 @@ bool distinguishable(Solver &S, const Sta &A, const TransitionTable &Table,
 } // namespace
 
 TreeLanguage fast::minimizeLanguage(Solver &S, const TreeLanguage &L) {
+  engine::GuardCache &G = engine::SessionEngine::of(S).Guards;
   TreeLanguage N = cleanLanguage(S, L);
   DeterminizedSta D = determinize(S, N.automaton());
   const Sta &A = *D.Automaton;
@@ -310,7 +311,7 @@ TreeLanguage fast::minimizeLanguage(Solver &S, const TreeLanguage &L) {
         Representative[B] = static_cast<int>(Q);
         continue;
       }
-      if (!distinguishable(S, A, Table, Block,
+      if (!distinguishable(G, A, Table, Block,
                            static_cast<unsigned>(Representative[B]), Q))
         continue;
       if (SplitTarget[B] < 0)

@@ -138,6 +138,7 @@ TreeLanguage fast::normalize(Solver &S, const TreeLanguage &L) {
 
 std::vector<bool> fast::productiveStates(Solver &S, const Sta &A) {
   assert(A.isNormalized() && "productivity fixpoint requires normalized STA");
+  engine::GuardCache &G = engine::SessionEngine::of(S).Guards;
   std::vector<bool> Productive(A.numStates(), false);
   bool Changed = true;
   while (Changed) {
@@ -151,7 +152,7 @@ std::vector<bool> fast::productiveStates(Solver &S, const Sta &A) {
           ChildrenOk = false;
           break;
         }
-      if (!ChildrenOk || !S.isSat(R.Guard))
+      if (!ChildrenOk || !G.isSat(R.Guard))
         continue;
       Productive[R.State] = true;
       Changed = true;
@@ -161,6 +162,7 @@ std::vector<bool> fast::productiveStates(Solver &S, const Sta &A) {
 }
 
 std::vector<bool> fast::universalStates(Solver &S, const Sta &A) {
+  engine::GuardCache &G = engine::SessionEngine::of(S).Guards;
   TermFactory &F = S.factory();
   const SignatureRef &Sig = A.signature();
   std::vector<bool> Universal(A.numStates(), true);
@@ -182,7 +184,7 @@ std::vector<bool> fast::universalStates(Solver &S, const Sta &A) {
           if (ChildrenUniversal)
             Guards.push_back(R.Guard);
         }
-        if (!S.isValid(F.mkOr(Guards))) {
+        if (!G.isValid(F.mkOr(Guards))) {
           Universal[Q] = false;
           Changed = true;
         }

@@ -7,6 +7,11 @@
 using namespace fast;
 using namespace fast::engine;
 
+GuardCache::GuardCache(Solver &Solv, StatsRegistry &Stats)
+    : Solv(Solv), Stats(Stats), Trie(std::make_unique<MintermTrie>(Solv)) {}
+
+GuardCache::~GuardCache() = default;
+
 bool GuardCache::isSat(TermRef Pred) {
   count(&ConstructionStats::SatQueries);
   auto [It, Fresh] = SatMemo.try_emplace(Pred, false);
@@ -29,26 +34,37 @@ bool GuardCache::isValid(TermRef Pred) {
   return It->second;
 }
 
+bool GuardCache::implies(TermRef A, TermRef B) {
+  count(&ConstructionStats::SatQueries);
+  auto [It, Fresh] = ImplMemo.try_emplace({A, B}, false);
+  if (!Fresh) {
+    count(&ConstructionStats::SatCacheHits);
+    return It->second;
+  }
+  It->second = Solv.implies(A, B);
+  return It->second;
+}
+
 const GuardCache::MintermSplit &
 GuardCache::minterms(std::span<const TermRef> Guards) {
   std::vector<TermRef> Canonical(Guards.begin(), Guards.end());
-  std::sort(Canonical.begin(), Canonical.end());
+  std::sort(Canonical.begin(), Canonical.end(),
+            [](TermRef A, TermRef B) { return A->id() < B->id(); });
   Canonical.erase(std::unique(Canonical.begin(), Canonical.end()),
                   Canonical.end());
 
-  auto It = MintermMemo.find(Canonical);
-  if (It != MintermMemo.end()) {
-    count(&ConstructionStats::MintermCacheHits);
-    return It->second;
-  }
-
-  MintermSplit Split;
-  Split.Guards = Canonical;
-  Split.Regions = computeMinterms(Solv, Split.Guards);
+  // The trie keeps global counters; attribute this call's deltas to the
+  // innermost active construction.
+  const MintermTrie::Stats Before = Trie->stats();
+  const MintermSplit &Split = Trie->minterms(Canonical, TrieEnabled);
+  const MintermTrie::Stats &After = Trie->stats();
   if (ConstructionStats *C = Stats.current()) {
-    ++C->MintermSplits;
-    C->MintermsProduced += Split.Regions.size();
+    C->MintermSplits += After.SplitsComputed - Before.SplitsComputed;
+    C->MintermCacheHits += After.SplitHits - Before.SplitHits;
+    C->MintermsProduced += After.RegionsEmitted - Before.RegionsEmitted;
+    C->TrieNodesDecided += After.NodesDecided - Before.NodesDecided;
+    C->TrieNodeHits += After.NodeHits - Before.NodeHits;
+    C->TrieSubsumed += After.SubsumptionAnswers - Before.SubsumptionAnswers;
   }
-  return MintermMemo.emplace(std::move(Canonical), std::move(Split))
-      .first->second;
+  return Split;
 }

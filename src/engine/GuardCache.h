@@ -5,14 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A per-session memo for guard satisfiability/validity and minterm
-/// enumerations, keyed on interned term identity and layered over the
-/// Solver's own query cache.  Every construction issues its guard queries
-/// through this cache, so identical guard sets recurring across
+/// A per-session memo for guard satisfiability/validity/implication and
+/// minterm enumerations, keyed on interned term identity and layered over
+/// the Solver's own caches.  Every construction issues its guard queries
+/// through this cache, so identical queries recurring across
 /// constructions (e.g. determinize-then-product pipelines in type
-/// checking) are split exactly once per session, and every query is
-/// attributed to the innermost active ConstructionScope of the Stats
-/// registry.
+/// checking) are answered once per session, and every query is attributed
+/// to the innermost active ConstructionScope of the Stats registry.
+///
+/// Minterm enumerations go through the session-wide MintermTrie
+/// (smt/MintermTrie.h): overlapping guard sets share previously decided
+/// region prefixes instead of recomputing them, and repeat enumerations
+/// of the same canonical set are answered from the trie's split index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,19 +24,22 @@
 #define FAST_ENGINE_GUARDCACHE_H
 
 #include "engine/Stats.h"
-#include "smt/Minterms.h"
+#include "smt/MintermTrie.h"
 #include "smt/Solver.h"
 
 #include <map>
+#include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace fast::engine {
 
 class GuardCache {
 public:
-  GuardCache(Solver &Solv, StatsRegistry &Stats) : Solv(Solv), Stats(Stats) {}
+  GuardCache(Solver &Solv, StatsRegistry &Stats);
+  ~GuardCache();
   GuardCache(const GuardCache &) = delete;
   GuardCache &operator=(const GuardCache &) = delete;
 
@@ -43,23 +50,32 @@ public:
   bool isSat(TermRef Pred);
   bool isUnsat(TermRef Pred) { return !isSat(Pred); }
 
-  /// Validity of \p Pred, memoized by term identity (the Solver caches only
-  /// satisfiability, so validity queries repeated across constructions
-  /// would otherwise re-enter Z3).
+  /// Validity of \p Pred, memoized by term identity.
   bool isValid(TermRef Pred);
 
-  /// One cached minterm enumeration: the canonical guard set together with
-  /// its satisfiable regions.  Region polarities index into Guards.
-  struct MintermSplit {
-    std::vector<TermRef> Guards;
-    std::vector<Minterm> Regions;
-  };
+  /// Implication A => B, memoized by term-pair identity on top of the
+  /// Solver's subsumption-aware implication core.
+  bool implies(TermRef A, TermRef B);
+
+  /// Backwards-compatible alias: the split type now lives in
+  /// smt/Minterms.h so the trie (an smt-layer component) can own the
+  /// storage.
+  using MintermSplit = fast::MintermSplit;
 
   /// The minterm partition of \p Guards.  The input is canonicalized
-  /// (sorted by term identity, deduplicated) before lookup, so any
-  /// permutation or duplication of the same guard set hits the same cache
-  /// entry.  The returned reference is stable for the session's lifetime.
+  /// (sorted by term id, deduplicated) before lookup, so any permutation
+  /// or duplication of the same guard set hits the same trie paths.  The
+  /// returned reference is stable for the session's lifetime.
   const MintermSplit &minterms(std::span<const TermRef> Guards);
+
+  /// Enables/disables trie-based enumeration (ablation knob).  Disabled,
+  /// minterms() computes fresh sets with the naive computeMinterms loop;
+  /// the split index still memoizes whole sets (the pre-trie behaviour).
+  void setTrieEnabled(bool Enabled) { TrieEnabled = Enabled; }
+  bool trieEnabled() const { return TrieEnabled; }
+
+  /// The session-wide trie (for stats reporting).
+  MintermTrie &trie() { return *Trie; }
 
   StatsRegistry &statsRegistry() { return Stats; }
 
@@ -74,7 +90,9 @@ private:
   StatsRegistry &Stats;
   std::unordered_map<TermRef, bool> SatMemo;
   std::unordered_map<TermRef, bool> ValidMemo;
-  std::map<std::vector<TermRef>, MintermSplit> MintermMemo;
+  std::map<std::pair<TermRef, TermRef>, bool> ImplMemo;
+  std::unique_ptr<MintermTrie> Trie;
+  bool TrieEnabled = true;
 };
 
 } // namespace fast::engine

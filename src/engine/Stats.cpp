@@ -20,15 +20,18 @@ std::string StatsRegistry::report() const {
       << std::setw(6) << "runs" << std::setw(10) << "explored" << std::setw(10)
       << "interned" << std::setw(8) << "rules" << std::setw(10) << "sat-q"
       << std::setw(10) << "sat-hit" << std::setw(8) << "splits" << std::setw(10)
-      << "split-hit" << std::setw(10) << "regions" << std::setw(11)
-      << "wall-ms" << "\n";
+      << "split-hit" << std::setw(10) << "regions" << std::setw(10)
+      << "trie-new" << std::setw(10) << "trie-hit" << std::setw(10)
+      << "subsumed" << std::setw(11) << "wall-ms" << "\n";
   for (const auto &[Name, C] : Constructions) {
     Out << std::left << std::setw(14) << Name << std::right << std::setw(6)
         << C.Runs << std::setw(10) << C.StatesExplored << std::setw(10)
         << C.StatesInterned << std::setw(8) << C.RulesEmitted << std::setw(10)
         << C.SatQueries << std::setw(10) << C.SatCacheHits << std::setw(8)
         << C.MintermSplits << std::setw(10) << C.MintermCacheHits
-        << std::setw(10) << C.MintermsProduced << std::setw(11) << std::fixed
+        << std::setw(10) << C.MintermsProduced << std::setw(10)
+        << C.TrieNodesDecided << std::setw(10) << C.TrieNodeHits
+        << std::setw(10) << C.TrieSubsumed << std::setw(11) << std::fixed
         << std::setprecision(1) << C.WallMs << "\n";
   }
   return Out.str();
@@ -52,6 +55,9 @@ std::string StatsRegistry::json() const {
         << ", \"minterm_splits\": " << C.MintermSplits
         << ", \"minterm_cache_hits\": " << C.MintermCacheHits
         << ", \"minterms_produced\": " << C.MintermsProduced
+        << ", \"trie_nodes_decided\": " << C.TrieNodesDecided
+        << ", \"trie_node_hits\": " << C.TrieNodeHits
+        << ", \"trie_subsumed\": " << C.TrieSubsumed
         << ", \"wall_ms\": " << std::fixed << std::setprecision(3) << C.WallMs
         << "}";
   }

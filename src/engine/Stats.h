@@ -43,12 +43,19 @@ struct ConstructionStats {
   uint64_t SatQueries = 0;
   /// ... of which were answered from the GuardCache's memo.
   uint64_t SatCacheHits = 0;
-  /// Minterm enumerations actually computed (cache misses).
+  /// Minterm enumerations actually computed (split-index misses).
   uint64_t MintermSplits = 0;
-  /// Minterm enumerations answered from the GuardCache's memo.
+  /// Minterm enumerations answered from the trie's split index.
   uint64_t MintermCacheHits = 0;
   /// Total satisfiable regions across all computed splits.
   uint64_t MintermsProduced = 0;
+  /// Trie region nodes decided (verdict computed) for this construction.
+  uint64_t TrieNodesDecided = 0;
+  /// Trie region nodes revisited with a memoized verdict.
+  uint64_t TrieNodeHits = 0;
+  /// Trie node verdicts answered by ancestor-literal subsumption instead
+  /// of a solver checkSat.
+  uint64_t TrieSubsumed = 0;
   /// Inclusive wall time spent inside the construction, in milliseconds.
   /// Nested constructions are included in their parents' time but record
   /// their event counters only to themselves.

@@ -32,10 +32,23 @@ struct Minterm {
   std::vector<bool> Polarity;
 };
 
-/// Computes all satisfiable minterms of \p Preds.
+/// One minterm enumeration result: the canonical guard set together with
+/// its satisfiable regions.  Region polarities index into Guards.
+struct MintermSplit {
+  std::vector<TermRef> Guards;
+  std::vector<Minterm> Regions;
+};
+
+/// Computes all satisfiable minterms of \p Preds with the flat reference
+/// loop: every candidate region is materialized as a conjunction term and
+/// sent to the solver whole.
 ///
 /// Unsatisfiable branches are pruned eagerly, so the output size is the
 /// number of non-empty regions (at most 2^n, usually far fewer).
+///
+/// Production code splits through the session's MintermTrie instead
+/// (smt/MintermTrie.h); this loop is kept as the differential-testing
+/// oracle and the trie-off ablation baseline.
 std::vector<Minterm> computeMinterms(Solver &S, std::span<const TermRef> Preds);
 
 } // namespace fast

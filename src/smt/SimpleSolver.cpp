@@ -469,13 +469,9 @@ SimpleResult decideCube(const Cube &Literals) {
   return SimpleResult::Sat;
 }
 
-} // namespace
-
-SimpleResult fast::simpleCheckSat(TermRef Pred) {
-  assert(Pred->sort() == Sort::Bool && "satisfiability of non-boolean term");
-  std::vector<Cube> Cubes;
-  if (!toDnf(Pred, /*Positive=*/true, Cubes))
-    return SimpleResult::Unknown;
+/// Decides a DNF: sat if any cube is sat, unknown if no cube is sat but
+/// some cube was undecidable, unsat otherwise.
+SimpleResult decideDnf(const std::vector<Cube> &Cubes) {
   bool AnyUnknown = false;
   for (const Cube &C : Cubes) {
     switch (decideCube(C)) {
@@ -489,4 +485,40 @@ SimpleResult fast::simpleCheckSat(TermRef Pred) {
     }
   }
   return AnyUnknown ? SimpleResult::Unknown : SimpleResult::Unsat;
+}
+
+} // namespace
+
+SimpleResult fast::simpleCheckSat(TermRef Pred) {
+  assert(Pred->sort() == Sort::Bool && "satisfiability of non-boolean term");
+  std::vector<Cube> Cubes;
+  if (!toDnf(Pred, /*Positive=*/true, Cubes))
+    return SimpleResult::Unknown;
+  return decideDnf(Cubes);
+}
+
+SimpleResult fast::simpleCheckSat(std::span<const TermRef> Conjuncts) {
+  // Cube-product the conjuncts' DNFs, exactly as toDnf does for an And
+  // term, but over the span directly.
+  std::vector<Cube> Acc = {{}};
+  for (TermRef T : Conjuncts) {
+    assert(T->sort() == Sort::Bool && "satisfiability of non-boolean term");
+    std::vector<Cube> OpCubes;
+    if (!toDnf(T, /*Positive=*/true, OpCubes))
+      return SimpleResult::Unknown;
+    if (OpCubes.empty())
+      return SimpleResult::Unsat; // This conjunct alone has no models.
+    if (Acc.size() * OpCubes.size() > MaxCubes)
+      return SimpleResult::Unknown;
+    std::vector<Cube> Next;
+    Next.reserve(Acc.size() * OpCubes.size());
+    for (const Cube &A : Acc)
+      for (const Cube &B : OpCubes) {
+        Cube Joined = A;
+        Joined.insert(Joined.end(), B.begin(), B.end());
+        Next.push_back(std::move(Joined));
+      }
+    Acc = std::move(Next);
+  }
+  return decideDnf(Acc);
 }

@@ -27,6 +27,8 @@
 
 #include "smt/Term.h"
 
+#include <span>
+
 namespace fast {
 
 /// Three-valued satisfiability answer.
@@ -35,6 +37,13 @@ enum class SimpleResult { Sat, Unsat, Unknown };
 /// Decides \p Pred within the built-in fragment; Unknown means "outside
 /// the fragment", never "timed out".
 SimpleResult simpleCheckSat(TermRef Pred);
+
+/// Decides the conjunction of \p Conjuncts within the built-in fragment
+/// without materializing an And term.  This is the fast path of the
+/// incremental Solver API: scoped checkSat hands over the asserted
+/// literals as-is, so trie descent costs no term construction when the
+/// fragment decides it.  An empty span is the empty conjunction (Sat).
+SimpleResult simpleCheckSat(std::span<const TermRef> Conjuncts);
 
 } // namespace fast
 

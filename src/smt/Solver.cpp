@@ -28,6 +28,45 @@ std::string attrConstName(TermRef Attr) {
          "_" + sortName(Attr->sort());
 }
 
+/// Structural subsumption between hash-consed terms: true only when A => B
+/// holds for syntactic reasons (sound, deliberately incomplete).  Operand
+/// lists are canonical and pointer-comparable, so everything here is a few
+/// identity scans.
+bool syntacticallyImplies(TermRef A, TermRef B) {
+  auto ContainsOp = [](TermRef Whole, TermRef Part) {
+    for (TermRef Op : Whole->operands())
+      if (Op == Part)
+        return true;
+    return false;
+  };
+  // A = (... && B && ...)  or  B = (... || A || ...).
+  if (A->kind() == TermKind::And && ContainsOp(A, B))
+    return true;
+  if (B->kind() == TermKind::Or && ContainsOp(B, A))
+    return true;
+  // Conjunction implies any sub-conjunction of its operands.
+  if (A->kind() == TermKind::And && B->kind() == TermKind::And) {
+    for (TermRef Op : B->operands())
+      if (!ContainsOp(A, Op))
+        return false;
+    return true;
+  }
+  // Disjunction implies any super-disjunction of its operands.
+  if (A->kind() == TermKind::Or && B->kind() == TermKind::Or) {
+    for (TermRef Op : A->operands())
+      if (!ContainsOp(B, Op))
+        return false;
+    return true;
+  }
+  // A conjunct of A that is a disjunct of B bridges the two.
+  if (A->kind() == TermKind::And && B->kind() == TermKind::Or) {
+    for (TermRef Op : A->operands())
+      if (ContainsOp(B, Op))
+        return true;
+  }
+  return false;
+}
+
 } // namespace
 
 struct Solver::Impl {
@@ -35,11 +74,25 @@ struct Solver::Impl {
   /// One long-lived solver; each query runs under push/pop, which is much
   /// cheaper than constructing a fresh solver per query.
   std::unique_ptr<z3::solver> Sol;
+  /// A second long-lived solver dedicated to the scoped (incremental)
+  /// API, so one-shot isSat queries interleaved with a trie descent never
+  /// disturb the descent's frame stack.
+  std::unique_ptr<z3::solver> ScopedSol;
+  /// How many logical scopes (ScopeStack indices >= 1) currently have a
+  /// materialized Z3 frame in ScopedSol.  Frames are created lazily by
+  /// checkSat() and popped eagerly by pop().
+  size_t SyncedFrames = 0;
 
   z3::solver &solver() {
     if (!Sol)
       Sol = std::make_unique<z3::solver>(Ctx);
     return *Sol;
+  }
+
+  z3::solver &scopedSolver() {
+    if (!ScopedSol)
+      ScopedSol = std::make_unique<z3::solver>(Ctx);
+    return *ScopedSol;
   }
 
   z3::sort z3Sort(Sort S) {
@@ -155,6 +208,7 @@ struct Solver::Impl {
 
 Solver::Solver(TermFactory &Factory, unsigned TimeoutMs)
     : Factory(Factory), Z3(std::make_unique<Impl>()) {
+  ScopeStack.emplace_back(); // The permanent base scope.
   if (TimeoutMs != 0) {
     z3::params P(Z3->Ctx);
     // Applied per-solver below; keep the configured value in the context's
@@ -170,8 +224,11 @@ SolverExtension::~SolverExtension() = default;
 
 void Solver::setCacheEnabled(bool Enabled) {
   CacheEnabled = Enabled;
-  if (!Enabled)
+  if (!Enabled) {
     SatCache.clear();
+    ValidCache.clear();
+    ImplCache.clear();
+  }
 }
 
 bool Solver::isSat(TermRef Pred) {
@@ -200,12 +257,14 @@ bool Solver::isSat(TermRef Pred) {
     case SimpleResult::Sat:
       ++Counters.SatAnswers;
       ++Counters.FastPathAnswers;
+      ++Counters.CoreChecks;
       if (CacheEnabled)
         SatCache.emplace(Pred, true);
       return true;
     case SimpleResult::Unsat:
       ++Counters.UnsatAnswers;
       ++Counters.FastPathAnswers;
+      ++Counters.CoreChecks;
       if (CacheEnabled)
         SatCache.emplace(Pred, false);
       return false;
@@ -214,12 +273,27 @@ bool Solver::isSat(TermRef Pred) {
     }
   }
 
+  // Subsumption pre-check before Z3: a conjunction is unsat whenever two
+  // of its conjuncts refute each other, even when the full conjunction is
+  // outside the built-in fragment (e.g. one conjunct relates two
+  // attributes while the refuting pair pins one string attribute to two
+  // different constants).
+  if (conjunctPairRefuted(Pred)) {
+    ++Counters.UnsatAnswers;
+    ++Counters.SubsumptionAnswers;
+    if (CacheEnabled)
+      SatCache.emplace(Pred, false);
+    return false;
+  }
+
   bool Result = true;
   try {
     z3::expr E = Z3->translate(Pred);
     z3::solver &S = Z3->solver();
     S.push();
     S.add(E);
+    ++Counters.CoreChecks;
+    ++Counters.Z3Checks;
     z3::check_result Answer = S.check();
     S.pop();
     switch (Answer) {
@@ -245,16 +319,252 @@ bool Solver::isSat(TermRef Pred) {
   return Result;
 }
 
-bool Solver::isValid(TermRef Pred) { return !isSat(Factory.mkNot(Pred)); }
+bool Solver::isValid(TermRef Pred) {
+  if (Pred->isTrue()) {
+    ++Counters.Queries;
+    ++Counters.TrivialAnswers;
+    return true;
+  }
+  if (Pred->isFalse()) {
+    ++Counters.Queries;
+    ++Counters.TrivialAnswers;
+    return false;
+  }
+  if (CacheEnabled) {
+    auto It = ValidCache.find(Pred);
+    if (It != ValidCache.end()) {
+      ++Counters.Queries;
+      ++Counters.CacheHits;
+      return It->second;
+    }
+  }
+  // The cached sat-of-negation core: isSat memoizes the negation term, so
+  // validity of P and satisfiability of !P share one verdict.
+  bool Result = !isSat(Factory.mkNot(Pred));
+  if (CacheEnabled)
+    ValidCache.emplace(Pred, Result);
+  return Result;
+}
+
+Trilean Solver::impliesFast(TermRef A, TermRef B) {
+  if (A == B || A->isFalse() || B->isTrue())
+    return Trilean::True;
+  if (A->isTrue() && B->isFalse())
+    return Trilean::False;
+  auto Key = std::make_pair(A, B);
+  if (CacheEnabled) {
+    auto It = ImplCache.find(Key);
+    if (It != ImplCache.end()) {
+      ++Counters.ImplicationCacheHits;
+      return It->second;
+    }
+  }
+  Trilean Result = Trilean::Unknown;
+  if (syntacticallyImplies(A, B)) {
+    Result = Trilean::True;
+  } else if (FastPathEnabled) {
+    // A => B  iff  {A, !B} has no model; the span overload avoids
+    // building the conjunction term.
+    TermRef Lits[2] = {A, Factory.mkNot(B)};
+    switch (simpleCheckSat(std::span<const TermRef>(Lits))) {
+    case SimpleResult::Unsat:
+      Result = Trilean::True;
+      break;
+    case SimpleResult::Sat:
+      Result = Trilean::False;
+      break;
+    case SimpleResult::Unknown:
+      break;
+    }
+  }
+  if (CacheEnabled)
+    ImplCache.emplace(Key, Result);
+  return Result;
+}
 
 bool Solver::implies(TermRef A, TermRef B) {
-  return !isSat(Factory.mkAnd(A, Factory.mkNot(B)));
+  ++Counters.ImplicationQueries;
+  switch (impliesFast(A, B)) {
+  case Trilean::True:
+    ++Counters.SubsumptionAnswers;
+    return true;
+  case Trilean::False:
+    ++Counters.SubsumptionAnswers;
+    return false;
+  case Trilean::Unknown:
+    break;
+  }
+  // One cached sat-of-negation core; the verdict also upgrades the
+  // implication cache's Unknown entry so later impliesFast calls (e.g.
+  // from trie descent) see a definite answer.
+  bool Result = !isSat(Factory.mkAnd(A, Factory.mkNot(B)));
+  if (CacheEnabled)
+    ImplCache[std::make_pair(A, B)] = Result ? Trilean::True : Trilean::False;
+  return Result;
 }
 
 bool Solver::areEquivalent(TermRef A, TermRef B) {
-  TermRef Diff = Factory.mkOr(Factory.mkAnd(A, Factory.mkNot(B)),
-                              Factory.mkAnd(B, Factory.mkNot(A)));
-  return !isSat(Diff);
+  if (A == B)
+    return true;
+  return implies(A, B) && implies(B, A);
+}
+
+bool Solver::conjunctPairRefuted(TermRef Conj) {
+  if (Conj->kind() != TermKind::And || Conj->numOperands() > 8)
+    return false;
+  auto Ops = Conj->operands();
+  for (size_t I = 0; I < Ops.size(); ++I)
+    for (size_t J = I + 1; J < Ops.size(); ++J)
+      if (impliesFast(Ops[I], Factory.mkNot(Ops[J])) == Trilean::True)
+        return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental (scoped) solving
+//===----------------------------------------------------------------------===//
+
+void Solver::push() { ScopeStack.emplace_back(); }
+
+void Solver::pop() {
+  if (ScopeStack.size() <= 1)
+    return; // Pop past empty: tolerated no-op.
+  size_t Top = ScopeStack.size() - 1;
+  if (Z3->SyncedFrames >= Top) {
+    try {
+      Z3->scopedSolver().pop();
+    } catch (const z3::exception &) {
+    }
+    Z3->SyncedFrames = Top - 1;
+  }
+  ScopeStack.pop_back();
+}
+
+void Solver::assertTerm(TermRef T) {
+  assert(T->sort() == Sort::Bool && "asserting a non-boolean term");
+  ++Counters.LiteralsAsserted;
+  ScopeStack.back().Terms.push_back(T);
+}
+
+bool Solver::checkSat() {
+  if (!IncrementalEnabled) {
+    // Ablation: rebuild the full conjunction and answer through the
+    // one-shot path (which counts this as its own query).
+    std::vector<TermRef> All;
+    for (const AssertScope &Scope : ScopeStack)
+      All.insert(All.end(), Scope.Terms.begin(), Scope.Terms.end());
+    return isSat(Factory.mkAnd(All));
+  }
+
+  ++Counters.Queries;
+  ++Counters.ScopedChecks;
+  std::vector<TermRef> View;
+  for (const AssertScope &Scope : ScopeStack)
+    for (TermRef T : Scope.Terms) {
+      if (T->isFalse()) {
+        ++Counters.UnsatAnswers;
+        ++Counters.TrivialAnswers;
+        return false;
+      }
+      if (!T->isTrue())
+        View.push_back(T);
+    }
+  if (View.empty()) {
+    ++Counters.SatAnswers;
+    ++Counters.TrivialAnswers;
+    return true;
+  }
+
+  // Scoped answers share the one-shot SatCache through the flattened
+  // conjunction (hash-consing makes the key cheap): a region decided
+  // during trie descent answers later one-shot guard queries over the
+  // same conjunction for free, and vice versa.
+  TermRef Conj = View.size() == 1 ? View.front() : Factory.mkAnd(View);
+  if (Conj->isTrue() || Conj->isFalse()) { // mkAnd folds e.g. a && !a.
+    ++(Conj->isTrue() ? Counters.SatAnswers : Counters.UnsatAnswers);
+    ++Counters.TrivialAnswers;
+    return Conj->isTrue();
+  }
+  if (CacheEnabled) {
+    auto It = SatCache.find(Conj);
+    if (It != SatCache.end()) {
+      ++Counters.CacheHits;
+      return It->second;
+    }
+  }
+
+  if (FastPathEnabled) {
+    switch (simpleCheckSat(std::span<const TermRef>(View))) {
+    case SimpleResult::Sat:
+      ++Counters.SatAnswers;
+      ++Counters.FastPathAnswers;
+      ++Counters.CoreChecks;
+      if (CacheEnabled)
+        SatCache.emplace(Conj, true);
+      return true;
+    case SimpleResult::Unsat:
+      ++Counters.UnsatAnswers;
+      ++Counters.FastPathAnswers;
+      ++Counters.CoreChecks;
+      if (CacheEnabled)
+        SatCache.emplace(Conj, false);
+      return false;
+    case SimpleResult::Unknown:
+      break;
+    }
+  }
+
+  // Same pairwise refutation pre-check as the one-shot core, on the
+  // flattened conjunction: a literal that is itself a conjunction may
+  // hide a refuting pair the literal-level view cannot see.
+  if (conjunctPairRefuted(Conj)) {
+    ++Counters.UnsatAnswers;
+    ++Counters.SubsumptionAnswers;
+    if (CacheEnabled)
+      SatCache.emplace(Conj, false);
+    return false;
+  }
+
+  try {
+    z3::solver &S = Z3->scopedSolver();
+    // Lazy materialization: one frame per open scope, one add() per
+    // not-yet-synced assertion.  Already-synced prefixes are reused
+    // as-is, so a descent re-checking under a shared prefix re-sends
+    // nothing.
+    for (size_t I = 0; I < ScopeStack.size(); ++I) {
+      if (I >= 1 && Z3->SyncedFrames < I) {
+        S.push();
+        Z3->SyncedFrames = I;
+      }
+      AssertScope &Scope = ScopeStack[I];
+      for (; Scope.Synced < Scope.Terms.size(); ++Scope.Synced)
+        S.add(Z3->translate(Scope.Terms[Scope.Synced]));
+    }
+    ++Counters.CoreChecks;
+    ++Counters.Z3Checks;
+    switch (S.check()) {
+    case z3::sat:
+      ++Counters.SatAnswers;
+      if (CacheEnabled)
+        SatCache.emplace(Conj, true);
+      return true;
+    case z3::unsat:
+      ++Counters.UnsatAnswers;
+      if (CacheEnabled)
+        SatCache.emplace(Conj, false);
+      return false;
+    case z3::unknown:
+      ++Counters.UnknownAnswers;
+      // Conservative; cached so repeats do not re-pay the Z3 timeout,
+      // matching the one-shot path's treatment of unknown.
+      if (CacheEnabled)
+        SatCache.emplace(Conj, true);
+      return true;
+    }
+  } catch (const z3::exception &) {
+    ++Counters.UnknownAnswers;
+  }
+  return true; // Conservative.
 }
 
 std::optional<AttrModel> Solver::getModel(TermRef Pred) {
@@ -276,6 +586,7 @@ std::optional<AttrModel> Solver::getModel(TermRef Pred) {
     z3::solver &S = Z3->solver();
     S.push();
     S.add(E);
+    ++Counters.Z3ModelChecks;
     if (S.check() != z3::sat) {
       S.pop();
       return std::nullopt;

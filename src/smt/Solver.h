@@ -21,13 +21,19 @@
 #define FAST_SMT_SOLVER_H
 
 #include "smt/Term.h"
+#include "support/Hashing.h"
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace fast {
+
+/// Three-valued answer of the cheap (never-Z3) implication check.
+enum class Trilean { False, True, Unknown };
 
 /// A model for the attributes mentioned in a satisfiable predicate: maps
 /// each Attr term to a concrete value.  Attributes not mentioned by the
@@ -60,9 +66,54 @@ public:
   /// this keeps emptiness-based pruning sound.
   bool isSat(TermRef Pred);
   bool isUnsat(TermRef Pred) { return !isSat(Pred); }
+
+  /// Validity of \p Pred, answered through the cached sat-of-negation
+  /// core and memoized by term identity.
   bool isValid(TermRef Pred);
+
+  /// Implication A => B, answered through one cached sat-of-negation core
+  /// (isSat(A && !B)) after the cheap syntactic/fragment check
+  /// (impliesFast); repeated implication queries never re-enter Z3.
   bool implies(TermRef A, TermRef B);
+
+  /// Equivalence as two cached implications, so each direction reuses any
+  /// implication already decided elsewhere.
   bool areEquivalent(TermRef A, TermRef B);
+
+  /// The cheap implication check consulted before any solver call:
+  /// constant folding, syntactic subsumption on hash-consed operand lists
+  /// (a conjunction implies each conjunct, a disjunct implies its
+  /// disjunction, ...), and the built-in fragment on {A, not B}.  Never
+  /// calls Z3; Unknown means "needs the full solver".  Definite answers
+  /// are memoized in the implication cache shared with implies().
+  Trilean impliesFast(TermRef A, TermRef B);
+
+  /// --- Incremental (scoped) solving --------------------------------------
+  ///
+  /// The minterm trie descends guard prefixes by pushing one scope and
+  /// asserting one literal per edge; verdicts come from checkSat() on the
+  /// currently asserted set.  Scopes are pure bookkeeping until a
+  /// checkSat() actually has to consult Z3, at which point the scoped Z3
+  /// solver is synchronized lazily: one Z3 frame per open scope, one
+  /// add() per not-yet-synced assertion — never a rebuilt conjunction.
+
+  /// Opens a new assertion scope.
+  void push();
+  /// Discards the innermost scope (and its Z3 frame, if materialized).
+  /// Popping with no open scope is a tolerated no-op.  pop() never
+  /// invalidates verdicts memoized by higher layers: a verdict is a fact
+  /// about the asserted (immutable, hash-consed) literals themselves, not
+  /// about transient solver state.
+  void pop();
+  /// Asserts \p T in the innermost scope (the permanent base scope when
+  /// no push is active).
+  void assertTerm(TermRef T);
+  /// Satisfiability of the conjunction of all currently asserted terms.
+  /// The built-in procedure sees the asserted literals as a span (no And
+  /// term is built); unknown is conservatively sat, as in isSat().
+  bool checkSat();
+  /// Open scopes, excluding the permanent base scope.
+  size_t numScopes() const { return ScopeStack.size() - 1; }
 
   /// Returns a model of \p Pred, or nullopt if unsat (or unknown).
   std::optional<AttrModel> getModel(TermRef Pred);
@@ -78,16 +129,41 @@ public:
     uint64_t FastPathAnswers = 0;
     /// Queries that were literally the constant true/false term.
     uint64_t TrivialAnswers = 0;
+    /// Queries that reached a decision core (built-in procedure or Z3),
+    /// i.e. were not answered trivially, from a cache, or by subsumption.
+    uint64_t CoreChecks = 0;
+    /// Actual Z3 check() invocations (satisfiability only; model
+    /// extraction is counted separately).
+    uint64_t Z3Checks = 0;
+    /// Z3 check() invocations issued on behalf of getModel().
+    uint64_t Z3ModelChecks = 0;
+    /// checkSat() calls under the scoped (incremental) API.
+    uint64_t ScopedChecks = 0;
+    /// assertTerm() calls (one literal each).
+    uint64_t LiteralsAsserted = 0;
+    /// Queries answered by the cheap syntactic/fragment implication check
+    /// (impliesFast) instead of a decision core.
+    uint64_t SubsumptionAnswers = 0;
+    /// implies() entry points.
+    uint64_t ImplicationQueries = 0;
+    /// ... of which were answered from the implication cache.
+    uint64_t ImplicationCacheHits = 0;
   };
   const Stats &stats() const { return Counters; }
   void resetStats() { Counters = Stats(); }
 
-  /// Enables/disables the satisfiability cache (ablation knob).
+  /// Enables/disables the satisfiability/validity/implication caches
+  /// (ablation knob).
   void setCacheEnabled(bool Enabled);
 
   /// Enables/disables the built-in decision procedure consulted before
   /// Z3 (smt/SimpleSolver.h); on by default (ablation knob).
   void setFastPathEnabled(bool Enabled) { FastPathEnabled = Enabled; }
+
+  /// Enables/disables incremental solving (ablation knob).  Disabled,
+  /// checkSat() rebuilds the full conjunction term and answers through
+  /// the one-shot isSat() path, reproducing the pre-incremental layer.
+  void setIncrementalEnabled(bool Enabled) { IncrementalEnabled = Enabled; }
 
   /// The installed session extension, or null.
   SolverExtension *extension() const { return Ext.get(); }
@@ -98,12 +174,42 @@ public:
 
 private:
   struct Impl;
+
+  /// One logical assertion scope.  Synced counts the prefix of Terms
+  /// already added to the scoped Z3 solver; the rest is materialized
+  /// lazily by the next Z3-needing checkSat().
+  struct AssertScope {
+    std::vector<TermRef> Terms;
+    size_t Synced = 0;
+  };
+
+  /// True when two conjuncts of \p Conj refute each other by the cheap
+  /// implication check; shared by the one-shot and scoped sat cores.
+  bool conjunctPairRefuted(TermRef Conj);
+
+  struct TermPairHash {
+    size_t operator()(const std::pair<TermRef, TermRef> &P) const {
+      size_t Seed = std::hash<TermRef>{}(P.first);
+      hashCombineValue(Seed, P.second);
+      return Seed;
+    }
+  };
+
   TermFactory &Factory;
   std::unique_ptr<Impl> Z3;
   std::unique_ptr<SolverExtension> Ext;
   std::unordered_map<TermRef, bool> SatCache;
+  std::unordered_map<TermRef, bool> ValidCache;
+  /// (A, B) -> does A imply B.  Shared by implies() and impliesFast();
+  /// Unknown entries record "the cheap check cannot decide this pair" so
+  /// trie descent does not retry the fragment on every visit.
+  std::unordered_map<std::pair<TermRef, TermRef>, Trilean, TermPairHash>
+      ImplCache;
+  /// ScopeStack[0] is the permanent base scope and always present.
+  std::vector<AssertScope> ScopeStack;
   bool CacheEnabled = true;
   bool FastPathEnabled = true;
+  bool IncrementalEnabled = true;
   Stats Counters;
 };
 

@@ -3,10 +3,13 @@
 #include "testing/Oracle.h"
 
 #include "automata/Determinize.h"
+#include "engine/Engine.h"
+#include "smt/Minterms.h"
 #include "transducers/Ops.h"
 #include "transducers/Run.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 using namespace fast;
@@ -314,6 +317,44 @@ OracleResult truncationSignalOracle(Session &S, const FuzzInstance &I,
   return std::nullopt;
 }
 
+/// The trie-backed minterm split agrees region-for-region with the naive
+/// computeMinterms reference loop on the guard sets determinization
+/// actually splits on: one set per (automaton, constructor).
+OracleResult mintermTrieOracle(Session &S, const FuzzInstance &I,
+                               const OracleOptions &) {
+  engine::GuardCache &G = S.engine().Guards;
+  std::vector<std::vector<TermRef>> Sets;
+  for (const TreeLanguage *L : {&I.LangA, &I.LangB}) {
+    std::map<unsigned, std::vector<TermRef>> ByCtor;
+    for (const StaRule &R : L->automaton().rules())
+      ByCtor[R.CtorId].push_back(R.Guard);
+    for (auto &[Ctor, Guards] : ByCtor)
+      Sets.push_back(std::move(Guards));
+  }
+  for (const std::vector<TermRef> &Guards : Sets) {
+    const MintermSplit &Split = G.minterms(Guards);
+    // Replay the reference loop on the canonical set the trie actually
+    // used, so polarity vectors index the same guards.
+    std::vector<Minterm> Naive = computeMinterms(S.Solv, Split.Guards);
+    if (Split.Regions.size() != Naive.size())
+      return fail("trie produced " + std::to_string(Split.Regions.size()) +
+                  " minterm regions, reference loop produced " +
+                  std::to_string(Naive.size()));
+    for (size_t R = 0; R < Naive.size(); ++R) {
+      if (Split.Regions[R].Polarity != Naive[R].Polarity)
+        return fail("minterm region " + std::to_string(R) +
+                    " has diverging polarities between trie and reference");
+      if (!S.Solv.areEquivalent(Split.Regions[R].Predicate,
+                                Naive[R].Predicate))
+        return fail("minterm region " + std::to_string(R) +
+                    " predicates are not equivalent: trie " +
+                    Split.Regions[R].Predicate->str() + " vs reference " +
+                    Naive[R].Predicate->str());
+    }
+  }
+  return std::nullopt;
+}
+
 } // namespace
 
 OracleRun fast::testing::runOracle(const Oracle &O, Session &S,
@@ -361,6 +402,9 @@ const std::vector<Oracle> &fast::testing::allOracles() {
       {"truncation-signal",
        "bounded runs drop outputs only with the truncation flag raised", 1,
        truncationSignalOracle},
+      {"minterm-trie",
+       "trie minterm splits match the naive enumeration region-for-region",
+       1, mintermTrieOracle},
   };
   return Registry;
 }

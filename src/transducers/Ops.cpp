@@ -3,6 +3,7 @@
 #include "transducers/Ops.h"
 
 #include "automata/Determinize.h"
+#include "engine/Engine.h"
 
 #include <cassert>
 
@@ -35,6 +36,7 @@ std::shared_ptr<Sttr> fast::restrictInput(Solver &Solv, const Sttr &T,
          "restriction over incompatible signatures");
   TreeLanguage NL = normalize(Solv, L);
   TermFactory &F = Solv.factory();
+  engine::GuardCache &G = engine::SessionEngine::of(Solv).Guards;
 
   std::shared_ptr<Sttr> R = cloneSttr(T);
   // Embed the (normalized) language automaton into the lookahead STA.
@@ -51,7 +53,7 @@ std::shared_ptr<Sttr> fast::restrictInput(Solver &Solv, const Sttr &T,
       for (unsigned Index : NL.automaton().rulesFrom(Root, TR.CtorId)) {
         const StaRule &LR = NL.automaton().rule(Index);
         TermRef Guard = F.mkAnd(TR.Guard, LR.Guard);
-        if (!Solv.isSat(Guard))
+        if (!G.isSat(Guard))
           continue;
         std::vector<StateSet> Lookahead = TR.Lookahead;
         for (unsigned I = 0; I < Lookahead.size(); ++I) {

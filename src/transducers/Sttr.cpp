@@ -3,6 +3,7 @@
 #include "transducers/Sttr.h"
 
 #include "automata/StaOps.h"
+#include "engine/Engine.h"
 
 #include <cassert>
 
@@ -93,6 +94,7 @@ bool Sttr::isLinear() const {
 }
 
 bool Sttr::isDeterministic(Solver &S) const {
+  engine::GuardCache &G = engine::SessionEngine::of(S).Guards;
   for (const auto &[Key, Indices] : RulesByStateCtor) {
     for (size_t I = 0; I < Indices.size(); ++I) {
       for (size_t J = I + 1; J < Indices.size(); ++J) {
@@ -100,7 +102,7 @@ bool Sttr::isDeterministic(Solver &S) const {
         const SttrRule &R2 = Rules[Indices[J]];
         if (R1.Out == R2.Out)
           continue;
-        if (!S.isSat(S.factory().mkAnd(R1.Guard, R2.Guard)))
+        if (!G.isSat(S.factory().mkAnd(R1.Guard, R2.Guard)))
           continue;
         // Overlapping guards: the rules may still be separated by their
         // lookaheads (L^l1 cap L^l2 empty for some child).

@@ -1,0 +1,219 @@
+//===- tests/smt/IncrementalSolverTest.cpp - Scoped solving tests ---------===//
+//
+// The incremental Solver API (push/pop/assertTerm/checkSat) and the
+// subsumption-aware implication core: scope nesting, pop-past-empty,
+// lazy Z3 materialization across pops, the ablation fallback, and the
+// cached implies/isValid/areEquivalent paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fast;
+
+namespace {
+
+class IncrementalSolverTest : public ::testing::Test {
+protected:
+  TermFactory F;
+  Solver S{F};
+  TermRef X = F.attr(0, Sort::Int, "x");
+  TermRef Tag = F.attr(1, Sort::String, "tag");
+
+  TermRef intLt(TermRef A, int64_t B) { return F.mkLt(A, F.intConst(B)); }
+  TermRef intGt(TermRef A, int64_t B) { return F.mkLt(F.intConst(B), A); }
+  /// x * x == c: non-linear, outside the built-in fragment, so checks on
+  /// it must reach Z3 through the scoped solver.
+  TermRef squareIs(int64_t C) {
+    return F.mkEq(F.mkMul(X, X), F.intConst(C));
+  }
+};
+
+TEST_F(IncrementalSolverTest, EmptyConjunctionIsSat) {
+  EXPECT_TRUE(S.checkSat());
+  EXPECT_EQ(S.numScopes(), 0u);
+}
+
+TEST_F(IncrementalSolverTest, PushPopNesting) {
+  S.push();
+  S.assertTerm(intGt(X, 0));
+  EXPECT_TRUE(S.checkSat());
+  S.push();
+  S.assertTerm(intGt(X, 5));
+  EXPECT_TRUE(S.checkSat());
+  S.push();
+  S.assertTerm(intLt(X, 3)); // x > 5 && x < 3.
+  EXPECT_FALSE(S.checkSat());
+  EXPECT_EQ(S.numScopes(), 3u);
+  S.pop();
+  EXPECT_TRUE(S.checkSat()); // Back to x > 5.
+  S.pop();
+  S.push();
+  S.assertTerm(intLt(X, 3)); // x > 0 && x < 3 is fine.
+  EXPECT_TRUE(S.checkSat());
+  S.pop();
+  S.pop();
+  EXPECT_EQ(S.numScopes(), 0u);
+  EXPECT_TRUE(S.checkSat());
+}
+
+TEST_F(IncrementalSolverTest, PopPastEmptyIsNoOp) {
+  S.pop();
+  S.pop();
+  EXPECT_EQ(S.numScopes(), 0u);
+  S.push();
+  S.assertTerm(intGt(X, 0));
+  EXPECT_TRUE(S.checkSat());
+  S.pop();
+  S.pop(); // One more than was pushed.
+  EXPECT_EQ(S.numScopes(), 0u);
+  EXPECT_TRUE(S.checkSat());
+}
+
+TEST_F(IncrementalSolverTest, FalseAssertionIsTriviallyUnsat) {
+  uint64_t CoreBefore = S.stats().CoreChecks;
+  S.push();
+  S.assertTerm(F.falseTerm());
+  EXPECT_FALSE(S.checkSat());
+  EXPECT_EQ(S.stats().CoreChecks, CoreBefore);
+  S.pop();
+}
+
+TEST_F(IncrementalSolverTest, Z3PathAcrossPops) {
+  // Non-linear constraints force the lazy scoped-Z3 materialization; the
+  // frame stack must track logical scopes across interleaved pops.
+  S.push();
+  S.assertTerm(squareIs(4)); // x in {-2, 2}.
+  EXPECT_TRUE(S.checkSat());
+  S.push();
+  S.assertTerm(intGt(X, 3));
+  EXPECT_FALSE(S.checkSat());
+  S.pop();
+  EXPECT_TRUE(S.checkSat());
+  S.push();
+  S.assertTerm(intLt(X, 0));
+  EXPECT_TRUE(S.checkSat()); // x = -2.
+  S.push();
+  S.assertTerm(intGt(X, -1));
+  EXPECT_FALSE(S.checkSat());
+  S.pop();
+  S.pop();
+  S.pop();
+  EXPECT_TRUE(S.checkSat());
+  EXPECT_GT(S.stats().Z3Checks, 0u);
+}
+
+TEST_F(IncrementalSolverTest, OneShotAndScopedSolversDoNotInterfere) {
+  // A one-shot isSat in the middle of a descent must not disturb the
+  // scoped solver's frames.
+  S.push();
+  S.assertTerm(squareIs(9));
+  EXPECT_TRUE(S.checkSat());
+  // This one-shot query is non-linear too, so it reaches the one-shot Z3
+  // solver while the scoped solver holds a materialized frame.
+  EXPECT_FALSE(S.isSat(F.mkEq(F.mkMul(X, X), F.intConst(-1))));
+  S.push();
+  S.assertTerm(intGt(X, 0));
+  S.assertTerm(intLt(X, 4));
+  EXPECT_TRUE(S.checkSat()); // x = 3.
+  S.pop();
+  S.pop();
+  EXPECT_TRUE(S.isSat(intGt(X, 100)));
+}
+
+TEST_F(IncrementalSolverTest, IncrementalDisabledMatchesScopedAnswers) {
+  S.setIncrementalEnabled(false);
+  S.push();
+  S.assertTerm(squareIs(4));
+  EXPECT_TRUE(S.checkSat());
+  S.push();
+  S.assertTerm(intGt(X, 3));
+  EXPECT_FALSE(S.checkSat());
+  S.pop();
+  EXPECT_TRUE(S.checkSat());
+  S.pop();
+  EXPECT_TRUE(S.checkSat());
+  // No scoped checks are counted on the ablation path; the queries went
+  // through the one-shot core.
+  EXPECT_EQ(S.stats().ScopedChecks, 0u);
+}
+
+TEST_F(IncrementalSolverTest, ScopedCountersAdvance) {
+  S.push();
+  S.assertTerm(intGt(X, 0));
+  S.assertTerm(intLt(X, 10));
+  EXPECT_TRUE(S.checkSat());
+  S.pop();
+  EXPECT_EQ(S.stats().LiteralsAsserted, 2u);
+  EXPECT_EQ(S.stats().ScopedChecks, 1u);
+}
+
+TEST_F(IncrementalSolverTest, ImpliesAnsweredBySubsumptionAndCached) {
+  TermRef A = intGt(X, 0);
+  TermRef B = intLt(X, 10);
+  TermRef Conj = F.mkAnd(A, B);
+  uint64_t CoreBefore = S.stats().CoreChecks;
+  // A conjunction implies its own conjunct: syntactic, no decision core.
+  EXPECT_TRUE(S.implies(Conj, A));
+  EXPECT_EQ(S.stats().CoreChecks, CoreBefore);
+  EXPECT_GT(S.stats().SubsumptionAnswers, 0u);
+  // A disjunct implies its disjunction.
+  EXPECT_TRUE(S.implies(A, F.mkOr(A, intLt(X, -5))));
+  EXPECT_EQ(S.stats().CoreChecks, CoreBefore);
+  // Fragment-decided implication: x < 4 => x < 10 without a core check.
+  EXPECT_TRUE(S.implies(intLt(X, 4), B));
+  EXPECT_EQ(S.stats().CoreChecks, CoreBefore);
+
+  // Repeats hit the implication cache.
+  uint64_t HitsBefore = S.stats().ImplicationCacheHits;
+  EXPECT_TRUE(S.implies(intLt(X, 4), B));
+  EXPECT_GT(S.stats().ImplicationCacheHits, HitsBefore);
+}
+
+TEST_F(IncrementalSolverTest, ImpliesOutsideFragmentStillCorrect) {
+  // x*x == 4 && x > 0  =>  x < 3 (x must be 2): needs the full solver
+  // once, then answers from the cache.
+  TermRef Sq = F.mkAnd(squareIs(4), intGt(X, 0));
+  EXPECT_TRUE(S.implies(Sq, intLt(X, 3)));
+  EXPECT_FALSE(S.implies(Sq, intLt(X, 2)));
+  uint64_t Z3Before = S.stats().Z3Checks;
+  EXPECT_TRUE(S.implies(Sq, intLt(X, 3)));
+  EXPECT_FALSE(S.implies(Sq, intLt(X, 2)));
+  EXPECT_EQ(S.stats().Z3Checks, Z3Before);
+}
+
+TEST_F(IncrementalSolverTest, ValidityCachedAcrossRepeats) {
+  TermRef Tauto = F.mkOr(intLt(X, 10), intGt(X, 5));
+  EXPECT_TRUE(S.isValid(Tauto));
+  uint64_t HitsBefore = S.stats().CacheHits;
+  EXPECT_TRUE(S.isValid(Tauto));
+  EXPECT_GT(S.stats().CacheHits, HitsBefore);
+  EXPECT_FALSE(S.isValid(intLt(X, 10)));
+}
+
+TEST_F(IncrementalSolverTest, EquivalenceViaTwoImplications) {
+  TermRef P = intLt(X, 4);
+  TermRef Q = F.mkLe(X, F.intConst(3));
+  EXPECT_TRUE(S.areEquivalent(P, Q));
+  EXPECT_TRUE(S.areEquivalent(P, P));
+  EXPECT_FALSE(S.areEquivalent(P, intLt(X, 5)));
+}
+
+TEST_F(IncrementalSolverTest, ConjunctPairRefutationAvoidsZ3) {
+  // The conjunction contains a non-linear atom (outside the built-in
+  // fragment), but two string conjuncts refute each other; the
+  // subsumption pre-check must answer unsat without any Z3 call.
+  std::vector<TermRef> Conjuncts = {F.mkEq(Tag, F.stringConst("a")),
+                                    F.mkEq(Tag, F.stringConst("b")),
+                                    squareIs(4)};
+  TermRef Conj = F.mkAnd(Conjuncts);
+  ASSERT_FALSE(Conj->isFalse()) << "factory folded the test conjunction";
+  uint64_t Z3Before = S.stats().Z3Checks;
+  EXPECT_FALSE(S.isSat(Conj));
+  EXPECT_EQ(S.stats().Z3Checks, Z3Before);
+  EXPECT_GT(S.stats().SubsumptionAnswers, 0u);
+}
+
+} // namespace
