@@ -64,6 +64,8 @@ void reportEngineCounters(benchmark::State &State, Session &S) {
     Total.SatCacheHits += C.SatCacheHits;
     Total.MintermSplits += C.MintermSplits;
     Total.MintermCacheHits += C.MintermCacheHits;
+    Total.SolverQueryUs.merge(C.SolverQueryUs);
+    Total.MintermSplitUs.merge(C.MintermSplitUs);
   }
   auto PerIter = [&](uint64_t V) {
     return benchmark::Counter(static_cast<double>(V),
@@ -75,6 +77,15 @@ void reportEngineCounters(benchmark::State &State, Session &S) {
   State.counters["sat_cache_hits"] = PerIter(Total.SatCacheHits);
   State.counters["minterm_splits"] = PerIter(Total.MintermSplits);
   State.counters["minterm_cache_hits"] = PerIter(Total.MintermCacheHits);
+  // Latency percentiles are properties of the whole run, not per-iteration
+  // averages, so they go in as plain counters.
+  auto Plain = [](double V) { return benchmark::Counter(V); };
+  State.counters["solver_query_p50_us"] = Plain(Total.SolverQueryUs.percentileUs(50));
+  State.counters["solver_query_p95_us"] = Plain(Total.SolverQueryUs.percentileUs(95));
+  State.counters["solver_query_p99_us"] = Plain(Total.SolverQueryUs.percentileUs(99));
+  State.counters["minterm_split_p50_us"] = Plain(Total.MintermSplitUs.percentileUs(50));
+  State.counters["minterm_split_p95_us"] = Plain(Total.MintermSplitUs.percentileUs(95));
+  State.counters["minterm_split_p99_us"] = Plain(Total.MintermSplitUs.percentileUs(99));
 }
 
 /// One composition of the Figure 8 transducers.

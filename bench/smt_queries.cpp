@@ -156,7 +156,8 @@ std::string statsJson(const Measurement &M) {
       << ",\"trie_nodes_decided\":" << M.Trie.NodesDecided
       << ",\"trie_node_hits\":" << M.Trie.NodeHits
       << ",\"trie_subsumed\":" << M.Trie.SubsumptionAnswers
-      << ",\"trie_split_hits\":" << M.Trie.SplitHits << "}";
+      << ",\"trie_split_hits\":" << M.Trie.SplitHits
+      << ",\"z3_check_us\":" << M.Solv.Z3CheckUs.json() << "}";
   return Out.str();
 }
 

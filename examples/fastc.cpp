@@ -3,12 +3,25 @@
 // Runs a .fast program: compiles the declarations, evaluates the defs, and
 // reports every assertion with its witness when one fails.
 //
-// Usage:  fastc [--dump] [--stats] [--export NAME] <program.fast>
+// Usage:  fastc [--dump] [--stats] [--stats-json] [--trace=FILE]
+//               [--progress] [--export NAME] <program.fast>
 //   --dump         also print every compiled language automaton and
 //                  transformation (states, rules, guards).
 //   --stats        print the exploration-engine statistics (states
-//                  explored, rules emitted, cache hit rates) per
-//                  construction after the program runs.
+//                  explored, rules emitted, cache hit rates, query-latency
+//                  percentiles) per construction after the program runs,
+//                  followed by the slowest solver queries of the session.
+//   --stats-json   print the same statistics as one machine-readable JSON
+//                  object on stdout.
+//   --trace=FILE   record a trace of the run: construction spans,
+//                  exploration batches, minterm splits, and individual
+//                  solver checks.  FILE ending in ".jsonl" streams one
+//                  JSON event per line (flushed per event); any other
+//                  extension writes a Chrome trace-event JSON array
+//                  loadable in Perfetto / chrome://tracing.
+//   --progress     print a heartbeat line to stderr while long
+//                  explorations run (states explored, frontier,
+//                  states/sec).
 //   --export NAME  print the named language/transformation as a
 //                  standalone, recompilable Fast program.
 //
@@ -27,6 +40,9 @@ using namespace fast;
 int main(int Argc, char **Argv) {
   bool Dump = false;
   bool Stats = false;
+  bool StatsJson = false;
+  bool Progress = false;
+  const char *TracePath = nullptr;
   const char *ExportName = nullptr;
   const char *Path = nullptr;
   bool Bad = false;
@@ -35,6 +51,12 @@ int main(int Argc, char **Argv) {
       Dump = true;
     else if (std::strcmp(Argv[I], "--stats") == 0)
       Stats = true;
+    else if (std::strcmp(Argv[I], "--stats-json") == 0)
+      StatsJson = true;
+    else if (std::strcmp(Argv[I], "--progress") == 0)
+      Progress = true;
+    else if (std::strncmp(Argv[I], "--trace=", 8) == 0)
+      TracePath = Argv[I] + 8;
     else if (std::strcmp(Argv[I], "--export") == 0 && I + 1 < Argc)
       ExportName = Argv[++I];
     else if (!Path)
@@ -43,8 +65,9 @@ int main(int Argc, char **Argv) {
       Bad = true;
   }
   if (!Path || Bad) {
-    std::cerr
-        << "usage: fastc [--dump] [--stats] [--export NAME] <program.fast>\n";
+    std::cerr << "usage: fastc [--dump] [--stats] [--stats-json] "
+                 "[--trace=FILE] [--progress] [--export NAME] "
+                 "<program.fast>\n";
     return 2;
   }
   std::ifstream File(Path);
@@ -56,7 +79,16 @@ int main(int Argc, char **Argv) {
   Buffer << File.rdbuf();
 
   Session S;
+  if (TracePath && !S.tracer().openTrace(TracePath)) {
+    std::cerr << "fastc: cannot open trace file '" << TracePath << "'\n";
+    return 2;
+  }
+  if (Progress)
+    S.tracer().setProgressStream(&std::cerr);
+
   FastProgramResult R = runFastProgram(S, Buffer.str());
+  if (TracePath)
+    S.tracer().closeTrace();
   if (!R.DiagText.empty())
     std::cerr << R.DiagText;
   if (R.ErrorCount != 0)
@@ -117,6 +149,9 @@ int main(int Argc, char **Argv) {
               << " fast-path, " << Q.ScopedChecks << " scoped-checks, "
               << Q.LiteralsAsserted << " literals-asserted, "
               << Q.SubsumptionAnswers << " subsumption-answers\n";
+    std::cout << S.tracer().slowQueries().report();
   }
+  if (StatsJson)
+    std::cout << S.stats().json() << "\n";
   return Failed == 0 ? 0 : 1;
 }

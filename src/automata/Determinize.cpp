@@ -44,7 +44,7 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
   using WorkItem = std::pair<unsigned, std::vector<unsigned>>;
   engine::StateInterner<StateSet> DetStates(&Scope.stats());
   engine::StateInterner<WorkItem> WorkItems;
-  engine::Exploration Explore(&Scope.stats(), E.Limits);
+  engine::Exploration Explore(&Scope.stats(), E.Limits, &E.Trace);
 
   auto EnqueueItem = [&](unsigned CtorId, std::vector<unsigned> Tuple) {
     auto [Id, Fresh] = WorkItems.intern({CtorId, std::move(Tuple)});

@@ -50,7 +50,7 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
   // Merged states, identified by their canonical member set; interned ids
   // coincide with Out's state ids.
   engine::StateInterner<StateSet> Merged(&Scope.stats());
-  engine::Exploration Explore(&Scope.stats(), E.Limits);
+  engine::Exploration Explore(&Scope.stats(), E.Limits, &E.Trace);
 
   auto NameOf = [&](const StateSet &Set) {
     std::string Name = "{";
@@ -342,7 +342,7 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
 
   // Reachability from the roots through rules with all-productive children.
   std::vector<bool> Reachable(A.numStates(), false);
-  engine::Exploration Explore(&Scope.stats(), E.Limits);
+  engine::Exploration Explore(&Scope.stats(), E.Limits, &E.Trace);
   auto Enqueue = [&](unsigned Q) {
     if (!Reachable[Q]) {
       Reachable[Q] = true;

@@ -6,12 +6,18 @@
 ///
 /// \file
 /// SessionEngine bundles the pieces every fixpoint construction shares
-/// within one analysis session: the Stats registry, the GuardCache, and
-/// the default ExplorationLimits.  It is attached to the session's Solver
-/// as its SolverExtension (a Session owns exactly one Solver, so
-/// per-Solver means per-Session), which lets construction entry points
-/// that receive only a `Solver &` reach the shared state without threading
-/// a new context parameter through every caller.
+/// within one analysis session: the Stats registry, the observability
+/// Tracer, the GuardCache, and the default ExplorationLimits.  It is
+/// attached to the session's Solver as its SolverExtension (a Session owns
+/// exactly one Solver, so per-Solver means per-Session), which lets
+/// construction entry points that receive only a `Solver &` reach the
+/// shared state without threading a new context parameter through every
+/// caller.
+///
+/// Construction wires the tracer through the stack: the Stats registry
+/// reports construction spans to it, the Solver reports individual query
+/// latencies and slow queries, and FAST_TRACE / FAST_PROGRESS in the
+/// environment attach a sink / heartbeat stream without code changes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +28,7 @@
 #include "engine/GuardCache.h"
 #include "engine/StateInterner.h"
 #include "engine/Stats.h"
+#include "obs/Tracer.h"
 
 namespace fast::engine {
 
@@ -30,9 +37,18 @@ public:
   /// The engine of \p Solv's session, created and installed on first use.
   static SessionEngine &of(Solver &Solv);
 
-  explicit SessionEngine(Solver &Solv) : Guards(Solv, Stats) {}
+  explicit SessionEngine(Solver &Solv) : Solv(Solv), Guards(Solv, Stats) {
+    Trace.configureFromEnv();
+    Stats.setTracer(&Trace);
+    Solv.setTracer(&Trace);
+  }
+  ~SessionEngine() { Solv.setTracer(nullptr); }
 
+  Solver &Solv;
   StatsRegistry Stats;
+  /// Session tracing/profiling hub (spans, slow-query log, progress
+  /// heartbeat); inactive until a sink is attached.
+  obs::Tracer Trace;
   GuardCache Guards;
   /// Budgets applied by every construction's Exploration; unlimited by
   /// default.  Exceeding one makes the construction throw ExplorationError.

@@ -2,6 +2,8 @@
 
 #include "engine/Exploration.h"
 
+#include <ostream>
+
 using namespace fast::engine;
 
 const char *fast::engine::toString(ExplorationOutcome Outcome) {
@@ -25,3 +27,88 @@ ExplorationError::ExplorationError(std::string_view Construction,
     : std::runtime_error(std::string(Construction) +
                          " exploration stopped: " + toString(Outcome)),
       Outcome(Outcome) {}
+
+void Exploration::beginObservedRun() {
+  RunStart = LastBeat = std::chrono::steady_clock::now();
+  StepsAtLastBeat = Steps;
+  BatchStartStep = Steps;
+  if (Trace->active()) {
+    Trace->beginSpan("explore.batch", "explore");
+    BatchSpanOpen = true;
+  }
+}
+
+/// Closes the current batch span (attaching its size and the frontier) and
+/// opens the next one; every BatchSize steps it also checks whether a
+/// progress heartbeat is due.
+void Exploration::observeBatch() {
+  if (BatchSpanOpen) {
+    const obs::TraceAttr Attrs[] = {
+        obs::attr("steps", static_cast<uint64_t>(Steps - BatchStartStep)),
+        obs::attr("frontier", static_cast<uint64_t>(Queue.size())),
+    };
+    Trace->endSpan(Attrs);
+    BatchSpanOpen = false;
+  }
+  auto Now = std::chrono::steady_clock::now();
+  double SinceBeatMs =
+      std::chrono::duration<double, std::milli>(Now - LastBeat).count();
+  if (SinceBeatMs >= Trace->ProgressIntervalMs) {
+    double Rate = SinceBeatMs > 0
+                      ? (Steps - StepsAtLastBeat) * 1000.0 / SinceBeatMs
+                      : 0;
+    std::string_view Construction = Trace->currentConstruction();
+    if (Construction.empty())
+      Construction = "explore";
+    const obs::TraceAttr Attrs[] = {
+        obs::attr("construction", Construction),
+        obs::attr("states_explored", static_cast<uint64_t>(Steps)),
+        obs::attr("frontier", static_cast<uint64_t>(Queue.size())),
+        obs::attr("states_per_sec", Rate),
+    };
+    Trace->instant("progress", "explore", Attrs);
+    if (std::ostream *Out = Trace->progressStream())
+      *Out << "[fast] " << Construction << ": " << Steps
+           << " states explored, frontier " << Queue.size() << ", "
+           << static_cast<uint64_t>(Rate) << " states/s\n";
+    LastBeat = Now;
+    StepsAtLastBeat = Steps;
+  }
+  if (Trace->active()) {
+    Trace->beginSpan("explore.batch", "explore");
+    BatchSpanOpen = true;
+    BatchStartStep = Steps;
+  }
+}
+
+void Exploration::endObservedRun(ExplorationOutcome) {
+  if (BatchSpanOpen) {
+    const obs::TraceAttr Attrs[] = {
+        obs::attr("steps", static_cast<uint64_t>(Steps - BatchStartStep)),
+        obs::attr("frontier", static_cast<uint64_t>(Queue.size())),
+    };
+    Trace->endSpan(Attrs);
+    BatchSpanOpen = false;
+  }
+}
+
+void Exploration::reportExhaustion(std::string_view Construction,
+                                   ExplorationOutcome Outcome) {
+  if (!Trace)
+    return;
+  const obs::TraceAttr Attrs[] = {
+      obs::attr("construction", Construction),
+      obs::attr("outcome", toString(Outcome)),
+      obs::attr("states_explored", static_cast<uint64_t>(Steps)),
+      obs::attr("frontier", static_cast<uint64_t>(Queue.size())),
+  };
+  Trace->instant("exploration.stopped", "explore", Attrs);
+  if (std::ostream *Out = Trace->progressStream()) {
+    *Out << "[fast] " << Construction
+         << " exploration stopped: " << toString(Outcome) << " after " << Steps
+         << " states (frontier " << Queue.size() << ")\n";
+    std::string Slow = Trace->slowQueries().report();
+    if (!Slow.empty())
+      *Out << Slow;
+  }
+}

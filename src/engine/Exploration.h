@@ -15,12 +15,21 @@
 /// gracefully instead of spinning, and it records its progress into the
 /// session Stats registry.
 ///
+/// With the session tracer attached, a run additionally emits
+/// "explore.batch" spans (one per BatchSize expansions, so long fixpoints
+/// are visible as a sequence of batches in the trace, each annotated with
+/// the frontier size) and periodic progress heartbeats — instant events
+/// plus optional stderr lines — reporting states explored, frontier size,
+/// and throughput.  Tracing off, the only per-step cost is one null check;
+/// the clock is consulted every BatchSize steps at most.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FAST_ENGINE_EXPLORATION_H
 #define FAST_ENGINE_EXPLORATION_H
 
 #include "engine/Stats.h"
+#include "obs/Tracer.h"
 
 #include <chrono>
 #include <deque>
@@ -67,9 +76,13 @@ private:
 /// breadth-first order and produce small witnesses/names first).
 class Exploration {
 public:
+  /// Expansions per trace batch span / per clock poll for heartbeats.
+  static constexpr size_t BatchSize = 256;
+
   explicit Exploration(ConstructionStats *Stats = nullptr,
-                       ExplorationLimits Limits = {})
-      : Stats(Stats), Limits(std::move(Limits)) {}
+                       ExplorationLimits Limits = {},
+                       obs::Tracer *Trace = nullptr)
+      : Stats(Stats), Limits(std::move(Limits)), Trace(Trace) {}
 
   /// Enqueues item \p Id.  Callers deduplicate (typically through a
   /// StateInterner's Fresh bit or a visited bitset); every enqueued id is
@@ -90,40 +103,76 @@ public:
     auto Deadline = std::chrono::steady_clock::time_point::max();
     if (Limits.Timeout.count() > 0)
       Deadline = std::chrono::steady_clock::now() + Limits.Timeout;
+    bool Observed = Trace && (Trace->active() || Trace->progressStream());
+    if (Observed)
+      beginObservedRun();
+    ExplorationOutcome Outcome = ExplorationOutcome::Completed;
     while (!Queue.empty()) {
-      if (Limits.CancelRequested && Limits.CancelRequested())
-        return ExplorationOutcome::Cancelled;
-      if (Limits.MaxStates != 0 && Enqueued > Limits.MaxStates)
-        return ExplorationOutcome::StateBudgetExceeded;
-      if (Limits.MaxSteps != 0 && Steps >= Limits.MaxSteps)
-        return ExplorationOutcome::StepBudgetExceeded;
+      if (Limits.CancelRequested && Limits.CancelRequested()) {
+        Outcome = ExplorationOutcome::Cancelled;
+        break;
+      }
+      if (Limits.MaxStates != 0 && Enqueued > Limits.MaxStates) {
+        Outcome = ExplorationOutcome::StateBudgetExceeded;
+        break;
+      }
+      if (Limits.MaxSteps != 0 && Steps >= Limits.MaxSteps) {
+        Outcome = ExplorationOutcome::StepBudgetExceeded;
+        break;
+      }
       if (Limits.Timeout.count() > 0 &&
-          std::chrono::steady_clock::now() >= Deadline)
-        return ExplorationOutcome::TimedOut;
+          std::chrono::steady_clock::now() >= Deadline) {
+        Outcome = ExplorationOutcome::TimedOut;
+        break;
+      }
       unsigned Id = Queue.front();
       Queue.pop_front();
       ++Steps;
       if (Stats)
         ++Stats->StatesExplored;
+      if (Observed && Steps % BatchSize == 0)
+        observeBatch();
       Expand(Id);
     }
-    return ExplorationOutcome::Completed;
+    if (Observed)
+      endObservedRun(Outcome);
+    return Outcome;
   }
 
   /// run(), but throws ExplorationError on any outcome but Completed.
+  /// Before throwing, the failure is reported to the tracer: an instant
+  /// event on the active sink and — because a budgeted run that dies is
+  /// exactly when one wants to know what the solver was chewing on — the
+  /// session's slow-query log on the progress stream.
   template <typename ExpandFn>
   void runOrThrow(std::string_view Construction, ExpandFn &&Expand) {
     ExplorationOutcome Outcome = run(std::forward<ExpandFn>(Expand));
-    if (Outcome != ExplorationOutcome::Completed)
+    if (Outcome != ExplorationOutcome::Completed) {
+      reportExhaustion(Construction, Outcome);
       throw ExplorationError(Construction, Outcome);
+    }
   }
 
 private:
+  /// Out-of-line tracing slow paths (Exploration.cpp), so the template
+  /// above stays lean.
+  void beginObservedRun();
+  void observeBatch();
+  void endObservedRun(ExplorationOutcome Outcome);
+  void reportExhaustion(std::string_view Construction,
+                        ExplorationOutcome Outcome);
+
   ConstructionStats *Stats;
   ExplorationLimits Limits;
+  obs::Tracer *Trace;
   std::deque<unsigned> Queue;
   size_t Steps = 0;
   size_t Enqueued = 0;
+  /// Heartbeat bookkeeping, valid during an observed run().
+  bool BatchSpanOpen = false;
+  size_t BatchStartStep = 0;
+  size_t StepsAtLastBeat = 0;
+  std::chrono::steady_clock::time_point RunStart, LastBeat;
 };
 
 } // namespace fast::engine

@@ -3,9 +3,20 @@
 #include "engine/GuardCache.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace fast;
 using namespace fast::engine;
+
+namespace {
+
+double usSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
 
 GuardCache::GuardCache(Solver &Solv, StatsRegistry &Stats)
     : Solv(Solv), Stats(Stats), Trie(std::make_unique<MintermTrie>(Solv)) {}
@@ -19,7 +30,9 @@ bool GuardCache::isSat(TermRef Pred) {
     count(&ConstructionStats::SatCacheHits);
     return It->second;
   }
+  auto T0 = std::chrono::steady_clock::now();
   It->second = Solv.isSat(Pred);
+  recordQueryLatency(usSince(T0));
   return It->second;
 }
 
@@ -30,7 +43,9 @@ bool GuardCache::isValid(TermRef Pred) {
     count(&ConstructionStats::SatCacheHits);
     return It->second;
   }
+  auto T0 = std::chrono::steady_clock::now();
   It->second = Solv.isValid(Pred);
+  recordQueryLatency(usSince(T0));
   return It->second;
 }
 
@@ -41,8 +56,15 @@ bool GuardCache::implies(TermRef A, TermRef B) {
     count(&ConstructionStats::SatCacheHits);
     return It->second;
   }
+  auto T0 = std::chrono::steady_clock::now();
   It->second = Solv.implies(A, B);
+  recordQueryLatency(usSince(T0));
   return It->second;
+}
+
+void GuardCache::recordQueryLatency(double Us) {
+  if (ConstructionStats *C = Stats.current())
+    C->SolverQueryUs.record(Us);
 }
 
 const GuardCache::MintermSplit &
@@ -54,10 +76,15 @@ GuardCache::minterms(std::span<const TermRef> Guards) {
                   Canonical.end());
 
   // The trie keeps global counters; attribute this call's deltas to the
-  // innermost active construction.
+  // innermost active construction.  Span + latency are recorded only for
+  // enumerations actually computed (split-index misses).
+  obs::SpanGuard Span(Stats.tracer(), "minterm.split", "smt");
   const MintermTrie::Stats Before = Trie->stats();
+  auto T0 = std::chrono::steady_clock::now();
   const MintermSplit &Split = Trie->minterms(Canonical, TrieEnabled);
+  double Us = usSince(T0);
   const MintermTrie::Stats &After = Trie->stats();
+  bool Computed = After.SplitsComputed != Before.SplitsComputed;
   if (ConstructionStats *C = Stats.current()) {
     C->MintermSplits += After.SplitsComputed - Before.SplitsComputed;
     C->MintermCacheHits += After.SplitHits - Before.SplitHits;
@@ -65,6 +92,17 @@ GuardCache::minterms(std::span<const TermRef> Guards) {
     C->TrieNodesDecided += After.NodesDecided - Before.NodesDecided;
     C->TrieNodeHits += After.NodeHits - Before.NodeHits;
     C->TrieSubsumed += After.SubsumptionAnswers - Before.SubsumptionAnswers;
+    if (Computed)
+      C->MintermSplitUs.record(Us);
+  }
+  if (Span.live()) {
+    Span.add(obs::attr("guards", static_cast<uint64_t>(Canonical.size())));
+    Span.add(obs::attr("regions", static_cast<uint64_t>(Split.Regions.size())));
+    Span.add(obs::attr("computed", static_cast<uint64_t>(Computed ? 1 : 0)));
+    Span.add(obs::attr("nodes_decided",
+                       After.NodesDecided - Before.NodesDecided));
+    Span.add(obs::attr("subsumed",
+                       After.SubsumptionAnswers - Before.SubsumptionAnswers));
   }
   return Split;
 }

@@ -86,6 +86,9 @@ private:
       ++(C->*Counter);
   }
 
+  /// Records a memo-miss query latency on the innermost construction.
+  void recordQueryLatency(double Us);
+
   Solver &Solv;
   StatsRegistry &Stats;
   std::unordered_map<TermRef, bool> SatMemo;

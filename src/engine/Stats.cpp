@@ -34,6 +34,32 @@ std::string StatsRegistry::report() const {
         << std::setw(10) << C.TrieSubsumed << std::setw(11) << std::fixed
         << std::setprecision(1) << C.WallMs << "\n";
   }
+
+  // Latency table: only constructions that actually reached the solver.
+  bool AnyLatency = false;
+  for (const auto &[Name, C] : Constructions)
+    AnyLatency |= C.SolverQueryUs.count() != 0 || C.MintermSplitUs.count() != 0;
+  if (AnyLatency) {
+    Out << std::left << std::setw(14) << "latency (us)" << std::right
+        << std::setw(10) << "queries" << std::setw(9) << "q-p50" << std::setw(9)
+        << "q-p95" << std::setw(9) << "q-p99" << std::setw(10) << "q-max"
+        << std::setw(9) << "splits" << std::setw(9) << "s-p50" << std::setw(9)
+        << "s-p95" << std::setw(9) << "s-p99" << std::setw(10) << "s-max"
+        << "\n";
+    for (const auto &[Name, C] : Constructions) {
+      if (C.SolverQueryUs.count() == 0 && C.MintermSplitUs.count() == 0)
+        continue;
+      const obs::LatencyHistogram &Q = C.SolverQueryUs;
+      const obs::LatencyHistogram &S = C.MintermSplitUs;
+      Out << std::left << std::setw(14) << Name << std::right << std::fixed
+          << std::setprecision(0) << std::setw(10) << Q.count() << std::setw(9)
+          << Q.percentileUs(50) << std::setw(9) << Q.percentileUs(95)
+          << std::setw(9) << Q.percentileUs(99) << std::setw(10) << Q.maxUs()
+          << std::setw(9) << S.count() << std::setw(9) << S.percentileUs(50)
+          << std::setw(9) << S.percentileUs(95) << std::setw(9)
+          << S.percentileUs(99) << std::setw(10) << S.maxUs() << "\n";
+    }
+  }
   return Out.str();
 }
 
@@ -59,7 +85,8 @@ std::string StatsRegistry::json() const {
         << ", \"trie_node_hits\": " << C.TrieNodeHits
         << ", \"trie_subsumed\": " << C.TrieSubsumed
         << ", \"wall_ms\": " << std::fixed << std::setprecision(3) << C.WallMs
-        << "}";
+        << ", \"solver_query_us\": " << C.SolverQueryUs.json()
+        << ", \"minterm_split_us\": " << C.MintermSplitUs.json() << "}";
   }
   Out << "}";
   return Out.str();
@@ -71,6 +98,16 @@ ConstructionScope::ConstructionScope(StatsRegistry &Registry,
       Start(std::chrono::steady_clock::now()) {
   ++Stats.Runs;
   Registry.ScopeStack.push_back(&Stats);
+  if (obs::Tracer *T = Registry.Trace) {
+    T->pushConstruction(Name);
+    if (T->active()) {
+      Before = {Stats.StatesExplored, Stats.StatesInterned, Stats.RulesEmitted,
+                Stats.SatQueries,     Stats.SatCacheHits,   Stats.MintermSplits,
+                Stats.MintermsProduced};
+      T->beginSpan(Name, "construction");
+      SpanOpen = true;
+    }
+  }
 }
 
 ConstructionScope::~ConstructionScope() {
@@ -78,4 +115,20 @@ ConstructionScope::~ConstructionScope() {
                       std::chrono::steady_clock::now() - Start)
                       .count();
   Registry.ScopeStack.pop_back();
+  if (obs::Tracer *T = Registry.Trace) {
+    if (SpanOpen && T->active()) {
+      const obs::TraceAttr Attrs[] = {
+          obs::attr("states_explored", Stats.StatesExplored - Before.StatesExplored),
+          obs::attr("states_interned", Stats.StatesInterned - Before.StatesInterned),
+          obs::attr("rules_emitted", Stats.RulesEmitted - Before.RulesEmitted),
+          obs::attr("sat_queries", Stats.SatQueries - Before.SatQueries),
+          obs::attr("sat_cache_hits", Stats.SatCacheHits - Before.SatCacheHits),
+          obs::attr("minterm_splits", Stats.MintermSplits - Before.MintermSplits),
+          obs::attr("minterms_produced",
+                    Stats.MintermsProduced - Before.MintermsProduced),
+      };
+      T->endSpan(Attrs);
+    }
+    T->popConstruction();
+  }
 }

@@ -11,13 +11,23 @@
 /// GuardCache — records into the ConstructionStats of the construction it
 /// is running for; nested constructions (e.g. the normalization performed
 /// inside composition) attribute their counters to the innermost active
-/// ConstructionScope.  Surfaced through Session, printed by `fastc
-/// --stats`, and emitted as JSON by the benchmarks.
+/// ConstructionScope.  Besides event counters, each construction keeps
+/// log-scale latency histograms for the guard queries and minterm splits
+/// issued on its behalf (reported as p50/p95/p99).  Surfaced through
+/// Session, printed by `fastc --stats`, emitted as JSON by `fastc
+/// --stats-json` and the benchmarks.
+///
+/// When the registry's tracer is set (the SessionEngine wires its own),
+/// every ConstructionScope additionally emits a span to the active trace
+/// sink, carrying the counter deltas accumulated while it was innermost.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef FAST_ENGINE_STATS_H
 #define FAST_ENGINE_STATS_H
+
+#include "obs/Histogram.h"
+#include "obs/Tracer.h"
 
 #include <chrono>
 #include <cstdint>
@@ -60,13 +70,20 @@ struct ConstructionStats {
   /// Nested constructions are included in their parents' time but record
   /// their event counters only to themselves.
   double WallMs = 0;
+  /// Latency of GuardCache queries that missed the memo (the calls that
+  /// actually reached the solver stack), per query.
+  obs::LatencyHistogram SolverQueryUs;
+  /// Latency of minterm enumerations actually computed (split misses),
+  /// per enumeration.
+  obs::LatencyHistogram MintermSplitUs;
 };
 
 /// The per-session registry, keyed by construction name.
 class StatsRegistry {
 public:
   /// The (created-on-demand) stats slot for \p Name.  References remain
-  /// valid for the registry's lifetime.
+  /// valid for the registry's lifetime — reset() zeroes slots in place
+  /// and never erases them.
   ConstructionStats &construction(std::string_view Name);
 
   /// The innermost active ConstructionScope's stats, or null outside any.
@@ -79,23 +96,40 @@ public:
     return Constructions;
   }
 
-  /// Human-readable table of every construction's counters.
+  /// Human-readable tables: counters per construction, then guard-query
+  /// and minterm-split latency percentiles.
   std::string report() const;
 
   /// Machine-readable single-line JSON object, keyed by construction name.
   std::string json() const;
 
-  void reset() { Constructions.clear(); }
+  /// Zeroes every construction's counters in place.  Slots are never
+  /// erased, so ConstructionStats references — including the ones held by
+  /// active ConstructionScopes — stay valid across a reset; a scope alive
+  /// during the reset simply continues accumulating into its zeroed slot.
+  void reset() {
+    for (auto &[Name, C] : Constructions)
+      C = ConstructionStats();
+  }
+
+  /// The session tracer construction scopes report spans to (null until
+  /// the SessionEngine installs its own).
+  obs::Tracer *tracer() const { return Trace; }
+  void setTracer(obs::Tracer *T) { Trace = T; }
 
 private:
   friend class ConstructionScope;
   std::map<std::string, ConstructionStats, std::less<>> Constructions;
   std::vector<ConstructionStats *> ScopeStack;
+  obs::Tracer *Trace = nullptr;
 };
 
 /// RAII marker: "the session is now inside construction Name".  Counts the
 /// run, accumulates inclusive wall time on exit, and makes the construction
-/// the attribution target for GuardCache queries issued while active.
+/// the attribution target for GuardCache queries issued while active.  With
+/// a tracer installed it also pushes the construction label (slow-query
+/// attribution) and, when a sink is active, emits a "construction" span
+/// whose end event carries this run's counter deltas.
 class ConstructionScope {
 public:
   ConstructionScope(StatsRegistry &Registry, std::string_view Name);
@@ -109,6 +143,12 @@ private:
   StatsRegistry &Registry;
   ConstructionStats &Stats;
   std::chrono::steady_clock::time_point Start;
+  /// Counter snapshot at entry, taken only when a span is being recorded.
+  struct Snapshot {
+    uint64_t StatesExplored, StatesInterned, RulesEmitted, SatQueries,
+        SatCacheHits, MintermSplits, MintermsProduced;
+  } Before;
+  bool SpanOpen = false;
 };
 
 } // namespace fast::engine

@@ -1,0 +1,104 @@
+//===- obs/Histogram.h - Fixed-bucket log-scale latency histogram -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, log2-bucketed latency histogram for microsecond samples.
+/// Recording is one bit_width plus two increments, so the engine can keep
+/// one histogram per construction without measurable overhead; percentiles
+/// are estimated as the geometric midpoint of the bucket containing the
+/// target rank.  The struct is trivially copyable (plain arrays), so it
+/// lives by value inside ConstructionStats and Solver::Stats and survives
+/// their reset-by-assignment idiom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_OBS_HISTOGRAM_H
+#define FAST_OBS_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace fast::obs {
+
+/// Log-scale histogram over non-negative microsecond latencies.  Bucket 0
+/// holds samples under 1us; bucket i (i >= 1) holds [2^(i-1), 2^i) us; the
+/// last bucket is open-ended (~76h and beyond).
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 40;
+
+  void record(double Us) {
+    if (Us < 0)
+      Us = 0;
+    uint64_t V = static_cast<uint64_t>(Us);
+    size_t Bucket = V == 0 ? 0 : static_cast<size_t>(std::bit_width(V));
+    ++Buckets[std::min(Bucket, NumBuckets - 1)];
+    ++Count;
+    SumUs += Us;
+    MaxUs = std::max(MaxUs, Us);
+  }
+
+  uint64_t count() const { return Count; }
+  double sumUs() const { return SumUs; }
+  double maxUs() const { return MaxUs; }
+  double meanUs() const { return Count == 0 ? 0 : SumUs / Count; }
+
+  /// Estimated latency at percentile \p P in [0, 100]: the geometric
+  /// midpoint of the bucket containing the P-th percentile sample (0 for
+  /// an empty histogram; the sub-microsecond bucket reports 0.5).
+  double percentileUs(double P) const {
+    if (Count == 0)
+      return 0;
+    uint64_t Rank = static_cast<uint64_t>(P / 100.0 * Count);
+    Rank = std::min(std::max<uint64_t>(Rank, 1), Count);
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Rank) {
+        if (I == 0)
+          return 0.5;
+        double Lower = static_cast<double>(uint64_t(1) << (I - 1));
+        return std::min(Lower * 1.5, MaxUs);
+      }
+    }
+    return MaxUs;
+  }
+
+  void merge(const LatencyHistogram &Other) {
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    Count += Other.Count;
+    SumUs += Other.SumUs;
+    MaxUs = std::max(MaxUs, Other.MaxUs);
+  }
+
+  /// One-line JSON object with count, mean, p50/p95/p99, and max, all in
+  /// microseconds.
+  std::string json() const {
+    std::ostringstream Out;
+    Out.precision(1);
+    Out << std::fixed << "{\"count\":" << Count << ",\"mean_us\":" << meanUs()
+        << ",\"p50_us\":" << percentileUs(50)
+        << ",\"p95_us\":" << percentileUs(95)
+        << ",\"p99_us\":" << percentileUs(99) << ",\"max_us\":" << MaxUs
+        << "}";
+    return Out.str();
+  }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  double SumUs = 0;
+  double MaxUs = 0;
+};
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_HISTOGRAM_H

@@ -1,0 +1,122 @@
+//===- obs/TraceSink.cpp - Pluggable trace-event sinks --------------------===//
+
+#include "obs/TraceSink.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace fast::obs;
+
+TraceSink::~TraceSink() = default;
+
+std::string fast::obs::jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string number(double V) {
+  std::ostringstream Out;
+  Out.precision(3);
+  Out << std::fixed << V;
+  return Out.str();
+}
+
+} // namespace
+
+TraceAttr fast::obs::attr(std::string_view Key, uint64_t Value) {
+  return {std::string(Key), std::to_string(Value)};
+}
+
+TraceAttr fast::obs::attr(std::string_view Key, int64_t Value) {
+  return {std::string(Key), std::to_string(Value)};
+}
+
+TraceAttr fast::obs::attr(std::string_view Key, double Value) {
+  return {std::string(Key), number(Value)};
+}
+
+TraceAttr fast::obs::attr(std::string_view Key, std::string_view Value) {
+  return {std::string(Key), "\"" + jsonEscape(Value) + "\""};
+}
+
+namespace {
+
+/// Renders the shared Chrome-style body: name, category, phase,
+/// timestamp(s), and the args object.  Used verbatim by both sinks so one
+/// validator handles either format.
+void writeEventBody(std::ostream &Out, const TraceEvent &E) {
+  Out << "{\"name\":\"" << jsonEscape(E.Name) << "\",\"cat\":\""
+      << jsonEscape(E.Category) << "\",\"ph\":\"" << E.Phase
+      << "\",\"ts\":" << number(E.TsUs) << ",\"pid\":1,\"tid\":1";
+  if (E.Phase == 'X')
+    Out << ",\"dur\":" << number(E.DurUs);
+  if (E.Phase == 'i')
+    Out << ",\"s\":\"t\""; // Thread-scoped instant.
+  Out << ",\"args\":{";
+  bool First = true;
+  for (const TraceAttr &A : E.Attrs) {
+    if (!First)
+      Out << ",";
+    First = false;
+    Out << "\"" << jsonEscape(A.Key) << "\":" << A.Text;
+  }
+  Out << "}}";
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string &Path)
+    : Out(Path, std::ios::trunc) {}
+
+void ChromeTraceSink::event(const TraceEvent &E) {
+  Out << (First ? "[\n" : ",\n");
+  First = false;
+  writeEventBody(Out, E);
+}
+
+void ChromeTraceSink::finish() {
+  if (First)
+    Out << "[\n{\"name\":\"empty\",\"cat\":\"trace\",\"ph\":\"i\",\"ts\":0,"
+           "\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{}}";
+  Out << "\n]\n";
+  Out.flush();
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &Path)
+    : Out(Path, std::ios::trunc) {}
+
+void JsonlTraceSink::event(const TraceEvent &E) {
+  writeEventBody(Out, E);
+  Out << "\n";
+  Out.flush(); // Survive abnormal exit: the file is complete per event.
+}

@@ -1,0 +1,84 @@
+//===- obs/Tracer.cpp - Session-wide tracing & profiling hub --------------===//
+
+#include "obs/Tracer.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace fast::obs;
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() { closeTrace(); }
+
+bool Tracer::openTrace(const std::string &Path) {
+  bool Jsonl = Path.size() >= 6 && Path.rfind(".jsonl") == Path.size() - 6;
+  if (Jsonl) {
+    auto S = std::make_unique<JsonlTraceSink>(Path);
+    if (!S->ok())
+      return false;
+    setSink(std::move(S));
+  } else {
+    auto S = std::make_unique<ChromeTraceSink>(Path);
+    if (!S->ok())
+      return false;
+    setSink(std::move(S));
+  }
+  return true;
+}
+
+void Tracer::setSink(std::unique_ptr<TraceSink> NewSink) {
+  closeTrace();
+  Sink = std::move(NewSink);
+  Active.store(Sink != nullptr, std::memory_order_relaxed);
+}
+
+void Tracer::closeTrace() {
+  if (!Sink)
+    return;
+  // Balance spans still open (e.g. a construction aborted by an
+  // ExplorationError unwinding past scope guards that checked active()
+  // before this sink existed).
+  while (!SpanStack.empty())
+    endSpan();
+  Sink->finish();
+  Sink.reset();
+  Active.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::configureFromEnv() {
+  if (const char *Path = std::getenv("FAST_TRACE"); Path && *Path)
+    openTrace(Path);
+  if (const char *P = std::getenv("FAST_PROGRESS"); P && *P && *P != '0')
+    setProgressStream(&std::cerr);
+}
+
+void Tracer::beginSpan(std::string_view Name, std::string_view Category) {
+  if (!active())
+    return;
+  SpanStack.push_back({std::string(Name), std::string(Category)});
+  Sink->event({'B', Name, Category, nowUs(), 0, {}});
+}
+
+void Tracer::endSpan(std::span<const TraceAttr> Attrs) {
+  if (!active() || SpanStack.empty())
+    return;
+  const OpenSpan &Top = SpanStack.back();
+  Sink->event({'E', Top.Name, Top.Category, nowUs(), 0, Attrs});
+  SpanStack.pop_back();
+}
+
+void Tracer::complete(std::string_view Name, std::string_view Category,
+                      double StartUs, std::span<const TraceAttr> Attrs) {
+  if (!active())
+    return;
+  double Now = nowUs();
+  Sink->event({'X', Name, Category, StartUs, Now - StartUs, Attrs});
+}
+
+void Tracer::instant(std::string_view Name, std::string_view Category,
+                     std::span<const TraceAttr> Attrs) {
+  if (!active())
+    return;
+  Sink->event({'i', Name, Category, nowUs(), 0, Attrs});
+}

@@ -9,15 +9,27 @@
 
 #include "smt/Solver.h"
 
+#include "obs/Tracer.h"
 #include "smt/SimpleSolver.h"
 
 #include <cassert>
+#include <chrono>
 #include <unordered_set>
 #include <vector>
 
 #include <z3++.h>
 
 using namespace fast;
+
+namespace {
+
+double usSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
 
 namespace {
 
@@ -287,6 +299,8 @@ bool Solver::isSat(TermRef Pred) {
   }
 
   bool Result = true;
+  auto T0 = std::chrono::steady_clock::now();
+  double SpanStart = Trace && Trace->active() ? Trace->nowUs() : 0;
   try {
     z3::expr E = Z3->translate(Pred);
     z3::solver &S = Z3->solver();
@@ -296,6 +310,7 @@ bool Solver::isSat(TermRef Pred) {
     ++Counters.Z3Checks;
     z3::check_result Answer = S.check();
     S.pop();
+    observeZ3Check("isSat", Pred, usSince(T0), SpanStart);
     switch (Answer) {
     case z3::sat:
       ++Counters.SatAnswers;
@@ -407,6 +422,21 @@ bool Solver::areEquivalent(TermRef A, TermRef B) {
   if (A == B)
     return true;
   return implies(A, B) && implies(B, A);
+}
+
+void Solver::observeZ3Check(const char *Kind, TermRef Pred, double Us,
+                            double SpanStartUs) {
+  Counters.Z3CheckUs.record(Us);
+  if (!Trace)
+    return;
+  Trace->slowQueries().record(Us, Kind, Trace->currentConstruction(),
+                              [&] { return Pred->str(); });
+  if (Trace->active()) {
+    const obs::TraceAttr Attrs[] = {
+        obs::attr("term", static_cast<uint64_t>(Pred->id())),
+    };
+    Trace->complete(Kind, "solver", SpanStartUs, Attrs);
+  }
 }
 
 bool Solver::conjunctPairRefuted(TermRef Conj) {
@@ -525,6 +555,8 @@ bool Solver::checkSat() {
     return false;
   }
 
+  auto T0 = std::chrono::steady_clock::now();
+  double SpanStart = Trace && Trace->active() ? Trace->nowUs() : 0;
   try {
     z3::solver &S = Z3->scopedSolver();
     // Lazy materialization: one frame per open scope, one add() per
@@ -542,7 +574,9 @@ bool Solver::checkSat() {
     }
     ++Counters.CoreChecks;
     ++Counters.Z3Checks;
-    switch (S.check()) {
+    z3::check_result Answer = S.check();
+    observeZ3Check("checkSat", Conj, usSince(T0), SpanStart);
+    switch (Answer) {
     case z3::sat:
       ++Counters.SatAnswers;
       if (CacheEnabled)
@@ -587,7 +621,11 @@ std::optional<AttrModel> Solver::getModel(TermRef Pred) {
     S.push();
     S.add(E);
     ++Counters.Z3ModelChecks;
-    if (S.check() != z3::sat) {
+    auto T0 = std::chrono::steady_clock::now();
+    double SpanStart = Trace && Trace->active() ? Trace->nowUs() : 0;
+    z3::check_result Answer = S.check();
+    observeZ3Check("getModel", Pred, usSince(T0), SpanStart);
+    if (Answer != z3::sat) {
       S.pop();
       return std::nullopt;
     }

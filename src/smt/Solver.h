@@ -20,6 +20,7 @@
 #ifndef FAST_SMT_SOLVER_H
 #define FAST_SMT_SOLVER_H
 
+#include "obs/Histogram.h"
 #include "smt/Term.h"
 #include "support/Hashing.h"
 
@@ -31,6 +32,10 @@
 #include <vector>
 
 namespace fast {
+
+namespace obs {
+class Tracer;
+}
 
 /// Three-valued answer of the cheap (never-Z3) implication check.
 enum class Trilean { False, True, Unknown };
@@ -148,6 +153,9 @@ public:
     uint64_t ImplicationQueries = 0;
     /// ... of which were answered from the implication cache.
     uint64_t ImplicationCacheHits = 0;
+    /// Latency of individual Z3 check() invocations (one-shot, scoped,
+    /// and model checks), per call; percentile source for the benchmarks.
+    obs::LatencyHistogram Z3CheckUs;
   };
   const Stats &stats() const { return Counters; }
   void resetStats() { Counters = Stats(); }
@@ -172,6 +180,11 @@ public:
     Ext = std::move(Extension);
   }
 
+  /// Attaches the session tracer (set by the SessionEngine; may be null).
+  /// Z3-reaching checks then emit leaf spans to its sink and report to its
+  /// slow-query log; the solver never owns the tracer.
+  void setTracer(obs::Tracer *T) { Trace = T; }
+
 private:
   struct Impl;
 
@@ -195,9 +208,17 @@ private:
     }
   };
 
+  /// Records one finished Z3 check of \p Pred (\p Kind names the entry
+  /// point) taking \p Us: into the latency histogram, the slow-query log,
+  /// and — when a sink is active — as a leaf span started at \p SpanStartUs
+  /// on the tracer's clock (ignored otherwise).
+  void observeZ3Check(const char *Kind, TermRef Pred, double Us,
+                      double SpanStartUs);
+
   TermFactory &Factory;
   std::unique_ptr<Impl> Z3;
   std::unique_ptr<SolverExtension> Ext;
+  obs::Tracer *Trace = nullptr;
   std::unordered_map<TermRef, bool> SatCache;
   std::unordered_map<TermRef, bool> ValidCache;
   /// (A, B) -> does A imply B.  Shared by implies() and impliesFast();

@@ -78,11 +78,20 @@ std::string dumpRepro(const FuzzFailure &F, const FuzzConfig &Config,
   WriteFile("command.txt", reproCommand(F, Config.Run));
 
   // Regenerate the (minimized, if available) instance to dump it together
-  // with DOT renderings of every symbolic object.
+  // with DOT renderings of every symbolic object.  The regeneration and the
+  // failing oracle's re-run happen under a JSONL tracer, so the repro dir
+  // also carries the execution timeline (construction spans, solver leaf
+  // spans) of the failure; JSONL is flushed per event, so the trace is
+  // usable even if the re-run dies.
   const InstanceOptions &Opts =
       F.ShrinkSteps != 0 ? F.MinimizedOptions : F.Options;
   Session S;
+  bool Tracing = S.tracer().openTrace((Dir / "trace.jsonl").string());
   FuzzInstance I = makeInstance(S, F.Seed, Opts);
+  if (const Oracle *O = findOracle(F.OracleName))
+    runOracle(*O, S, I, Config.Run);
+  if (Tracing)
+    S.tracer().closeTrace();
   WriteFile("instance.txt", describeInstance(I));
   WriteFile("lang-a.dot", languageToDot(I.LangA, "lang_a"));
   WriteFile("lang-b.dot", languageToDot(I.LangB, "lang_b"));

@@ -99,7 +99,7 @@ public:
                   Sta &Out)
       : Engine(Engine), Stats(Engine.Stats.construction("preimage")), Src(Src),
         B(B), Out(Out), Look(Engine.Guards, B), Pairs(&Stats),
-        Explore(&Stats, Engine.Limits) {
+        Explore(&Stats, Engine.Limits, &Engine.Trace) {
     LaOffset = Out.import(Src.lookahead());
   }
 
@@ -166,7 +166,7 @@ public:
         Stats(Engine.Stats.construction("compose")), Solv(Solv),
         F(Solv.factory()), Outputs(Outputs), S(S), T(T),
         Composed(std::make_shared<Sttr>(S.signature())), TransIds(&Stats),
-        Explore(&Stats, Engine.Limits) {
+        Explore(&Stats, Engine.Limits, &Engine.Trace) {
     buildNormalizedDomain();
     Pre = std::make_unique<PreImageBuilder>(Engine, S, *NDT.Automaton,
                                             Composed->lookahead());

@@ -12,10 +12,12 @@ using namespace fast;
 DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
   std::optional<engine::ConstructionScope> Scope;
   engine::ExplorationLimits Limits;
+  obs::Tracer *Trace = nullptr;
   if (Solv) {
     engine::SessionEngine &E = engine::SessionEngine::of(*Solv);
     Scope.emplace(E.Stats, "domain");
     Limits = E.Limits;
+    Trace = &E.Trace;
   }
   engine::ConstructionStats *Stats = Scope ? &Scope->stats() : nullptr;
 
@@ -37,7 +39,7 @@ DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
   for (unsigned RI = 0; RI < S.numRules(); ++RI)
     RulesByState[S.rule(RI).State].push_back(RI);
 
-  engine::Exploration Explore(Stats, Limits);
+  engine::Exploration Explore(Stats, Limits, Trace);
   for (unsigned Q = 0; Q < S.numStates(); ++Q)
     Explore.enqueue(Q);
   Explore.runOrThrow("domain", [&](unsigned Q) {

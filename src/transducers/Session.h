@@ -41,6 +41,9 @@ struct Session {
 
   /// The session-wide stats registry (counters per construction).
   engine::StatsRegistry &stats() { return engine().Stats; }
+
+  /// The session-wide tracer (spans, slow-query log, progress heartbeat).
+  obs::Tracer &tracer() { return engine().Trace; }
 };
 
 } // namespace fast

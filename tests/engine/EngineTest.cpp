@@ -191,4 +191,33 @@ TEST_F(EngineIntegrationTest, StatsReportAndJsonMentionConstructions) {
   EXPECT_NE(Json.find("\"states_explored\""), std::string::npos);
 }
 
+TEST(StatsRegistryTest, ResetDuringActiveScopeKeepsReferencesValid) {
+  // Regression test: reset() used to clear the construction map, leaving
+  // the references held by active ConstructionScopes (and the registry's
+  // own scope stack) dangling.  reset() now zeroes slots in place.
+  StatsRegistry Registry;
+  ConstructionStats &Slot = Registry.construction("det");
+  {
+    ConstructionScope Scope(Registry, "det");
+    EXPECT_EQ(&Scope.stats(), &Slot);
+    Scope.stats().StatesExplored = 41;
+    Scope.stats().SolverQueryUs.record(12.0);
+
+    Registry.reset();
+
+    // Same slot, zeroed, still the innermost attribution target.
+    EXPECT_EQ(&Registry.construction("det"), &Slot);
+    EXPECT_EQ(Registry.current(), &Slot);
+    EXPECT_EQ(Slot.StatesExplored, 0u);
+    EXPECT_EQ(Slot.SolverQueryUs.count(), 0u);
+
+    // The still-open scope keeps accumulating into the zeroed slot.
+    ++Registry.current()->StatesExplored;
+  }
+  EXPECT_EQ(Slot.StatesExplored, 1u);
+  EXPECT_EQ(Slot.Runs, 0u);    // Counted at entry, wiped by the reset.
+  EXPECT_GE(Slot.WallMs, 0.0); // Scope exit still finds its slot.
+  EXPECT_EQ(Registry.current(), nullptr);
+}
+
 } // namespace

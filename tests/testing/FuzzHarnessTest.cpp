@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/JsonCheck.h"
 #include "testing/Fuzzer.h"
 
 #include "transducers/Sttr.h"
@@ -108,14 +109,32 @@ TEST(FuzzHarnessTest, ReintroducedTruncationBugIsCaughtAndShrunk) {
   EXPECT_FALSE(F.MinimizedDescription.empty());
 
   // The repro directory is self-contained: instance dump, failure record,
-  // replay command, and DOT renderings.
+  // replay command, DOT renderings, and the execution trace of the
+  // failing oracle's re-run.
   ASSERT_FALSE(F.ReproPath.empty());
   for (const char *Name :
        {"instance.txt", "failure.txt", "command.txt", "det1.dot", "dup.dot",
-        "lang-a.dot", "lang-b.dot", "nondet.dot"}) {
+        "lang-a.dot", "lang-b.dot", "nondet.dot", "trace.jsonl"}) {
     fs::path File = fs::path(F.ReproPath) / Name;
     EXPECT_TRUE(fs::exists(File)) << File.string();
     EXPECT_GT(fs::file_size(File), 0u) << File.string();
+  }
+
+  // Every trace line is one standalone JSON event object.
+  {
+    std::ifstream Trace(fs::path(F.ReproPath) / "trace.jsonl");
+    std::string Line;
+    size_t TraceEvents = 0;
+    while (std::getline(Trace, Line)) {
+      if (Line.empty())
+        continue;
+      auto Event = obs::json::parse(Line);
+      ASSERT_TRUE(Event.has_value()) << Line;
+      EXPECT_TRUE(Event->isObject());
+      EXPECT_NE(Event->find("ph"), nullptr);
+      ++TraceEvents;
+    }
+    EXPECT_GT(TraceEvents, 0u);
   }
   std::ifstream Cmd(fs::path(F.ReproPath) / "command.txt");
   std::stringstream CmdText;

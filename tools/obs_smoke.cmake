@@ -1,0 +1,37 @@
+# Runs fastc with tracing enabled on a real program, then validates the
+# produced trace with trace_check.  Invoked by the obs.smoke ctest as
+#   cmake -DFASTC=... -DTRACE_CHECK=... -DPROGRAM=... -DOUT_DIR=... -P obs_smoke.cmake
+#
+# sanitizer.fast intentionally fails one assertion, so fastc exiting 1 is
+# expected; only exit codes >= 2 (usage/IO errors) fail the smoke test.
+
+foreach(Var FASTC TRACE_CHECK PROGRAM OUT_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "obs_smoke.cmake: -D${Var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+foreach(Trace obs_smoke.json obs_smoke.jsonl)
+  set(TraceFile "${OUT_DIR}/${Trace}")
+  execute_process(
+    COMMAND "${FASTC}" "--trace=${TraceFile}" --stats "${PROGRAM}"
+    RESULT_VARIABLE RunResult
+    OUTPUT_VARIABLE RunOut
+    ERROR_VARIABLE RunErr)
+  if(RunResult GREATER 1)
+    message(FATAL_ERROR
+      "fastc --trace=${TraceFile} failed (exit ${RunResult}):\n${RunOut}${RunErr}")
+  endif()
+  execute_process(
+    COMMAND "${TRACE_CHECK}" "${TraceFile}"
+    RESULT_VARIABLE CheckResult
+    OUTPUT_VARIABLE CheckOut
+    ERROR_VARIABLE CheckErr)
+  if(NOT CheckResult EQUAL 0)
+    message(FATAL_ERROR
+      "trace_check rejected ${TraceFile} (exit ${CheckResult}):\n${CheckOut}${CheckErr}")
+  endif()
+  message(STATUS "${Trace}: ${CheckOut}")
+endforeach()
