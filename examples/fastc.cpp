@@ -4,7 +4,8 @@
 // reports every assertion with its witness when one fails.
 //
 // Usage:  fastc [--dump] [--stats] [--stats-json] [--trace=FILE]
-//               [--progress] [--export NAME] <program.fast>
+//               [--explain] [--report=FILE] [--progress[=MS]]
+//               [--export NAME] <program.fast>
 //   --dump         also print every compiled language automaton and
 //                  transformation (states, rules, guards).
 //   --stats        print the exploration-engine statistics (states
@@ -19,17 +20,32 @@
 //                  JSON event per line (flushed per event); any other
 //                  extension writes a Chrome trace-event JSON array
 //                  loadable in Perfetto / chrome://tracing.
-//   --progress     print a heartbeat line to stderr while long
+//   --explain      record provenance and print an annotated derivation for
+//                  every failing assertion's witness: the witness tree,
+//                  the engine state that accepted each node, the attribute
+//                  model the solver chose, and citations of the `lang` /
+//                  `trans` rules (file:line:col) the fired rule descends
+//                  from.  Also reports declared rules that never fired as
+//                  dead-rule warnings.
+//   --report=FILE  write a single-file HTML session report embedding the
+//                  span timeline, stats and latency percentiles, the
+//                  slow-query log, rule coverage, and every explained
+//                  witness (implies provenance recording).
+//   --progress[=MS] print a heartbeat line to stderr while long
 //                  explorations run (states explored, frontier,
-//                  states/sec).
+//                  states/sec); MS overrides the heartbeat cadence in
+//                  milliseconds (0 = every exploration step).
 //   --export NAME  print the named language/transformation as a
 //                  standalone, recompilable Fast program.
 //
 //===----------------------------------------------------------------------===//
 
+#include "fast/Explain.h"
 #include "fast/Export.h"
 #include "fast/Fast.h"
+#include "obs/Report.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -42,7 +58,10 @@ int main(int Argc, char **Argv) {
   bool Stats = false;
   bool StatsJson = false;
   bool Progress = false;
+  bool Explain = false;
+  long ProgressMs = -1;
   const char *TracePath = nullptr;
+  const char *ReportPath = nullptr;
   const char *ExportName = nullptr;
   const char *Path = nullptr;
   bool Bad = false;
@@ -55,6 +74,16 @@ int main(int Argc, char **Argv) {
       StatsJson = true;
     else if (std::strcmp(Argv[I], "--progress") == 0)
       Progress = true;
+    else if (std::strncmp(Argv[I], "--progress=", 11) == 0) {
+      Progress = true;
+      char *End = nullptr;
+      ProgressMs = std::strtol(Argv[I] + 11, &End, 10);
+      if (End == Argv[I] + 11 || *End != '\0' || ProgressMs < 0)
+        Bad = true;
+    } else if (std::strcmp(Argv[I], "--explain") == 0)
+      Explain = true;
+    else if (std::strncmp(Argv[I], "--report=", 9) == 0)
+      ReportPath = Argv[I] + 9;
     else if (std::strncmp(Argv[I], "--trace=", 8) == 0)
       TracePath = Argv[I] + 8;
     else if (std::strcmp(Argv[I], "--export") == 0 && I + 1 < Argc)
@@ -66,8 +95,8 @@ int main(int Argc, char **Argv) {
   }
   if (!Path || Bad) {
     std::cerr << "usage: fastc [--dump] [--stats] [--stats-json] "
-                 "[--trace=FILE] [--progress] [--export NAME] "
-                 "<program.fast>\n";
+                 "[--trace=FILE] [--explain] [--report=FILE] "
+                 "[--progress[=MS]] [--export NAME] <program.fast>\n";
     return 2;
   }
   std::ifstream File(Path);
@@ -79,15 +108,37 @@ int main(int Argc, char **Argv) {
   Buffer << File.rdbuf();
 
   Session S;
-  if (TracePath && !S.tracer().openTrace(TracePath)) {
+  // The report embeds the span timeline, so it always captures events in
+  // memory; with --trace too, a tee writes the file alongside.
+  std::shared_ptr<std::vector<std::string>> ReportEvents;
+  if (ReportPath) {
+    auto Memory = std::make_unique<obs::MemoryTraceSink>();
+    ReportEvents = Memory->storage();
+    if (TracePath) {
+      std::unique_ptr<obs::TraceSink> FileSink =
+          obs::makeFileTraceSink(TracePath);
+      if (!FileSink) {
+        std::cerr << "fastc: cannot open trace file '" << TracePath << "'\n";
+        return 2;
+      }
+      S.tracer().setSink(std::make_unique<obs::TeeTraceSink>(
+          std::move(FileSink), std::move(Memory)));
+    } else {
+      S.tracer().setSink(std::move(Memory));
+    }
+  } else if (TracePath && !S.tracer().openTrace(TracePath)) {
     std::cerr << "fastc: cannot open trace file '" << TracePath << "'\n";
     return 2;
   }
   if (Progress)
     S.tracer().setProgressStream(&std::cerr);
+  if (ProgressMs >= 0)
+    S.tracer().ProgressIntervalMs = static_cast<unsigned>(ProgressMs);
+  if (Explain || ReportPath)
+    S.provenance().setEnabled(true);
 
   FastProgramResult R = runFastProgram(S, Buffer.str());
-  if (TracePath)
+  if (TracePath || ReportPath)
     S.tracer().closeTrace();
   if (!R.DiagText.empty())
     std::cerr << R.DiagText;
@@ -136,6 +187,8 @@ int main(int Argc, char **Argv) {
     if (!A.passed() && !A.Detail.empty())
       std::cout << "  [" << A.Detail << "]";
     std::cout << "\n";
+    if (Explain && !A.passed() && A.Explanation)
+      std::cout << renderExplanation(S.provenance(), *A.Explanation, Path);
   }
   unsigned Failed = R.failedAssertions();
   std::cout << R.Assertions.size() << " assertion(s), " << Failed
@@ -153,5 +206,30 @@ int main(int Argc, char **Argv) {
   }
   if (StatsJson)
     std::cout << S.stats().json() << "\n";
+
+  if (ReportPath) {
+    obs::ReportBuilder Report;
+    Report.setTitle(std::string("fast session report: ") + Path);
+    Report.setStatsJson(S.stats().json());
+    Report.setCoverageJson(S.provenance().coverageJson());
+    if (ReportEvents)
+      Report.setEvents(*ReportEvents);
+    Report.setSlowQueryText(S.tracer().slowQueries().report());
+    for (const AssertionOutcome &A : R.Assertions) {
+      Report.addAssertion(std::string(Path) + ":" + A.Loc.str(), A.Expected,
+                          A.passed(), A.Detail);
+      if (!A.passed() && A.Explanation)
+        Report.addWitness("assert at " + std::string(Path) + ":" +
+                              A.Loc.str(),
+                          renderExplanation(S.provenance(), *A.Explanation,
+                                            Path));
+    }
+    std::ofstream Out(ReportPath, std::ios::trunc);
+    if (!Out) {
+      std::cerr << "fastc: cannot open report file '" << ReportPath << "'\n";
+      return 2;
+    }
+    Out << Report.html();
+  }
   return Failed == 0 ? 0 : 1;
 }

@@ -93,6 +93,8 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
     }
   };
 
+  const obs::StateProvenance *SrcProv = E.Prov.sourceTable(A.provenance());
+
   auto GetState = [&](StateSet Set) {
     canonicalizeStateSet(Set);
     auto [Id, Fresh] = DetStates.intern(std::move(Set));
@@ -108,16 +110,21 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
       unsigned OutId = Out.addState(std::move(Name));
       assert(OutId == Id && "interner and automaton ids must stay aligned");
       (void)OutId;
+      if (SrcProv) {
+        obs::StateProvenance &OP = Out.provenanceRW();
+        for (unsigned Member : Canonical)
+          OP.addStateAnchors(Id, SrcProv->anchors(Member));
+      }
       Result.StateSets.push_back(Canonical);
       ScheduleTuplesWith(Id);
     }
     return Id;
   };
 
-  // Group A's rules by constructor for the applicability scan.
-  std::vector<std::vector<const StaRule *>> RulesByCtor(Sig->numConstructors());
-  for (const StaRule &R : A.rules())
-    RulesByCtor[R.CtorId].push_back(&R);
+  // Group A's rule indices by constructor for the applicability scan.
+  std::vector<std::vector<unsigned>> RulesByCtor(Sig->numConstructors());
+  for (unsigned Index = 0; Index < A.numRules(); ++Index)
+    RulesByCtor[A.rule(Index).CtorId].push_back(Index);
 
   // Leaf constructors seed the exploration; their expansions create the
   // first det states, which in turn schedule the positive-rank tuples.
@@ -131,23 +138,29 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
 
     // Applicable rules: each child's singleton lookahead state must be in
     // the child's det state set.
-    std::vector<std::pair<TermRef, unsigned>> Applicable;
-    for (const StaRule *R : RulesByCtor[CtorId]) {
+    struct ApplicableRule {
+      TermRef Guard;
+      unsigned Target;
+      unsigned Index;
+    };
+    std::vector<ApplicableRule> Applicable;
+    for (unsigned Index : RulesByCtor[CtorId]) {
+      const StaRule &R = A.rule(Index);
       bool Ok = true;
       for (unsigned I = 0; I < Rank && Ok; ++I) {
         const StateSet &ChildSet = DetStates.key(Tuple[I]);
         Ok = std::binary_search(ChildSet.begin(), ChildSet.end(),
-                                R->Lookahead[I].front());
+                                R.Lookahead[I].front());
       }
       if (Ok)
-        Applicable.push_back({R->Guard, R->State});
+        Applicable.push_back({R.Guard, R.State, Index});
     }
 
     // Split the label space on the minterms of the applicable guards; the
     // GuardCache canonicalizes the set and reuses prior enumerations.
     std::vector<TermRef> Guards;
-    for (const auto &[Guard, Target] : Applicable)
-      Guards.push_back(Guard);
+    for (const ApplicableRule &AR : Applicable)
+      Guards.push_back(AR.Guard);
     const engine::GuardCache::MintermSplit &Split = G.minterms(Guards);
     std::map<TermRef, unsigned> GuardIndex;
     for (unsigned I = 0; I < Split.Guards.size(); ++I)
@@ -159,12 +172,24 @@ DeterminizedSta fast::determinize(Solver &S, const Sta &A) {
 
     for (const Minterm &M : Split.Regions) {
       StateSet Target;
-      for (const auto &[Guard, Q] : Applicable)
-        if (M.Polarity[GuardIndex[Guard]])
-          Target.push_back(Q);
+      std::vector<unsigned> Fired;
+      for (const ApplicableRule &AR : Applicable)
+        if (M.Polarity[GuardIndex[AR.Guard]]) {
+          Target.push_back(AR.Target);
+          if (SrcProv)
+            Fired.push_back(AR.Index);
+        }
       unsigned TargetId = GetState(std::move(Target));
+      unsigned NewRule = static_cast<unsigned>(Out.numRules());
       Out.addRule(TargetId, CtorId, M.Predicate, ChildSets);
       ++Scope.stats().RulesEmitted;
+      if (SrcProv) {
+        obs::StateProvenance &OP = Out.provenanceRW();
+        for (unsigned Index : Fired) {
+          E.Prov.countFiring(SrcProv, Index);
+          OP.addRuleCanons(NewRule, SrcProv->ruleCanon(Index));
+        }
+      }
     }
   });
   return Result;
@@ -283,7 +308,8 @@ bool distinguishable(engine::GuardCache &G, const Sta &A,
 } // namespace
 
 TreeLanguage fast::minimizeLanguage(Solver &S, const TreeLanguage &L) {
-  engine::GuardCache &G = engine::SessionEngine::of(S).Guards;
+  engine::SessionEngine &E = engine::SessionEngine::of(S);
+  engine::GuardCache &G = E.Guards;
   TreeLanguage N = cleanLanguage(S, L);
   DeterminizedSta D = determinize(S, N.automaton());
   const Sta &A = *D.Automaton;
@@ -323,28 +349,45 @@ TreeLanguage fast::minimizeLanguage(Solver &S, const TreeLanguage &L) {
 
   // Quotient automaton: one state per block; merge parallel guards.
   auto Out = std::make_shared<Sta>(A.signature());
+  const obs::StateProvenance *SrcProv = E.Prov.sourceTable(A.provenance());
   std::vector<unsigned> BlockState(NumBlocks, ~0u);
-  for (unsigned Q = 0; Q < NumStates; ++Q)
+  for (unsigned Q = 0; Q < NumStates; ++Q) {
     if (BlockState[Block[Q]] == ~0u)
       BlockState[Block[Q]] = Out->addState(A.stateName(Q));
+    if (SrcProv)
+      Out->provenanceRW().addStateAnchors(BlockState[Block[Q]],
+                                          SrcProv->anchors(Q));
+  }
 
-  std::map<std::tuple<unsigned, unsigned, std::vector<unsigned>>,
-           std::vector<TermRef>>
+  struct GroupedRules {
+    std::vector<TermRef> Guards;
+    std::vector<unsigned> Canons;
+  };
+  std::map<std::tuple<unsigned, unsigned, std::vector<unsigned>>, GroupedRules>
       Grouped;
-  for (const StaRule &R : A.rules()) {
+  for (unsigned Index = 0; Index < A.numRules(); ++Index) {
+    const StaRule &R = A.rule(Index);
     std::vector<unsigned> Children;
     for (const StateSet &Set : R.Lookahead)
       Children.push_back(BlockState[Block[Set.front()]]);
-    Grouped[{BlockState[Block[R.State]], R.CtorId, std::move(Children)}]
-        .push_back(R.Guard);
+    GroupedRules &Group =
+        Grouped[{BlockState[Block[R.State]], R.CtorId, std::move(Children)}];
+    Group.Guards.push_back(R.Guard);
+    if (SrcProv)
+      for (unsigned Canon : SrcProv->ruleCanon(Index))
+        Group.Canons.push_back(Canon);
   }
-  for (auto &[Key, Guards] : Grouped) {
+  for (auto &[Key, Group] : Grouped) {
     auto &[State, CtorId, Children] = Key;
     std::vector<StateSet> Lookahead;
     Lookahead.reserve(Children.size());
     for (unsigned Child : Children)
       Lookahead.push_back({Child});
-    Out->addRule(State, CtorId, S.factory().mkOr(Guards), std::move(Lookahead));
+    unsigned NewRule = static_cast<unsigned>(Out->numRules());
+    Out->addRule(State, CtorId, S.factory().mkOr(Group.Guards),
+                 std::move(Lookahead));
+    if (SrcProv)
+      Out->provenanceRW().addRuleCanons(NewRule, Group.Canons);
   }
 
   StateSet Roots;

@@ -2,6 +2,8 @@
 
 #include "automata/Sta.h"
 
+#include "obs/Provenance.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -62,6 +64,7 @@ unsigned Sta::import(const Sta &Other) {
   assert(Sig->isCompatibleWith(*Other.signature()) &&
          "importing automaton over an incompatible signature");
   unsigned Offset = numStates();
+  unsigned RuleOffset = static_cast<unsigned>(numRules());
   for (unsigned Q = 0; Q < Other.numStates(); ++Q)
     addState(Other.stateName(Q));
   for (const StaRule &R : Other.rules()) {
@@ -71,7 +74,17 @@ unsigned Sta::import(const Sta &Other) {
         Q += Offset;
     addRule(R.State + Offset, R.CtorId, R.Guard, std::move(Lookahead));
   }
+  // Copies travel with their back-pointers, so product/union/lookahead
+  // imports stay explainable with no call-site changes.
+  if (Other.Prov)
+    provenanceRW().importFrom(*Other.Prov, Offset, RuleOffset);
   return Offset;
+}
+
+obs::StateProvenance &Sta::provenanceRW() {
+  if (!Prov)
+    Prov = std::make_shared<obs::StateProvenance>();
+  return *Prov;
 }
 
 std::string Sta::str() const {

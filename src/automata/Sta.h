@@ -28,6 +28,10 @@
 
 namespace fast {
 
+namespace obs {
+class StateProvenance;
+} // namespace obs
+
 /// A sorted set of states, used both for rule lookahead and for merged
 /// states during normalization.
 using StateSet = std::vector<unsigned>;
@@ -88,6 +92,18 @@ public:
   /// Multi-line dump of states and rules, for debugging and golden tests.
   std::string str() const;
 
+  /// Provenance side table (see obs/Provenance.h); nullptr unless some
+  /// construction recorded back-pointers for this automaton.
+  obs::StateProvenance *provenance() const { return Prov.get(); }
+  const std::shared_ptr<obs::StateProvenance> &provenancePtr() const {
+    return Prov;
+  }
+  /// The side table, created on first use.
+  obs::StateProvenance &provenanceRW();
+  void setProvenance(std::shared_ptr<obs::StateProvenance> P) {
+    Prov = std::move(P);
+  }
+
 private:
   SignatureRef Sig;
   std::vector<std::string> StateNames;
@@ -95,6 +111,7 @@ private:
   std::vector<std::vector<unsigned>> RulesByState;
   // Keyed by (state, ctor); values index into Rules.
   std::map<std::pair<unsigned, unsigned>, std::vector<unsigned>> RulesByStateCtor;
+  std::shared_ptr<obs::StateProvenance> Prov;
 };
 
 /// A tree language: an automaton together with root states, with *union*

@@ -4,6 +4,7 @@
 
 #include "engine/Engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace fast;
@@ -19,6 +20,9 @@ namespace {
 struct MergedRule {
   TermRef Guard;
   std::vector<StateSet> Lookahead;
+  /// Source rule indices merged into this rule; tracked only when the
+  /// session records provenance (empty otherwise).
+  std::vector<unsigned> From;
 };
 
 /// Pointwise union X ]] Y of two k-tuples of state sets.
@@ -62,6 +66,10 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
     return Name + "}";
   };
 
+  // Provenance recording: nullptr (and hence dead branches below) unless
+  // the session enables it *and* the input automaton carries a table.
+  const obs::StateProvenance *SrcProv = E.Prov.sourceTable(A.provenance());
+
   auto GetState = [&](StateSet Set) {
     canonicalizeStateSet(Set);
     auto [Id, Fresh] = Merged.intern(std::move(Set));
@@ -69,6 +77,12 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
       unsigned OutId = Out->addState(NameOf(Merged.key(Id)));
       assert(OutId == Id && "interner and automaton ids must stay aligned");
       (void)OutId;
+      if (SrcProv) {
+        // A merged state descends from every declaration its members do.
+        obs::StateProvenance &OP = Out->provenanceRW();
+        for (unsigned Member : Merged.key(Id))
+          OP.addStateAnchors(Id, SrcProv->anchors(Member));
+      }
       Explore.enqueue(Id);
     }
     return Id;
@@ -85,7 +99,7 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
       // delta_f(emptyset): one unconstrained rule; delta_f(p u {q}) merges
       // each accumulated rule with each rule of q on f.
       std::vector<MergedRule> Accumulated = {
-          {F.trueTerm(), std::vector<StateSet>(Rank)}};
+          {F.trueTerm(), std::vector<StateSet>(Rank), {}}};
       for (unsigned Q : MergedSet) {
         const std::vector<unsigned> &QRules = A.rulesFrom(Q, CtorId);
         std::vector<MergedRule> Next;
@@ -95,7 +109,13 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
             TermRef Guard = F.mkAnd(Acc.Guard, R.Guard);
             if (!G.isSat(Guard))
               continue; // Eager elimination (footnote 7).
-            Next.push_back({Guard, unionLookahead(Acc.Lookahead, R.Lookahead)});
+            MergedRule Merged{Guard, unionLookahead(Acc.Lookahead, R.Lookahead),
+                              {}};
+            if (SrcProv) {
+              Merged.From = Acc.From;
+              Merged.From.push_back(RuleIndex);
+            }
+            Next.push_back(std::move(Merged));
           }
         }
         Accumulated = std::move(Next);
@@ -106,8 +126,19 @@ NormalizedSta normalizeSetsAs(Solver &S, const Sta &A,
         std::vector<StateSet> Children(Rank);
         for (unsigned I = 0; I < Rank; ++I)
           Children[I] = {GetState(MR.Lookahead[I])};
+        unsigned NewRule = static_cast<unsigned>(Out->numRules());
         Out->addRule(Source, CtorId, MR.Guard, std::move(Children));
         ++Scope.stats().RulesEmitted;
+        if (SrcProv) {
+          // A merged rule fires iff all its components do (its guard is
+          // their conjunction), so credit every component in the ledger
+          // and alias all their canonical origins.
+          obs::StateProvenance &OP = Out->provenanceRW();
+          for (unsigned RuleIndex : MR.From) {
+            E.Prov.countFiring(SrcProv, RuleIndex);
+            OP.addRuleCanons(NewRule, SrcProv->ruleCanon(RuleIndex));
+          }
+        }
       }
     }
   });
@@ -236,26 +267,36 @@ std::optional<std::vector<Value>> fast::modelAttrs(Solver &S,
   return Attrs;
 }
 
-std::optional<TreeRef> fast::witness(Solver &S, const TreeLanguage &L,
-                                     TreeFactory &Trees) {
-  TreeLanguage N = normalize(S, L);
-  const Sta &A = N.automaton();
-  const SignatureRef &Sig = A.signature();
+namespace {
 
-  // Bottom-up fixpoint that records a witness per state as it becomes
-  // productive; iterating until stable yields small witnesses first.
-  std::vector<TreeRef> Witness(A.numStates(), nullptr);
+/// Per-state result of the witness fixpoint: the witness tree plus the
+/// rule that produced it and (when recording a derivation) the attribute
+/// model the solver chose.
+struct StateWitnessInfo {
+  TreeRef Tree = nullptr;
+  unsigned RuleIndex = 0;
+  std::vector<Value> Model;
+};
+
+/// Bottom-up fixpoint that records a witness per state as it becomes
+/// productive; iterating until stable yields small witnesses first.
+std::vector<StateWitnessInfo> witnessTable(Solver &S, const Sta &A,
+                                           TreeFactory &Trees,
+                                           bool RecordModels) {
+  const SignatureRef &Sig = A.signature();
+  std::vector<StateWitnessInfo> Witness(A.numStates());
   bool Changed = true;
   while (Changed) {
     Changed = false;
-    for (const StaRule &R : A.rules()) {
-      if (Witness[R.State])
+    for (unsigned Index = 0; Index < A.numRules(); ++Index) {
+      const StaRule &R = A.rule(Index);
+      if (Witness[R.State].Tree)
         continue;
       std::vector<TreeRef> Children;
       Children.reserve(R.Lookahead.size());
       bool ChildrenOk = true;
       for (const StateSet &Set : R.Lookahead) {
-        TreeRef Child = Witness[Set.front()];
+        TreeRef Child = Witness[Set.front()].Tree;
         if (!Child) {
           ChildrenOk = false;
           break;
@@ -267,19 +308,133 @@ std::optional<TreeRef> fast::witness(Solver &S, const TreeLanguage &L,
       std::optional<std::vector<Value>> Attrs = modelAttrs(S, Sig, R.Guard);
       if (!Attrs)
         continue;
-      Witness[R.State] =
+      StateWitnessInfo &Info = Witness[R.State];
+      Info.RuleIndex = Index;
+      if (RecordModels)
+        Info.Model = *Attrs;
+      Info.Tree =
           Trees.make(Sig, R.CtorId, std::move(*Attrs), std::move(Children));
       Changed = true;
     }
   }
+  return Witness;
+}
 
-  TreeRef Best = nullptr;
-  for (unsigned Root : N.roots())
-    if (Witness[Root] && (!Best || Witness[Root]->size() < Best->size()))
-      Best = Witness[Root];
-  if (!Best)
-    return std::nullopt;
+/// The root of the smallest recorded witness among \p Roots, or ~0u.
+unsigned bestWitnessRoot(const std::vector<StateWitnessInfo> &Witness,
+                         const StateSet &Roots) {
+  unsigned Best = ~0u;
+  for (unsigned Root : Roots)
+    if (Witness[Root].Tree &&
+        (Best == ~0u || Witness[Root].Tree->size() < Witness[Best].Tree->size()))
+      Best = Root;
   return Best;
+}
+
+std::unique_ptr<obs::DerivationNode>
+buildDerivation(const Sta &A, const std::vector<StateWitnessInfo> &Witness,
+                unsigned State) {
+  const StateWitnessInfo &Info = Witness[State];
+  const StaRule &R = A.rule(Info.RuleIndex);
+  auto Node = std::make_unique<obs::DerivationNode>();
+  Node->State = State;
+  Node->RuleIndex = Info.RuleIndex;
+  Node->Guard = R.Guard;
+  Node->Model = Info.Model;
+  Node->Node = Info.Tree;
+  for (const StateSet &Set : R.Lookahead)
+    Node->Children.push_back(buildDerivation(A, Witness, Set.front()));
+  return Node;
+}
+
+/// Credits every rule the derivation fired to the coverage ledger.
+void countDerivation(engine::SessionEngine &E, const obs::StateProvenance *P,
+                     const obs::DerivationNode &D) {
+  E.Prov.countFiring(P, D.RuleIndex);
+  for (const std::unique_ptr<obs::DerivationNode> &Child : D.Children)
+    countDerivation(E, P, *Child);
+}
+
+} // namespace
+
+std::optional<TreeRef> fast::witness(Solver &S, const TreeLanguage &L,
+                                     TreeFactory &Trees) {
+  TreeLanguage N = normalize(S, L);
+  std::vector<StateWitnessInfo> Witness =
+      witnessTable(S, N.automaton(), Trees, /*RecordModels=*/false);
+  unsigned Best = bestWitnessRoot(Witness, N.roots());
+  if (Best == ~0u)
+    return std::nullopt;
+  return Witness[Best].Tree;
+}
+
+std::optional<ExplainedWitness>
+fast::witnessExplained(Solver &S, const TreeLanguage &L, TreeFactory &Trees) {
+  TreeLanguage N = normalize(S, L);
+  std::vector<StateWitnessInfo> Witness =
+      witnessTable(S, N.automaton(), Trees, /*RecordModels=*/true);
+  unsigned Best = bestWitnessRoot(Witness, N.roots());
+  if (Best == ~0u)
+    return std::nullopt;
+  ExplainedWitness Result;
+  Result.Tree = Witness[Best].Tree;
+  Result.Automaton = N.automatonPtr();
+  Result.Derivation = buildDerivation(N.automaton(), Witness, Best);
+  engine::SessionEngine &E = engine::SessionEngine::of(S);
+  if (const obs::StateProvenance *P =
+          E.Prov.sourceTable(N.automaton().provenance()))
+    countDerivation(E, P, *Result.Derivation);
+  return Result;
+}
+
+bool fast::verifyDerivation(const Sta &A, const obs::DerivationNode &D,
+                            std::string *Error) {
+  auto Fail = [Error](std::string Message) {
+    if (Error)
+      *Error = std::move(Message);
+    return false;
+  };
+  if (!D.Node)
+    return Fail("derivation node carries no tree");
+  if (D.RuleIndex >= A.numRules())
+    return Fail("derivation rule index out of range");
+  const StaRule &R = A.rule(D.RuleIndex);
+  if (R.State != D.State)
+    return Fail("derivation rule belongs to state " + A.stateName(R.State) +
+                ", not " + A.stateName(D.State));
+  if (R.CtorId != D.Node->ctorId())
+    return Fail("derivation rule is on constructor " +
+                A.signature()->ctorName(R.CtorId) + ", tree node is " +
+                D.Node->ctorName());
+  if (R.Guard != D.Guard)
+    return Fail("derivation guard is not the rule's guard");
+  std::span<const Value> Attrs = D.Node->attrs();
+  if (D.Model.size() != Attrs.size() ||
+      !std::equal(D.Model.begin(), D.Model.end(), Attrs.begin()))
+    return Fail("derivation model differs from the node's attributes");
+  if (!evalPredicate(R.Guard, D.Node->attrs()))
+    return Fail("guard " + R.Guard->str() +
+                " is not satisfied by the recorded model");
+  if (D.Children.size() != R.Lookahead.size())
+    return Fail("derivation child count does not match rule rank");
+  for (unsigned I = 0; I < D.Children.size(); ++I) {
+    const obs::DerivationNode *Child = D.Children[I].get();
+    if (!Child)
+      return Fail("derivation child " + std::to_string(I) + " missing");
+    if (Child->Node != D.Node->child(I))
+      return Fail("derivation child " + std::to_string(I) +
+                  " explains a different subtree");
+    if (R.Lookahead[I].size() != 1 || R.Lookahead[I].front() != Child->State)
+      return Fail("derivation child state does not match the rule's "
+                  "lookahead for child " +
+                  std::to_string(I));
+    if (!staAccepts(A, Child->State, Child->Node))
+      return Fail("lookahead state " + A.stateName(Child->State) +
+                  " rejects child " + std::to_string(I));
+    if (!verifyDerivation(A, *Child, Error))
+      return false;
+  }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -367,11 +522,16 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
 
   // Rebuild with only useful states.
   auto Out = std::make_shared<Sta>(A.signature());
+  const obs::StateProvenance *SrcProv = E.Prov.sourceTable(A.provenance());
   std::vector<unsigned> Remap(A.numStates(), ~0u);
   for (unsigned Q = 0; Q < A.numStates(); ++Q)
-    if (Reachable[Q])
+    if (Reachable[Q]) {
       Remap[Q] = Out->addState(A.stateName(Q));
-  for (const StaRule &R : A.rules()) {
+      if (SrcProv)
+        Out->provenanceRW().addStateAnchors(Remap[Q], SrcProv->anchors(Q));
+    }
+  for (unsigned Index = 0; Index < A.numRules(); ++Index) {
+    const StaRule &R = A.rule(Index);
     if (!Reachable[R.State] || !G.isSat(R.Guard))
       continue;
     bool Viable = true;
@@ -384,8 +544,11 @@ TreeLanguage fast::cleanLanguage(Solver &S, const TreeLanguage &L) {
       Lookahead.push_back({Remap[Set.front()]});
     }
     if (Viable) {
+      unsigned NewRule = static_cast<unsigned>(Out->numRules());
       Out->addRule(Remap[R.State], R.CtorId, R.Guard, std::move(Lookahead));
       ++Scope.stats().RulesEmitted;
+      if (SrcProv)
+        Out->provenanceRW().addRuleCanons(NewRule, SrcProv->ruleCanon(Index));
     }
   }
   StateSet Roots;

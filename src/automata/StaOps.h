@@ -20,6 +20,7 @@
 #define FAST_AUTOMATA_STAOPS_H
 
 #include "automata/Sta.h"
+#include "obs/Provenance.h"
 #include "smt/Solver.h"
 
 #include <optional>
@@ -66,6 +67,30 @@ bool isEmptyLanguage(Solver &S, const TreeLanguage &L);
 /// the guard default to false/0/"".
 std::optional<TreeRef> witness(Solver &S, const TreeLanguage &L,
                                TreeFactory &Trees);
+
+/// A witness together with its derivation: which rule of the (normalized)
+/// automaton accepted each node, under which guard and attribute model.
+/// Automaton keeps the derivation's state/rule indices resolvable; its
+/// provenance table (if any) resolves them further to Fast declarations.
+struct ExplainedWitness {
+  TreeRef Tree = nullptr;
+  std::shared_ptr<const Sta> Automaton;
+  std::shared_ptr<obs::DerivationNode> Derivation;
+};
+
+/// witness() variant that records the derivation tree (same fixpoint, same
+/// tree; the extra cost is one recorded rule/model per automaton state).
+std::optional<ExplainedWitness>
+witnessExplained(Solver &S, const TreeLanguage &L, TreeFactory &Trees);
+
+/// Concretely re-executes a recorded derivation against its automaton:
+/// each node's rule must exist, match the node's state/constructor, have a
+/// guard satisfied by the node's attribute model, and lookahead states
+/// that both match the child derivations and accept the child subtrees.
+/// Returns true on success; otherwise fills \p Error.  The replay oracle
+/// uses this so explanations can never silently lie.
+bool verifyDerivation(const Sta &A, const obs::DerivationNode &D,
+                      std::string *Error);
 
 /// Language intersection via merged-state normalization.
 TreeLanguage intersectLanguages(Solver &S, const TreeLanguage &A,

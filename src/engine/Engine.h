@@ -28,6 +28,7 @@
 #include "engine/GuardCache.h"
 #include "engine/StateInterner.h"
 #include "engine/Stats.h"
+#include "obs/Provenance.h"
 #include "obs/Tracer.h"
 
 namespace fast::engine {
@@ -53,6 +54,9 @@ public:
   /// Budgets applied by every construction's Exploration; unlimited by
   /// default.  Exceeding one makes the construction throw ExplorationError.
   ExplorationLimits Limits;
+  /// Provenance anchors + rule-coverage ledger (see obs/Provenance.h);
+  /// recording is off until Prov.setEnabled(true).
+  obs::ProvenanceStore Prov;
 };
 
 } // namespace fast::engine

@@ -36,13 +36,46 @@ void Exploration::beginObservedRun() {
     Trace->beginSpan("explore.batch", "explore");
     BatchSpanOpen = true;
   }
+  scheduleNextObservation();
 }
 
-/// Closes the current batch span (attaching its size and the frontier) and
-/// opens the next one; every BatchSize steps it also checks whether a
-/// progress heartbeat is due.
-void Exploration::observeBatch() {
+/// Picks the step count of the next observeBatch() poll.  The stride
+/// adapts to the configured heartbeat cadence — estimate how many steps
+/// fit into the time remaining until the next beat is due — but stays in
+/// [1, BatchSize] so a misestimate can neither spin the clock per step
+/// nor sleep through a whole batch, and never skips a batch-span
+/// boundary.
+void Exploration::scheduleNextObservation() {
+  size_t Stride = BatchSize;
+  if (Trace->ProgressIntervalMs == 0) {
+    Stride = 1; // Beat every step (tests / extreme verbosity).
+  } else {
+    auto Now = std::chrono::steady_clock::now();
+    double SinceBeatMs =
+        std::chrono::duration<double, std::milli>(Now - LastBeat).count();
+    double WindowMs = SinceBeatMs > 0.1 ? SinceBeatMs : 0.1;
+    double StepsPerMs = (Steps - StepsAtLastBeat) / WindowMs;
+    double RemainingMs = Trace->ProgressIntervalMs - SinceBeatMs;
+    if (RemainingMs < 1)
+      RemainingMs = 1;
+    double Est = StepsPerMs * RemainingMs;
+    if (Est < static_cast<double>(BatchSize))
+      Stride = Est < 1 ? 1 : static_cast<size_t>(Est);
+  }
   if (BatchSpanOpen) {
+    size_t Boundary = BatchStartStep + BatchSize;
+    size_t ToBoundary = Boundary > Steps ? Boundary - Steps : 1;
+    if (ToBoundary < Stride)
+      Stride = ToBoundary;
+  }
+  NextObserveStep = Steps + (Stride < 1 ? 1 : Stride);
+}
+
+/// Rotates the per-BatchSize trace span at its boundary and emits a
+/// progress heartbeat when the configured interval has elapsed, then
+/// schedules the next poll.
+void Exploration::observeBatch() {
+  if (BatchSpanOpen && Steps - BatchStartStep >= BatchSize) {
     const obs::TraceAttr Attrs[] = {
         obs::attr("steps", static_cast<uint64_t>(Steps - BatchStartStep)),
         obs::attr("frontier", static_cast<uint64_t>(Queue.size())),
@@ -53,7 +86,8 @@ void Exploration::observeBatch() {
   auto Now = std::chrono::steady_clock::now();
   double SinceBeatMs =
       std::chrono::duration<double, std::milli>(Now - LastBeat).count();
-  if (SinceBeatMs >= Trace->ProgressIntervalMs) {
+  if (Trace->ProgressIntervalMs == 0 ||
+      SinceBeatMs >= Trace->ProgressIntervalMs) {
     double Rate = SinceBeatMs > 0
                       ? (Steps - StepsAtLastBeat) * 1000.0 / SinceBeatMs
                       : 0;
@@ -74,11 +108,12 @@ void Exploration::observeBatch() {
     LastBeat = Now;
     StepsAtLastBeat = Steps;
   }
-  if (Trace->active()) {
+  if (Trace->active() && !BatchSpanOpen) {
     Trace->beginSpan("explore.batch", "explore");
     BatchSpanOpen = true;
     BatchStartStep = Steps;
   }
+  scheduleNextObservation();
 }
 
 void Exploration::endObservedRun(ExplorationOutcome) {

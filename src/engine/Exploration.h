@@ -130,7 +130,7 @@ public:
       ++Steps;
       if (Stats)
         ++Stats->StatesExplored;
-      if (Observed && Steps % BatchSize == 0)
+      if (Observed && Steps >= NextObserveStep)
         observeBatch();
       Expand(Id);
     }
@@ -158,6 +158,7 @@ private:
   /// above stays lean.
   void beginObservedRun();
   void observeBatch();
+  void scheduleNextObservation();
   void endObservedRun(ExplorationOutcome Outcome);
   void reportExhaustion(std::string_view Construction,
                         ExplorationOutcome Outcome);
@@ -172,6 +173,11 @@ private:
   bool BatchSpanOpen = false;
   size_t BatchStartStep = 0;
   size_t StepsAtLastBeat = 0;
+  /// Step count at which observeBatch() is polled next: an adaptive
+  /// stride in [1, BatchSize] so the heartbeat honours the tracer's
+  /// ProgressIntervalMs (0 = beat every step) without a clock read per
+  /// step.
+  size_t NextObserveStep = 0;
   std::chrono::steady_clock::time_point RunStart, LastBeat;
 };
 

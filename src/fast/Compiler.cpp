@@ -73,20 +73,28 @@ FastCompiler::lookaheadStateFor(const std::string &Name, CompiledType &T,
   // (union) language gets a fresh state carrying every root's rules.
   Sta &LA = T.Master->lookahead();
   unsigned Offset = LA.import(L.automaton());
+  const obs::StateProvenance *LProv =
+      S.provenance().sourceTable(L.automaton().provenance());
   unsigned State;
   if (L.roots().size() == 1) {
     State = L.roots().front() + Offset;
   } else {
     State = LA.addState(Name);
-    for (unsigned Root : L.roots())
+    for (unsigned Root : L.roots()) {
+      if (LProv)
+        LA.provenanceRW().addStateAnchors(State, LProv->anchors(Root));
       for (unsigned Index : L.automaton().rulesFrom(Root)) {
         const StaRule &R = L.automaton().rule(Index);
         std::vector<StateSet> Children = R.Lookahead;
         for (StateSet &Set : Children)
           for (unsigned &Q : Set)
             Q += Offset;
+        unsigned NewRule = static_cast<unsigned>(LA.numRules());
         LA.addRule(State, R.CtorId, R.Guard, std::move(Children));
+        if (LProv)
+          LA.provenanceRW().addRuleCanons(NewRule, LProv->ruleCanon(Index));
       }
+    }
   }
   ImportedDefLangs.emplace(std::make_pair(T.Sig->typeName(), Name), State);
   return State;
@@ -369,6 +377,7 @@ bool FastCompiler::compileLangs(const Program &P) {
     TypeIt->second.LangStates.emplace(D.Name,
                                       TypeIt->second.Langs->addState(D.Name));
   }
+  obs::ProvenanceStore &Prov = S.provenance();
   for (const LangDecl &D : P.Langs) {
     auto TypeIt = Types.find(D.TypeName);
     if (TypeIt == Types.end())
@@ -377,6 +386,14 @@ bool FastCompiler::compileLangs(const Program &P) {
     auto StateIt = T.LangStates.find(D.Name);
     if (StateIt == T.LangStates.end())
       continue;
+    // Anchor the lang state and its rules before compile() imports Langs
+    // into the master lookahead, so the import propagates the table.
+    unsigned AnchorId = 0;
+    if (Prov.enabled()) {
+      AnchorId = Prov.internAnchor(obs::DeclAnchor::Kind::Lang, D.Name,
+                                   D.Loc.Line, D.Loc.Column);
+      T.Langs->provenanceRW().addStateAnchor(StateIt->second, AnchorId);
+    }
     for (const RulePattern &R : D.Rules) {
       unsigned CtorId;
       TermRef Guard;
@@ -384,7 +401,11 @@ bool FastCompiler::compileLangs(const Program &P) {
       std::map<std::string, unsigned> VarIndex;
       if (!compilePattern(R, T, CtorId, Guard, Lookahead, VarIndex))
         continue;
+      unsigned NewRule = static_cast<unsigned>(T.Langs->numRules());
       T.Langs->addRule(StateIt->second, CtorId, Guard, std::move(Lookahead));
+      if (Prov.enabled())
+        T.Langs->provenanceRW().addRuleCanon(
+            NewRule, Prov.registerRule(AnchorId, R.Loc.Line, R.Loc.Column));
     }
   }
   return true;
@@ -486,7 +507,12 @@ void FastCompiler::preRegisterTrans(const Program &P) {
     }
     CompiledType &T = TypeIt->second;
     TransType.emplace(D.Name, D.InType);
-    T.TransStates.emplace(D.Name, T.Master->addState(D.Name));
+    unsigned StateId = T.Master->addState(D.Name);
+    T.TransStates.emplace(D.Name, StateId);
+    if (S.provenance().enabled())
+      T.Master->provenanceRW().addStateAnchor(
+          StateId, S.provenance().internAnchor(obs::DeclAnchor::Kind::Trans,
+                                               D.Name, D.Loc.Line, D.Loc.Column));
   }
 }
 
@@ -498,6 +524,11 @@ void FastCompiler::compileTransDecl(const TransDecl &D) {
   auto StateIt = T.TransStates.find(D.Name);
   if (StateIt == T.TransStates.end())
     return;
+  obs::ProvenanceStore &Prov = S.provenance();
+  unsigned AnchorId = 0;
+  if (Prov.enabled())
+    AnchorId = Prov.internAnchor(obs::DeclAnchor::Kind::Trans, D.Name,
+                                 D.Loc.Line, D.Loc.Column);
   for (const TransRule &R : D.Rules) {
     unsigned CtorId;
     TermRef Guard;
@@ -508,8 +539,13 @@ void FastCompiler::compileTransDecl(const TransDecl &D) {
     OutputRef Out = compileTout(*R.Out, T, VarIndex);
     if (!Out)
       continue;
+    unsigned NewRule = static_cast<unsigned>(T.Master->numRules());
     T.Master->addRule(StateIt->second, CtorId, Guard, std::move(Lookahead),
                       Out);
+    if (Prov.enabled())
+      T.Master->provenanceRW().addRuleCanon(
+          NewRule,
+          Prov.registerRule(AnchorId, R.Pattern.Loc.Line, R.Pattern.Loc.Column));
   }
 }
 

@@ -226,9 +226,29 @@ public:
         S.Trees.make(Sig, *CtorId, std::move(Attrs), std::move(Children)));
   }
 
+  /// Filled by evalAssertion when a witness was found with provenance
+  /// recording on; consumed by runFastProgram into the AssertionOutcome.
+  std::optional<ExplainedWitness> Explanation;
+
+  /// Like StaOps::witness, but records the derivation when provenance is
+  /// enabled (stashing it in Explanation for the caller).
+  std::optional<TreeRef> findWitness(const TreeLanguage &L) {
+    if (S.provenance().enabled()) {
+      if (std::optional<ExplainedWitness> W =
+              witnessExplained(S.Solv, L, S.Trees)) {
+        TreeRef T = W->Tree;
+        Explanation = std::move(*W);
+        return T;
+      }
+      return std::nullopt;
+    }
+    return witness(S.Solv, L, S.Trees);
+  }
+
   /// Evaluates an assertion condition to (value, detail-on-failure).
   std::optional<std::pair<bool, std::string>>
   evalAssertion(const OpExpr &E) {
+    Explanation.reset();
     switch (E.Kind) {
     case OpKind::IsEmpty: {
       // is-empty of a language or of a transformation (domain emptiness).
@@ -239,7 +259,7 @@ public:
         bool Empty = isEmptyLanguage(S.Solv, V->Lang);
         std::string Detail;
         if (!Empty)
-          if (std::optional<TreeRef> W = witness(S.Solv, V->Lang, S.Trees))
+          if (std::optional<TreeRef> W = findWitness(V->Lang))
             Detail = "witness: " + (*W)->str();
         return std::make_pair(Empty, Detail);
       }
@@ -248,7 +268,7 @@ public:
         bool Empty = isEmptyLanguage(S.Solv, Dom);
         std::string Detail;
         if (!Empty)
-          if (std::optional<TreeRef> W = witness(S.Solv, Dom, S.Trees))
+          if (std::optional<TreeRef> W = findWitness(Dom))
             Detail = "domain witness: " + (*W)->str();
         return std::make_pair(Empty, Detail);
       }
@@ -265,9 +285,9 @@ public:
       if (!Equal) {
         TreeLanguage OnlyA = differenceLanguages(S.Solv, *A, *B);
         TreeLanguage OnlyB = differenceLanguages(S.Solv, *B, *A);
-        if (std::optional<TreeRef> W = witness(S.Solv, OnlyA, S.Trees))
+        if (std::optional<TreeRef> W = findWitness(OnlyA))
           Detail = "in left only: " + (*W)->str();
-        else if (std::optional<TreeRef> W2 = witness(S.Solv, OnlyB, S.Trees))
+        else if (std::optional<TreeRef> W2 = findWitness(OnlyB))
           Detail = "in right only: " + (*W2)->str();
       }
       return std::make_pair(Equal, Detail);
@@ -309,7 +329,7 @@ public:
         TreeLanguage Bad = intersectLanguages(
             S.Solv, *L1,
             preImageLanguage(S.Solv, *T, complementLanguage(S.Solv, *L2)));
-        if (std::optional<TreeRef> W = witness(S.Solv, Bad, S.Trees))
+        if (std::optional<TreeRef> W = findWitness(Bad))
           Detail = "bad input: " + (*W)->str();
       }
       return std::make_pair(Ok, Detail);
@@ -427,6 +447,8 @@ FastProgramResult fast::runFastProgram(Session &S, const std::string &Source) {
         Outcome.Expected = D.ExpectTrue;
         Outcome.Actual = V->first;
         Outcome.Detail = V->second;
+        Outcome.Explanation = std::move(Eval.Explanation);
+        Eval.Explanation.reset();
         Result.Assertions.push_back(std::move(Outcome));
         break;
       }
@@ -451,6 +473,19 @@ FastProgramResult fast::runFastProgram(Session &S, const std::string &Source) {
       if (!Result.Values.count(TransName))
         Result.Values.emplace(
             TransName, FastValue::ofTrans(Compiler.transSttr(TransName)));
+    }
+  }
+
+  // Rule-coverage ledger: with provenance recording on, report every
+  // declared rule that no construction ever fired as a dead-rule warning.
+  obs::ProvenanceStore &Prov = S.provenance();
+  if (Prov.enabled()) {
+    for (unsigned Canon : Prov.deadRules()) {
+      const obs::RuleOrigin &RO = Prov.ruleOrigin(Canon);
+      const obs::DeclAnchor &A = Prov.anchor(RO.AnchorId);
+      Diags.warning(SourceLoc{RO.Line, RO.Col},
+                    std::string("rule of ") + A.kindName() + " '" + A.Name +
+                        "' never fired in this session (dead rule?)");
     }
   }
 

@@ -17,6 +17,7 @@
 #ifndef FAST_FAST_EVALUATOR_H
 #define FAST_FAST_EVALUATOR_H
 
+#include "automata/StaOps.h"
 #include "fast/Compiler.h"
 
 namespace fast {
@@ -56,6 +57,9 @@ struct AssertionOutcome {
   /// Witness / counterexample text when available (e.g. a non-empty
   /// language in a failing `is-empty`).
   std::string Detail;
+  /// When provenance recording is enabled: the derivation-carrying
+  /// witness behind Detail, for `--explain`-style rendering.
+  std::optional<ExplainedWitness> Explanation;
 
   bool passed() const { return Expected == Actual; }
 };

@@ -1,0 +1,78 @@
+//===- fast/Explain.cpp - Rendering explained witnesses -------------------===//
+
+#include "fast/Explain.h"
+
+#include "automata/Sta.h"
+#include "trees/Tree.h"
+
+#include <sstream>
+
+using namespace fast;
+
+namespace {
+
+void appendCitation(std::ostringstream &Out, const obs::ProvenanceStore &Prov,
+                    unsigned CanonId, std::string_view SourcePath) {
+  const obs::RuleOrigin &RO = Prov.ruleOrigin(CanonId);
+  const obs::DeclAnchor &A = Prov.anchor(RO.AnchorId);
+  Out << A.kindName() << " '" << A.Name << "'";
+  if (RO.Line != 0) {
+    Out << " at ";
+    if (!SourcePath.empty())
+      Out << SourcePath << ":";
+    Out << RO.Line << ":" << RO.Col;
+  }
+}
+
+void renderNode(std::ostringstream &Out, const obs::ProvenanceStore &Prov,
+                const Sta &A, const obs::DerivationNode &D,
+                std::string_view SourcePath, unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  const TreeNode *N = D.Node;
+  Out << Pad << (N ? N->ctorName() : std::string("<node>"));
+  if (!D.Model.empty()) {
+    Out << "[";
+    for (size_t I = 0; I < D.Model.size(); ++I) {
+      if (I)
+        Out << ", ";
+      Out << D.Model[I].str();
+    }
+    Out << "]";
+  }
+  Out << "\n";
+  Out << Pad << "  accepted by state '" << A.stateName(D.State) << "' (rule #"
+      << D.RuleIndex << ")";
+  const obs::StateProvenance *P = Prov.sourceTable(A.provenance());
+  if (P) {
+    const std::vector<unsigned> &Canons = P->ruleCanon(D.RuleIndex);
+    if (!Canons.empty()) {
+      Out << " via ";
+      for (size_t I = 0; I < Canons.size(); ++I) {
+        if (I)
+          Out << ", ";
+        appendCitation(Out, Prov, Canons[I], SourcePath);
+      }
+    }
+  }
+  Out << "\n";
+  for (const auto &Child : D.Children)
+    if (Child)
+      renderNode(Out, Prov, A, *Child, SourcePath, Indent + 1);
+}
+
+} // namespace
+
+std::string fast::renderExplanation(const obs::ProvenanceStore &Prov,
+                                    const ExplainedWitness &W,
+                                    std::string_view SourcePath) {
+  std::ostringstream Out;
+  if (W.Tree)
+    Out << "witness: " << W.Tree->str() << "\n";
+  if (W.Derivation && W.Automaton) {
+    Out << "derivation:\n";
+    renderNode(Out, Prov, *W.Automaton, *W.Derivation, SourcePath, 1);
+  } else {
+    Out << "derivation: <not recorded — enable provenance>\n";
+  }
+  return Out.str();
+}

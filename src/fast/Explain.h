@@ -1,0 +1,39 @@
+//===- fast/Explain.h - Rendering explained witnesses -----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a derivation-carrying witness (StaOps::witnessExplained) into a
+/// human-readable explanation: the witness tree annotated per node with
+/// the engine state that accepted it, the guard model the solver chose,
+/// and — through the provenance back-pointers — citations of the original
+/// Fast `lang`/`trans` declarations (name and file:line:col) each fired
+/// rule descends from.  Lives in fast_lang because rendering needs
+/// out-of-line symbols (Value::str, Sta::stateName) that fast_obs must
+/// not link.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_FAST_EXPLAIN_H
+#define FAST_FAST_EXPLAIN_H
+
+#include "automata/StaOps.h"
+#include "obs/Provenance.h"
+
+#include <string>
+#include <string_view>
+
+namespace fast {
+
+/// Renders \p W as an indented multi-line explanation.  \p SourcePath is
+/// used in rule citations ("trans remScript at sanitizer.fast:24:3"); pass
+/// an empty view to cite bare line:col.
+std::string renderExplanation(const obs::ProvenanceStore &Prov,
+                              const ExplainedWitness &W,
+                              std::string_view SourcePath = {});
+
+} // namespace fast
+
+#endif // FAST_FAST_EXPLAIN_H

@@ -1,0 +1,150 @@
+//===- obs/Report.cpp - Single-file HTML session report -------------------===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Report.h"
+
+using namespace fast::obs;
+
+void ReportBuilder::addAssertion(std::string Loc, bool Expected, bool Passed,
+                                 std::string Detail) {
+  std::string Obj = "{\"loc\":\"" + jsonEscape(Loc) + "\",\"expected\":";
+  Obj += Expected ? "true" : "false";
+  Obj += ",\"passed\":";
+  Obj += Passed ? "true" : "false";
+  Obj += ",\"detail\":\"" + jsonEscape(Detail) + "\"}";
+  Assertions.push_back(std::move(Obj));
+}
+
+void ReportBuilder::addWitness(std::string Heading, std::string Text) {
+  Witnesses.push_back("{\"heading\":\"" + jsonEscape(Heading) +
+                      "\",\"text\":\"" + jsonEscape(Text) + "\"}");
+}
+
+std::string ReportBuilder::dataJson() const {
+  std::string Out = "{\"title\":\"" + jsonEscape(Title) + "\"";
+
+  auto Append = [&Out](const char *Key, const std::vector<std::string> &Vs) {
+    Out += ",\"";
+    Out += Key;
+    Out += "\":[";
+    for (size_t I = 0; I < Vs.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Vs[I];
+    }
+    Out += "]";
+  };
+
+  Append("events", Events);
+  Out += ",\"stats\":" + StatsJson;
+  Out += ",\"coverage\":" + CoverageJson;
+  Append("assertions", Assertions);
+  Append("witnesses", Witnesses);
+  Out += ",\"slow_queries\":\"" + jsonEscape(SlowQueries) + "\"";
+  Out += "}";
+  return Out;
+}
+
+std::string ReportBuilder::html() const {
+  // The island's payload may not contain "</script"; jsonEscape renders
+  // "/" verbatim, so break the sequence the only way it can appear: inside
+  // string data.  "<\/" is an equivalent JSON escape, safe to substitute.
+  std::string Data = dataJson();
+  std::string Safe;
+  Safe.reserve(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I) {
+    if (Data[I] == '<' && I + 1 < Data.size() && Data[I + 1] == '/') {
+      Safe += "<\\/";
+      ++I;
+    } else {
+      Safe += Data[I];
+    }
+  }
+
+  std::string Page;
+  Page += "<!doctype html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  Page += "<title>" + jsonEscape(Title) + "</title>\n";
+  Page +=
+      "<style>\n"
+      "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;"
+      "max-width:70em;padding:0 1em;color:#222}\n"
+      "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em;"
+      "border-bottom:1px solid #ddd;padding-bottom:.2em}\n"
+      "table{border-collapse:collapse;width:100%}\n"
+      "td,th{border:1px solid #ddd;padding:.25em .5em;text-align:left;"
+      "font-size:13px}\n"
+      "th{background:#f5f5f5}\n"
+      "pre{background:#f8f8f8;border:1px solid #eee;padding:.75em;"
+      "overflow-x:auto;font-size:12px}\n"
+      ".pass{color:#070}.fail{color:#b00;font-weight:bold}\n"
+      ".dead{background:#fee}\n"
+      ".bar{background:#59f;height:10px;border-radius:2px;min-width:1px}\n"
+      ".lane{position:relative;height:14px}\n"
+      "</style>\n</head>\n<body>\n<h1 id=\"title\"></h1>\n";
+  Page += "<script type=\"application/json\" id=\"fast-report-data\">\n";
+  Page += Safe;
+  Page += "\n</script>\n";
+  Page +=
+      "<div id=\"assertions\"></div>\n<div id=\"witnesses\"></div>\n"
+      "<div id=\"coverage\"></div>\n<div id=\"timeline\"></div>\n"
+      "<div id=\"stats\"></div>\n<div id=\"slow\"></div>\n"
+      "<script>\n"
+      "const D=JSON.parse(document.getElementById('fast-report-data')"
+      ".textContent);\n"
+      "const esc=s=>String(s).replace(/[&<>]/g,"
+      "c=>({'&':'&amp;','<':'&lt;','>':'&gt;'}[c]));\n"
+      "document.getElementById('title').textContent=D.title;\n"
+      "document.title=D.title;\n"
+      "let h='<h2>Assertions</h2>';\n"
+      "if(D.assertions.length){h+='<table><tr><th>location</th>"
+      "<th>expected</th><th>result</th><th>detail</th></tr>';\n"
+      "for(const a of D.assertions)h+='<tr><td>'+esc(a.loc)+'</td><td>'+"
+      "a.expected+'</td><td class=\"'+(a.passed?'pass\">PASSED':"
+      "'fail\">FAILED')+'</td><td>'+esc(a.detail)+'</td></tr>';\n"
+      "h+='</table>';}else h+='<p>none</p>';\n"
+      "document.getElementById('assertions').innerHTML=h;\n"
+      "h='<h2>Explained witnesses</h2>';\n"
+      "if(D.witnesses.length)for(const w of D.witnesses)"
+      "h+='<h3>'+esc(w.heading)+'</h3><pre>'+esc(w.text)+'</pre>';\n"
+      "else h+='<p>none</p>';\n"
+      "document.getElementById('witnesses').innerHTML=h;\n"
+      "h='<h2>Rule coverage</h2>';\n"
+      "if(D.coverage.length){h+='<table><tr><th>declaration</th>"
+      "<th>rule at</th><th>fired</th></tr>';\n"
+      "for(const r of D.coverage)h+='<tr'+(r.fired?'':' class=\"dead\"')+"
+      "'><td>'+esc(r.kind)+' '+esc(r.decl)+'</td><td>'+r.line+':'+r.col+"
+      "'</td><td>'+r.fired+(r.fired?'':' (dead rule?)')+'</td></tr>';\n"
+      "h+='</table>';}else h+='<p>no provenance recorded</p>';\n"
+      "document.getElementById('coverage').innerHTML=h;\n"
+      "h='<h2>Span timeline</h2>';\n"
+      "const spans=[];const stack=[];\n"
+      "for(const e of D.events){\n"
+      " if(e.ph==='B')stack.push({name:e.name,ts:e.ts,depth:stack.length});\n"
+      " else if(e.ph==='E'&&stack.length){const s=stack.pop();"
+      "spans.push({name:s.name,ts:s.ts,dur:e.ts-s.ts,depth:s.depth});}\n"
+      " else if(e.ph==='X')spans.push({name:e.name,ts:e.ts,dur:e.dur,"
+      "depth:stack.length});}\n"
+      "if(spans.length){const t0=Math.min(...spans.map(s=>s.ts));"
+      "const t1=Math.max(...spans.map(s=>s.ts+s.dur))||t0+1;\n"
+      "spans.sort((a,b)=>a.ts-b.ts);\n"
+      "h+='<table><tr><th style=\"width:40%\">span</th><th>us</th>"
+      "<th style=\"width:45%\"></th></tr>';\n"
+      "for(const s of spans.slice(0,500)){const l=100*(s.ts-t0)/(t1-t0),"
+      "w=Math.max(.2,100*s.dur/(t1-t0));\n"
+      "h+='<tr><td style=\"padding-left:'+(s.depth+.5)+'em\">'+esc(s.name)+"
+      "'</td><td>'+s.dur.toFixed(1)+'</td><td><div class=\"lane\">"
+      "<div class=\"bar\" style=\"margin-left:'+l+'%;width:'+w+'%\">"
+      "</div></div></td></tr>';}\n"
+      "h+='</table>';if(spans.length>500)h+='<p>(first 500 of '+"
+      "spans.length+' spans)</p>';}else h+='<p>no spans recorded</p>';\n"
+      "document.getElementById('timeline').innerHTML=h;\n"
+      "document.getElementById('stats').innerHTML='<h2>Engine stats</h2>"
+      "<pre>'+esc(JSON.stringify(D.stats,null,2))+'</pre>';\n"
+      "document.getElementById('slow').innerHTML='<h2>Slow queries</h2>"
+      "<pre>'+esc(D.slow_queries||'none')+'</pre>';\n"
+      "</script>\n</body>\n</html>\n";
+  return Page;
+}

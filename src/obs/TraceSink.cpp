@@ -95,6 +95,12 @@ void writeEventBody(std::ostream &Out, const TraceEvent &E) {
 
 } // namespace
 
+std::string fast::obs::renderEventJson(const TraceEvent &E) {
+  std::ostringstream Out;
+  writeEventBody(Out, E);
+  return Out.str();
+}
+
 ChromeTraceSink::ChromeTraceSink(const std::string &Path)
     : Out(Path, std::ios::trunc) {}
 
@@ -119,4 +125,15 @@ void JsonlTraceSink::event(const TraceEvent &E) {
   writeEventBody(Out, E);
   Out << "\n";
   Out.flush(); // Survive abnormal exit: the file is complete per event.
+}
+
+std::unique_ptr<TraceSink>
+fast::obs::makeFileTraceSink(const std::string &Path) {
+  bool Jsonl = Path.size() >= 6 && Path.rfind(".jsonl") == Path.size() - 6;
+  if (Jsonl) {
+    auto S = std::make_unique<JsonlTraceSink>(Path);
+    return S->ok() ? std::move(S) : nullptr;
+  }
+  auto S = std::make_unique<ChromeTraceSink>(Path);
+  return S->ok() ? std::unique_ptr<TraceSink>(std::move(S)) : nullptr;
 }

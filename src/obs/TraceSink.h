@@ -50,6 +50,13 @@ TraceAttr attr(std::string_view Key, std::string_view Value);
 /// Escapes \p Text as the body of a JSON string literal (no quotes added).
 std::string jsonEscape(std::string_view Text);
 
+struct TraceEvent;
+
+/// Renders one event as the Chrome trace-event JSON object both file sinks
+/// emit.  Exposed so in-memory sinks (the HTML report) serialize events
+/// identically to the file formats.
+std::string renderEventJson(const TraceEvent &E);
+
 /// One emitted event.  Name/Category/Attrs are only borrowed for the
 /// duration of the event() call; sinks serialize immediately.
 struct TraceEvent {
@@ -97,6 +104,12 @@ public:
 private:
   std::ofstream Out;
 };
+
+/// Opens a file sink for \p Path, choosing the format by extension
+/// (".jsonl" streams JSONL, anything else writes the Chrome JSON array).
+/// Returns null if the file cannot be opened.  Factored out of
+/// Tracer::openTrace so `--report` can tee into the same file formats.
+std::unique_ptr<TraceSink> makeFileTraceSink(const std::string &Path);
 
 } // namespace fast::obs
 

@@ -12,18 +12,10 @@ Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
 Tracer::~Tracer() { closeTrace(); }
 
 bool Tracer::openTrace(const std::string &Path) {
-  bool Jsonl = Path.size() >= 6 && Path.rfind(".jsonl") == Path.size() - 6;
-  if (Jsonl) {
-    auto S = std::make_unique<JsonlTraceSink>(Path);
-    if (!S->ok())
-      return false;
-    setSink(std::move(S));
-  } else {
-    auto S = std::make_unique<ChromeTraceSink>(Path);
-    if (!S->ok())
-      return false;
-    setSink(std::move(S));
-  }
+  std::unique_ptr<TraceSink> S = makeFileTraceSink(Path);
+  if (!S)
+    return false;
+  setSink(std::move(S));
   return true;
 }
 
@@ -51,6 +43,13 @@ void Tracer::configureFromEnv() {
     openTrace(Path);
   if (const char *P = std::getenv("FAST_PROGRESS"); P && *P && *P != '0')
     setProgressStream(&std::cerr);
+  // Heartbeat cadence in milliseconds (0 = every exploration step).
+  if (const char *Ms = std::getenv("FAST_PROGRESS_MS"); Ms && *Ms) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(Ms, &End, 10);
+    if (End != Ms && *End == '\0')
+      ProgressIntervalMs = static_cast<unsigned>(V);
+  }
 }
 
 void Tracer::beginSpan(std::string_view Name, std::string_view Category) {

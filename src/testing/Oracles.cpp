@@ -355,6 +355,39 @@ OracleResult mintermTrieOracle(Session &S, const FuzzInstance &I,
   return std::nullopt;
 }
 
+/// witnessExplained: the explained witness agrees with emptiness, lies in
+/// the language, and its recorded derivation replays concretely — every
+/// node's rule matches state/constructor, the stored guard model equals
+/// the node's attributes and satisfies the guard, and each child is
+/// accepted by its lookahead state (StaOps::verifyDerivation).
+OracleResult derivationReplayOracle(Session &S, const FuzzInstance &I,
+                                    const OracleOptions &) {
+  auto CheckLang = [&](const TreeLanguage &L,
+                       const std::string &Label) -> OracleResult {
+    bool Empty = isEmptyLanguage(S.Solv, L);
+    std::optional<ExplainedWitness> W = witnessExplained(S.Solv, L, S.Trees);
+    if (Empty == W.has_value())
+      return fail(Label + ": witnessExplained " +
+                  (W ? "produced a witness for an empty language"
+                     : "found no witness for a non-empty language"));
+    if (!W)
+      return std::nullopt;
+    if (!W->Derivation || !W->Automaton)
+      return fail(Label + ": explained witness carries no derivation",
+                  W->Tree);
+    std::string Error;
+    if (!verifyDerivation(*W->Automaton, *W->Derivation, &Error))
+      return fail(Label + ": derivation replay failed: " + Error, W->Tree);
+    if (!L.contains(W->Tree))
+      return fail(Label + ": explained witness is not in the language",
+                  W->Tree);
+    return std::nullopt;
+  };
+  if (OracleResult R = CheckLang(I.LangA, "A"))
+    return R;
+  return CheckLang(intersectLanguages(S.Solv, I.LangA, I.LangB), "A ∩ B");
+}
+
 } // namespace
 
 OracleRun fast::testing::runOracle(const Oracle &O, Session &S,
@@ -405,6 +438,9 @@ const std::vector<Oracle> &fast::testing::allOracles() {
       {"minterm-trie",
        "trie minterm splits match the naive enumeration region-for-region",
        1, mintermTrieOracle},
+      {"derivation-replay",
+       "explained witnesses carry derivations that replay concretely", 1,
+       derivationReplayOracle},
   };
   return Registry;
 }

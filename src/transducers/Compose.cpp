@@ -41,8 +41,12 @@ PairsLookahead withPair(const PairsLookahead &L, unsigned Index, unsigned P,
 /// output side of some transducer Src) on an output term of Src.
 class LookEngine {
 public:
-  LookEngine(engine::GuardCache &Guards, const Sta &B)
-      : Guards(Guards), F(Guards.factory()), B(B) {}
+  /// \p Ledger (optional) records B-rule firings in the session coverage
+  /// ledger while the symbolic run explores applicable rules.
+  LookEngine(engine::GuardCache &Guards, const Sta &B,
+             obs::ProvenanceStore *Ledger = nullptr)
+      : Guards(Guards), F(Guards.factory()), B(B), Ledger(Ledger),
+        BProv(Ledger ? Ledger->sourceTable(B.provenance()) : nullptr) {}
 
   struct LookResult {
     TermRef Guard;
@@ -68,6 +72,8 @@ public:
           F.mkAnd(Gamma, F.substituteAttrs(R.Guard, U->labelExprs()));
       if (!Guards.isSat(Guard))
         continue; // 2(a) IsSat check.
+      if (BProv)
+        Ledger->countFiring(BProv, RuleIndex);
       std::vector<LookResult> Thread = {{Guard, L}};
       for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
         assert(R.Lookahead[I].size() == 1 && "Look requires a normalized B");
@@ -88,6 +94,8 @@ private:
   engine::GuardCache &Guards;
   TermFactory &F;
   const Sta &B;
+  obs::ProvenanceStore *Ledger;
+  const obs::StateProvenance *BProv;
 };
 
 /// Builds the pre-image STA of a normalized automaton B under a transducer
@@ -98,8 +106,10 @@ public:
   PreImageBuilder(engine::SessionEngine &Engine, const Sttr &Src, const Sta &B,
                   Sta &Out)
       : Engine(Engine), Stats(Engine.Stats.construction("preimage")), Src(Src),
-        B(B), Out(Out), Look(Engine.Guards, B), Pairs(&Stats),
-        Explore(&Stats, Engine.Limits, &Engine.Trace) {
+        B(B), Out(Out), Look(Engine.Guards, B, &Engine.Prov), Pairs(&Stats),
+        Explore(&Stats, Engine.Limits, &Engine.Trace),
+        SrcProv(Engine.Prov.sourceTable(Src.provenance())),
+        BProv(Engine.Prov.sourceTable(B.provenance())) {
     LaOffset = Out.import(Src.lookahead());
   }
 
@@ -109,7 +119,17 @@ public:
   unsigned pairState(unsigned P, unsigned M) {
     auto [Id, Fresh] = Pairs.intern({P, M});
     if (Fresh) {
-      StateOf.push_back(Out.addState(Src.stateName(P) + "." + B.stateName(M)));
+      unsigned OutId =
+          Out.addState(Src.stateName(P) + "." + B.stateName(M));
+      StateOf.push_back(OutId);
+      if (SrcProv || BProv) {
+        // A pair state descends from both components' declarations.
+        obs::StateProvenance &OP = Out.provenanceRW();
+        if (SrcProv)
+          OP.addStateAnchors(OutId, SrcProv->anchors(P));
+        if (BProv)
+          OP.addStateAnchors(OutId, BProv->anchors(M));
+      }
       Explore.enqueue(Id);
     }
     return StateOf[Id];
@@ -121,7 +141,8 @@ public:
     Explore.runOrThrow("preimage", [&](unsigned Id) {
       auto [P, M] = Pairs.key(Id);
       unsigned Source = StateOf[Id];
-      for (const SttrRule &R : Src.rules()) {
+      for (unsigned RI = 0; RI < Src.numRules(); ++RI) {
+        const SttrRule &R = Src.rule(RI);
         if (R.State != P)
           continue;
         unsigned Rank = static_cast<unsigned>(R.Lookahead.size());
@@ -134,8 +155,13 @@ public:
             for (const auto &[PP, MM] : LR.Pairs[I])
               Children[I].push_back(pairState(PP, MM));
           }
+          unsigned NewRule = static_cast<unsigned>(Out.numRules());
           Out.addRule(Source, R.CtorId, LR.Guard, std::move(Children));
           ++Stats.RulesEmitted;
+          if (SrcProv) {
+            Engine.Prov.countFiring(SrcProv, RI);
+            Out.provenanceRW().addRuleCanons(NewRule, SrcProv->ruleCanon(RI));
+          }
         }
       }
     });
@@ -154,6 +180,8 @@ private:
   /// holds the imported lookahead states, so the two id spaces differ).
   std::vector<unsigned> StateOf;
   engine::Exploration Explore;
+  const obs::StateProvenance *SrcProv;
+  const obs::StateProvenance *BProv;
 };
 
 /// Orchestrates the least-fixpoint over pair transducer states with the
@@ -166,11 +194,14 @@ public:
         Stats(Engine.Stats.construction("compose")), Solv(Solv),
         F(Solv.factory()), Outputs(Outputs), S(S), T(T),
         Composed(std::make_shared<Sttr>(S.signature())), TransIds(&Stats),
-        Explore(&Stats, Engine.Limits, &Engine.Trace) {
+        Explore(&Stats, Engine.Limits, &Engine.Trace),
+        SProv(Engine.Prov.sourceTable(S.provenance())),
+        TProv(Engine.Prov.sourceTable(T.provenance())) {
     buildNormalizedDomain();
     Pre = std::make_unique<PreImageBuilder>(Engine, S, *NDT.Automaton,
                                             Composed->lookahead());
-    NDTLook = std::make_unique<LookEngine>(Engine.Guards, *NDT.Automaton);
+    NDTLook = std::make_unique<LookEngine>(Engine.Guards, *NDT.Automaton,
+                                           &Engine.Prov);
   }
 
   std::shared_ptr<Sttr> run() {
@@ -224,6 +255,13 @@ private:
           Composed->addState(S.stateName(P) + "." + T.stateName(Q));
       assert(ComposedId == Id && "interner and transducer ids must align");
       (void)ComposedId;
+      if (SProv || TProv) {
+        obs::StateProvenance &CP = Composed->provenanceRW();
+        if (SProv)
+          CP.addStateAnchors(Id, SProv->anchors(P));
+        if (TProv)
+          CP.addStateAnchors(Id, TProv->anchors(Q));
+      }
       Explore.enqueue(Id);
     }
     return Id;
@@ -232,7 +270,8 @@ private:
   /// Compose(p, q, f) for every f: one composed rule per S rule and per
   /// irreducible reduction of T over its output.
   void composeFrom(unsigned P, unsigned Q, unsigned Source) {
-    for (const SttrRule &R : S.rules()) {
+    for (unsigned RI = 0; RI < S.numRules(); ++RI) {
+      const SttrRule &R = S.rule(RI);
       if (R.State != P)
         continue;
       unsigned Rank = static_cast<unsigned>(R.Lookahead.size());
@@ -245,9 +284,15 @@ private:
           for (const auto &[PP, MM] : Red.Pairs[I])
             Lookahead[I].push_back(Pre->pairState(PP, MM));
         }
+        unsigned NewRule = static_cast<unsigned>(Composed->numRules());
         Composed->addRule(Source, R.CtorId, Red.Guard, std::move(Lookahead),
                           Red.Out);
         ++Stats.RulesEmitted;
+        if (SProv) {
+          Engine.Prov.countFiring(SProv, RI);
+          Composed->provenanceRW().addRuleCanons(NewRule,
+                                                 SProv->ruleCanon(RI));
+        }
       }
     }
   }
@@ -271,6 +316,8 @@ private:
           F.mkAnd(Gamma, F.substituteAttrs(Tau.Guard, U->labelExprs()));
       if (!Engine.Guards.isSat(Guard))
         continue;
+      if (TProv)
+        Engine.Prov.countFiring(TProv, RI);
       std::vector<LookEngine::LookResult> Thread = {{Guard, L}};
       for (unsigned I = 0; I < U->children().size() && !Thread.empty(); ++I) {
         unsigned Seed = NDT.SeedStates[SeedIndexOfRule[RI][I]];
@@ -351,6 +398,8 @@ private:
   std::unique_ptr<LookEngine> NDTLook;
   engine::StateInterner<std::pair<unsigned, unsigned>> TransIds;
   engine::Exploration Explore;
+  const obs::StateProvenance *SProv;
+  const obs::StateProvenance *TProv;
 };
 
 } // namespace

@@ -13,11 +13,13 @@ DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
   std::optional<engine::ConstructionScope> Scope;
   engine::ExplorationLimits Limits;
   obs::Tracer *Trace = nullptr;
+  const obs::StateProvenance *SProv = nullptr;
   if (Solv) {
     engine::SessionEngine &E = engine::SessionEngine::of(*Solv);
     Scope.emplace(E.Stats, "domain");
     Limits = E.Limits;
     Trace = &E.Trace;
+    SProv = E.Prov.sourceTable(S.provenance());
   }
   engine::ConstructionStats *Stats = Scope ? &Scope->stats() : nullptr;
 
@@ -30,8 +32,12 @@ DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
   assert(Result.LookaheadOffset == 0 && "lookahead STA must be imported first");
 
   Result.StateOf.reserve(S.numStates());
-  for (unsigned Q = 0; Q < S.numStates(); ++Q)
+  for (unsigned Q = 0; Q < S.numStates(); ++Q) {
     Result.StateOf.push_back(Out.addState("dom(" + S.stateName(Q) + ")"));
+    if (SProv)
+      Out.provenanceRW().addStateAnchors(Result.StateOf.back(),
+                                         SProv->anchors(Q));
+  }
 
   // One worklist item per transducer state; its expansion emits the domain
   // rules of that state's transduction rules.
@@ -54,9 +60,15 @@ DomainAutomaton fast::domainAutomaton(const Sttr &S, Solver *Solv) {
         canonicalizeStateSet(Set);
         Children.push_back(std::move(Set));
       }
+      unsigned NewRule = static_cast<unsigned>(Out.numRules());
       Out.addRule(Result.StateOf[Q], R.CtorId, R.Guard, std::move(Children));
       if (Stats)
         ++Stats->RulesEmitted;
+      // Domain rules are structural (no guard decision is taken here), so
+      // they alias their transduction rule's origin without counting a
+      // firing in the coverage ledger.
+      if (SProv)
+        Out.provenanceRW().addRuleCanons(NewRule, SProv->ruleCanon(RI));
     }
   });
   return Result;

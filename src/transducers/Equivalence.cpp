@@ -40,7 +40,17 @@ EquivalenceResult fast::checkEquivalence(Session &S, const Sttr &T1,
   TreeLanguage Dom2 = domainLanguage(T2, &S.Solv);
   for (const auto &[A, B] : {std::pair(&Dom1, &Dom2), std::pair(&Dom2, &Dom1)}) {
     TreeLanguage OnlyA = differenceLanguages(S.Solv, *A, *B);
-    if (std::optional<TreeRef> W = witness(S.Solv, OnlyA, S.Trees)) {
+    if (S.provenance().enabled()) {
+      if (std::optional<ExplainedWitness> W =
+              witnessExplained(S.Solv, OnlyA, S.Trees)) {
+        Result.Outcome = EquivalenceResult::Verdict::Inequivalent;
+        Result.Counterexample = W->Tree;
+        Result.Explanation = std::move(*W);
+        assert(Differs(Result.Counterexample) &&
+               "domain witness must separate the outputs");
+        return Result;
+      }
+    } else if (std::optional<TreeRef> W = witness(S.Solv, OnlyA, S.Trees)) {
       Result.Outcome = EquivalenceResult::Verdict::Inequivalent;
       Result.Counterexample = *W;
       assert(Differs(*W) && "domain witness must separate the outputs");

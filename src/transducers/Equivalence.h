@@ -24,6 +24,7 @@
 #ifndef FAST_TRANSDUCERS_EQUIVALENCE_H
 #define FAST_TRANSDUCERS_EQUIVALENCE_H
 
+#include "automata/StaOps.h"
 #include "transducers/Ops.h"
 #include "transducers/Session.h"
 
@@ -44,6 +45,10 @@ struct EquivalenceResult {
   Verdict Outcome = Verdict::ProbablyEquivalent;
   /// For Inequivalent: an input on which the output sets differ.
   TreeRef Counterexample = nullptr;
+  /// When the counterexample came from the decidable domain comparison and
+  /// provenance recording is enabled, the derivation-carrying witness for
+  /// the domain-difference language (explains *why* one side accepts).
+  std::optional<ExplainedWitness> Explanation;
 };
 
 /// Searches for a behavioural difference between \p T1 and \p T2:

@@ -27,6 +27,11 @@ std::shared_ptr<Sttr> fast::cloneSttr(const Sttr &T) {
   for (const SttrRule &R : T.rules())
     Copy->addRule(R.State, R.CtorId, R.Guard, R.Lookahead, R.Out);
   Copy->setStartState(T.startState());
+  // States and rules are copied 1:1 (and the lookahead import propagated
+  // its own table above), so a snapshot keeps the clone explainable.
+  if (T.provenance())
+    Copy->setProvenance(
+        std::make_shared<obs::StateProvenance>(*T.provenance()));
   return Copy;
 }
 
@@ -36,17 +41,29 @@ std::shared_ptr<Sttr> fast::restrictInput(Solver &Solv, const Sttr &T,
          "restriction over incompatible signatures");
   TreeLanguage NL = normalize(Solv, L);
   TermFactory &F = Solv.factory();
-  engine::GuardCache &G = engine::SessionEngine::of(Solv).Guards;
+  engine::SessionEngine &E = engine::SessionEngine::of(Solv);
+  engine::GuardCache &G = E.Guards;
 
   std::shared_ptr<Sttr> R = cloneSttr(T);
   // Embed the (normalized) language automaton into the lookahead STA.
   unsigned LOffset = R->lookahead().import(NL.automaton());
 
+  const obs::StateProvenance *TProv = E.Prov.sourceTable(T.provenance());
+  const obs::StateProvenance *LProv =
+      E.Prov.sourceTable(NL.automaton().provenance());
+
   // Fresh start state: fire T's start rules only when the input also
   // matches a root rule of the language automaton; subtree constraints are
   // delegated to lookahead (which checks full subtree membership).
   unsigned NewStart = R->addState(T.stateName(T.startState()) + "|restricted");
-  for (const SttrRule &TR : T.rules()) {
+  if (TProv)
+    R->provenanceRW().addStateAnchors(NewStart,
+                                      TProv->anchors(T.startState()));
+  if (LProv)
+    for (unsigned Root : NL.roots())
+      R->provenanceRW().addStateAnchors(NewStart, LProv->anchors(Root));
+  for (unsigned TI = 0; TI < T.numRules(); ++TI) {
+    const SttrRule &TR = T.rule(TI);
     if (TR.State != T.startState())
       continue;
     for (unsigned Root : NL.roots()) {
@@ -61,7 +78,16 @@ std::shared_ptr<Sttr> fast::restrictInput(Solver &Solv, const Sttr &T,
           Lookahead[I].push_back(LR.Lookahead[I].front() + LOffset);
           canonicalizeStateSet(Lookahead[I]);
         }
+        unsigned NewRule = static_cast<unsigned>(R->numRules());
         R->addRule(NewStart, TR.CtorId, Guard, std::move(Lookahead), TR.Out);
+        if (TProv) {
+          E.Prov.countFiring(TProv, TI);
+          R->provenanceRW().addRuleCanons(NewRule, TProv->ruleCanon(TI));
+        }
+        if (LProv) {
+          E.Prov.countFiring(LProv, Index);
+          R->provenanceRW().addRuleCanons(NewRule, LProv->ruleCanon(Index));
+        }
       }
     }
   }
@@ -130,11 +156,22 @@ std::shared_ptr<Sttr> fast::simplifyLookahead(Solver &Solv, const Sttr &T) {
   auto Out = std::make_shared<Sttr>(T.signature());
   for (unsigned Q = 0; Q < T.numStates(); ++Q)
     Out->addState(T.stateName(Q));
+  // Transduction states and rules are rebuilt 1:1 below, so T's own table
+  // carries over verbatim; the compacted lookahead is remapped explicitly.
+  if (T.provenance())
+    Out->setProvenance(
+        std::make_shared<obs::StateProvenance>(*T.provenance()));
+  const obs::StateProvenance *LaProv = LA.provenance();
   std::vector<unsigned> Remap(LA.numStates(), ~0u);
   for (unsigned Q = 0; Q < LA.numStates(); ++Q)
-    if (Referenced[Q])
+    if (Referenced[Q]) {
       Remap[Q] = Out->lookahead().addState(LA.stateName(Q));
-  for (const StaRule &R : LA.rules()) {
+      if (LaProv)
+        Out->lookahead().provenanceRW().addStateAnchors(Remap[Q],
+                                                        LaProv->anchors(Q));
+    }
+  for (unsigned Index = 0; Index < LA.numRules(); ++Index) {
+    const StaRule &R = LA.rule(Index);
     if (!Referenced[R.State])
       continue;
     std::vector<StateSet> Children;
@@ -150,8 +187,12 @@ std::shared_ptr<Sttr> fast::simplifyLookahead(Solver &Solv, const Sttr &T) {
       }
       Children.push_back(std::move(Mapped));
     }
+    unsigned NewRule = static_cast<unsigned>(Out->lookahead().numRules());
     Out->lookahead().addRule(Remap[R.State], R.CtorId, R.Guard,
                              std::move(Children));
+    if (LaProv)
+      Out->lookahead().provenanceRW().addRuleCanons(NewRule,
+                                                    LaProv->ruleCanon(Index));
   }
   for (size_t I = 0; I < T.numRules(); ++I) {
     const SttrRule &R = T.rule(I);

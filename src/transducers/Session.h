@@ -44,6 +44,10 @@ struct Session {
 
   /// The session-wide tracer (spans, slow-query log, progress heartbeat).
   obs::Tracer &tracer() { return engine().Trace; }
+
+  /// The session-wide provenance store (decl anchors, rule-coverage
+  /// ledger); recording is off unless provenance().setEnabled(true).
+  obs::ProvenanceStore &provenance() { return engine().Prov; }
 };
 
 } // namespace fast

@@ -4,6 +4,7 @@
 
 #include "automata/StaOps.h"
 #include "engine/Engine.h"
+#include "obs/Provenance.h"
 
 #include <cassert>
 
@@ -15,6 +16,12 @@ unsigned Sttr::addState(std::string Name) {
     Name = "t" + std::to_string(Id);
   StateNames.push_back(std::move(Name));
   return Id;
+}
+
+obs::StateProvenance &Sttr::provenanceRW() {
+  if (!Prov)
+    Prov = std::make_shared<obs::StateProvenance>();
+  return *Prov;
 }
 
 void Sttr::addRule(unsigned State, unsigned CtorId, TermRef Guard,

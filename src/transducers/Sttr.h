@@ -91,6 +91,17 @@ public:
   /// Multi-line dump for debugging and golden tests.
   std::string str() const;
 
+  /// Provenance side table over the *transduction* states/rules (the
+  /// lookahead STA carries its own); nullptr unless recorded.
+  obs::StateProvenance *provenance() const { return Prov.get(); }
+  const std::shared_ptr<obs::StateProvenance> &provenancePtr() const {
+    return Prov;
+  }
+  obs::StateProvenance &provenanceRW();
+  void setProvenance(std::shared_ptr<obs::StateProvenance> P) {
+    Prov = std::move(P);
+  }
+
 private:
   SignatureRef Sig;
   std::vector<std::string> StateNames;
@@ -99,6 +110,7 @@ private:
   std::shared_ptr<Sta> LookaheadSta;
   unsigned Start = 0;
   std::optional<unsigned> IdentityState;
+  std::shared_ptr<obs::StateProvenance> Prov;
 };
 
 } // namespace fast

@@ -13,6 +13,8 @@
 #include "engine/Exploration.h"
 #include "engine/StateInterner.h"
 
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -218,6 +220,58 @@ TEST(StatsRegistryTest, ResetDuringActiveScopeKeepsReferencesValid) {
   EXPECT_EQ(Slot.Runs, 0u);    // Counted at entry, wiped by the reset.
   EXPECT_GE(Slot.WallMs, 0.0); // Scope exit still finds its slot.
   EXPECT_EQ(Registry.current(), nullptr);
+}
+
+size_t countHeartbeats(const std::string &Text) {
+  size_t Beats = 0;
+  std::istringstream In(Text);
+  for (std::string Line; std::getline(In, Line);)
+    Beats += Line.rfind("[fast] ", 0) == 0 &&
+             Line.find("states explored") != std::string::npos;
+  return Beats;
+}
+
+TEST(ExplorationHeartbeatTest, ZeroIntervalBeatsEveryStep) {
+  obs::Tracer Trace;
+  std::ostringstream Progress;
+  Trace.setProgressStream(&Progress);
+  Trace.ProgressIntervalMs = 0;
+  Exploration E(nullptr, {}, &Trace);
+  for (unsigned I = 0; I < 10; ++I)
+    E.enqueue(I);
+  EXPECT_EQ(E.run([](unsigned) {}), ExplorationOutcome::Completed);
+  EXPECT_EQ(countHeartbeats(Progress.str()), 10u);
+}
+
+TEST(ExplorationHeartbeatTest, LongIntervalStaysQuiet) {
+  // A cadence far beyond the run's duration must produce no heartbeat
+  // lines (and, below BatchSize steps, not even consult the clock).
+  obs::Tracer Trace;
+  std::ostringstream Progress;
+  Trace.setProgressStream(&Progress);
+  Trace.ProgressIntervalMs = 3600000;
+  Exploration E(nullptr, {}, &Trace);
+  for (unsigned I = 0; I < 50; ++I)
+    E.enqueue(I);
+  EXPECT_EQ(E.run([](unsigned) {}), ExplorationOutcome::Completed);
+  EXPECT_EQ(countHeartbeats(Progress.str()), 0u);
+}
+
+TEST(ExplorationHeartbeatTest, CadenceConfiguredFromEnvironment) {
+  unsetenv("FAST_TRACE");
+  unsetenv("FAST_PROGRESS");
+  setenv("FAST_PROGRESS_MS", "123", 1);
+  obs::Tracer Trace;
+  Trace.configureFromEnv();
+  EXPECT_EQ(Trace.ProgressIntervalMs, 123u);
+
+  // Garbage values leave the default untouched.
+  setenv("FAST_PROGRESS_MS", "soon", 1);
+  obs::Tracer Untouched;
+  unsigned Default = Untouched.ProgressIntervalMs;
+  Untouched.configureFromEnv();
+  EXPECT_EQ(Untouched.ProgressIntervalMs, Default);
+  unsetenv("FAST_PROGRESS_MS");
 }
 
 } // namespace

@@ -33,5 +33,13 @@ foreach(Trace obs_smoke.json obs_smoke.jsonl)
     message(FATAL_ERROR
       "trace_check rejected ${TraceFile} (exit ${CheckResult}):\n${CheckOut}${CheckErr}")
   endif()
+  # The summary must confirm the counter-delta and per-lane monotonicity
+  # checks actually ran (a regression that skips them would still exit 0).
+  if(NOT CheckOut MATCHES "counter delta\\(s\\) non-negative" OR
+     NOT CheckOut MATCHES "thread lane\\(s\\) monotone")
+    message(FATAL_ERROR
+      "trace_check summary for ${TraceFile} lacks the delta/monotonicity "
+      "confirmation:\n${CheckOut}")
+  endif()
   message(STATUS "${Trace}: ${CheckOut}")
 endforeach()

@@ -1,0 +1,43 @@
+# Runs fastc --report (plus --explain) on a real program, then validates
+# the produced single-file HTML report with report_check.  Invoked by the
+# report.smoke ctest as
+#   cmake -DFASTC=... -DREPORT_CHECK=... -DPROGRAM=... -DOUT_DIR=... -P report_smoke.cmake
+#
+# sanitizer.fast intentionally fails one assertion, so fastc exiting 1 is
+# expected; only exit codes >= 2 (usage/IO errors) fail the smoke test.
+# The known Figure-2 counterexample must be embedded: the witness tree
+# (a nested "script" node survives sanitization) and the rule-coverage
+# entry for the buggy remScript rewrite rule.
+
+foreach(Var FASTC REPORT_CHECK PROGRAM OUT_DIR)
+  if(NOT DEFINED ${Var})
+    message(FATAL_ERROR "report_smoke.cmake: -D${Var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ReportFile "${OUT_DIR}/report_smoke.html")
+
+execute_process(
+  COMMAND "${FASTC}" "--report=${ReportFile}" --explain --stats "${PROGRAM}"
+  RESULT_VARIABLE RunResult
+  OUTPUT_VARIABLE RunOut
+  ERROR_VARIABLE RunErr)
+if(RunResult GREATER 1)
+  message(FATAL_ERROR
+    "fastc --report=${ReportFile} failed (exit ${RunResult}):\n${RunOut}${RunErr}")
+endif()
+
+execute_process(
+  COMMAND "${REPORT_CHECK}"
+          --require-substring "remScript"
+          --require-substring "script"
+          "${ReportFile}"
+  RESULT_VARIABLE CheckResult
+  OUTPUT_VARIABLE CheckOut
+  ERROR_VARIABLE CheckErr)
+if(NOT CheckResult EQUAL 0)
+  message(FATAL_ERROR
+    "report_check rejected ${ReportFile} (exit ${CheckResult}):\n${CheckOut}${CheckErr}")
+endif()
+message(STATUS "report_smoke.html: ${CheckOut}")

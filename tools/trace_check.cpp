@@ -13,10 +13,13 @@
 //     "ts", and an "args" object;
 //   * 'B'/'E' events balance like a well-formed span stack, with each 'E'
 //     naming the innermost open 'B';
-//   * timestamps never go backwards in file order;
+//   * timestamps never go backwards in file order within one thread lane
+//     (grouped by "tid"; events without one share a default lane);
 //   * 'X' (complete) events carry a non-negative numeric "dur";
 //   * every "construction" span end carries its counter deltas (the
-//     states_explored attribute is the canary).
+//     states_explored attribute is the canary), and every numeric counter
+//     attached to such an end is non-negative (deltas of monotone
+//     counters can never go backwards).
 //
 // Exit status: 0 valid, 1 invalid, 2 usage/IO error.  Prints a one-line
 // summary on success so the obs.smoke test has something to match.
@@ -28,6 +31,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,7 +45,9 @@ struct Validator {
   size_t Events = 0;
   size_t MaxDepth = 0;
   size_t Constructions = 0;
-  double LastTs = -1;
+  size_t CountersChecked = 0;
+  /// Last timestamp seen per thread lane ("tid"; default lane 1).
+  std::map<double, double> LastTsByTid;
   std::string Error;
 
   bool fail(const std::string &Message) {
@@ -67,10 +73,17 @@ struct Validator {
       return fail("missing numeric \"ts\"");
     if (!Args || !Args->isObject())
       return fail("missing object \"args\"");
-    if (Ts->Num < LastTs)
-      return fail("timestamp goes backwards (" + std::to_string(Ts->Num) +
-                  " after " + std::to_string(LastTs) + ")");
-    LastTs = Ts->Num;
+    const Value *Tid = E.find("tid");
+    double Lane = Tid && Tid->isNumber() ? Tid->Num : 1;
+    auto [It, Fresh] = LastTsByTid.try_emplace(Lane, Ts->Num);
+    if (!Fresh) {
+      if (Ts->Num < It->second)
+        return fail("timestamp goes backwards on tid " +
+                    std::to_string(static_cast<long long>(Lane)) + " (" +
+                    std::to_string(Ts->Num) + " after " +
+                    std::to_string(It->second) + ")");
+      It->second = Ts->Num;
+    }
 
     switch (Ph->Str[0]) {
     case 'B':
@@ -90,6 +103,14 @@ struct Validator {
         if (!Delta || !Delta->isNumber())
           return fail("construction span end for \"" + Name->Str +
                       "\" lacks counter deltas (states_explored)");
+        for (const auto &[Key, Arg] : Args->Members)
+          if (Arg.isNumber()) {
+            if (Arg.Num < 0)
+              return fail("construction span end for \"" + Name->Str +
+                          "\" has negative counter delta \"" + Key + "\" (" +
+                          std::to_string(Arg.Num) + ")");
+            ++CountersChecked;
+          }
       }
       break;
     }
@@ -185,6 +206,8 @@ int main(int Argc, char **Argv) {
   }
   std::cout << "trace_check: OK: " << V.Events << " events, "
             << V.Constructions << " construction span(s), max depth "
-            << V.MaxDepth << "\n";
+            << V.MaxDepth << ", " << V.CountersChecked
+            << " counter delta(s) non-negative, " << V.LastTsByTid.size()
+            << " thread lane(s) monotone\n";
   return 0;
 }
