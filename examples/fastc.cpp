@@ -5,7 +5,7 @@
 //
 // Usage:  fastc [--dump] [--stats] [--stats-json] [--trace=FILE]
 //               [--explain] [--report=FILE] [--progress[=MS]]
-//               [--export NAME] <program.fast>
+//               [--export NAME] [-j N] <program.fast>
 //   --dump         also print every compiled language automaton and
 //                  transformation (states, rules, guards).
 //   --stats        print the exploration-engine statistics (states
@@ -37,6 +37,12 @@
 //                  milliseconds (0 = every exploration step).
 //   --export NAME  print the named language/transformation as a
 //                  standalone, recompilable Fast program.
+//   -j N           evaluate assertions in parallel over N worker threads
+//                  (0 = one per hardware thread).  Declarations still
+//                  compile sequentially in program order; the session is
+//                  then frozen and each assertion runs in its own worker
+//                  context.  Verdicts, diagnostics, and witness text are
+//                  identical across -j values.
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +50,7 @@
 #include "fast/Export.h"
 #include "fast/Fast.h"
 #include "obs/Report.h"
+#include "transducers/Parallel.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +71,7 @@ int main(int Argc, char **Argv) {
   const char *ReportPath = nullptr;
   const char *ExportName = nullptr;
   const char *Path = nullptr;
+  long Jobs = -1; // -1 = sequential (no -j); 0 = one per hardware thread.
   bool Bad = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--dump") == 0)
@@ -88,6 +96,13 @@ int main(int Argc, char **Argv) {
       TracePath = Argv[I] + 8;
     else if (std::strcmp(Argv[I], "--export") == 0 && I + 1 < Argc)
       ExportName = Argv[++I];
+    else if (std::strcmp(Argv[I], "-j") == 0 && I + 1 < Argc) {
+      char *End = nullptr;
+      Jobs = std::strtol(Argv[I + 1], &End, 10);
+      if (End == Argv[I + 1] || *End != '\0' || Jobs < 0)
+        Bad = true;
+      ++I;
+    }
     else if (!Path)
       Path = Argv[I];
     else
@@ -96,7 +111,7 @@ int main(int Argc, char **Argv) {
   if (!Path || Bad) {
     std::cerr << "usage: fastc [--dump] [--stats] [--stats-json] "
                  "[--trace=FILE] [--explain] [--report=FILE] "
-                 "[--progress[=MS]] [--export NAME] <program.fast>\n";
+                 "[--progress[=MS]] [--export NAME] [-j N] <program.fast>\n";
     return 2;
   }
   std::ifstream File(Path);
@@ -137,7 +152,10 @@ int main(int Argc, char **Argv) {
   if (Explain || ReportPath)
     S.provenance().setEnabled(true);
 
-  FastProgramResult R = runFastProgram(S, Buffer.str());
+  FastRunOptions RunOpts;
+  if (Jobs >= 0)
+    RunOpts.Threads = Jobs == 0 ? hardwareThreads() : static_cast<unsigned>(Jobs);
+  FastProgramResult R = runFastProgram(S, Buffer.str(), RunOpts);
   if (TracePath || ReportPath)
     S.tracer().closeTrace();
   if (!R.DiagText.empty())

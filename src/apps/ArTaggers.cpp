@@ -2,6 +2,8 @@
 
 #include "apps/ArTaggers.h"
 
+#include "transducers/Parallel.h"
+
 #include <chrono>
 #include <random>
 
@@ -193,4 +195,32 @@ ConflictCheck fast::ar::checkConflict(Session &S, const ArWorkload &W,
   Result.Conflict = !isEmptyTransducer(S.Solv, *OutputRestricted.Composed);
   Result.EmptinessMs = msSince(T3);
   return Result;
+}
+
+std::vector<ConflictCheck> fast::ar::checkAllConflicts(Session &S,
+                                                       const ArWorkload &W,
+                                                       unsigned Threads) {
+  const unsigned N = static_cast<unsigned>(W.Taggers.size());
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  Pairs.reserve(static_cast<size_t>(N) * (N - 1) / 2);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = I + 1; J < N; ++J)
+      Pairs.emplace_back(I, J);
+
+  std::vector<ConflictCheck> Checks(Pairs.size());
+  if (Threads == 0) {
+    for (size_t K = 0; K < Pairs.size(); ++K)
+      Checks[K] = checkConflict(S, W, Pairs[K].first, Pairs[K].second);
+    return Checks;
+  }
+
+  // The workload's taggers and restriction languages were built in S, so
+  // freezing S (ParallelRunner does) makes them shared artifacts; every
+  // pair then runs the four constructions in its own worker overlay.
+  ParallelRunner Runner(S, Threads);
+  Runner.run(Pairs.size(), [&](size_t K, WorkerContext &Worker) {
+    Checks[K] =
+        checkConflict(Worker.session(), W, Pairs[K].first, Pairs[K].second);
+  });
+  return Checks;
 }

@@ -79,6 +79,15 @@ struct ConflictCheck {
 ConflictCheck checkConflict(Session &S, const ArWorkload &W, unsigned I,
                             unsigned J);
 
+/// Runs the full pairwise matrix — checkConflict for every I < J, in
+/// lexicographic pair order.  \p Threads == 0 runs sequentially in \p S
+/// (the legacy single-session path); \p Threads >= 1 freezes \p S and
+/// fans the pairs out over a ParallelRunner, each pair in a fresh worker
+/// overlay, with stats/coverage merged back into \p S.  Verdicts and the
+/// result order are identical across thread counts.
+std::vector<ConflictCheck> checkAllConflicts(Session &S, const ArWorkload &W,
+                                             unsigned Threads = 0);
+
 } // namespace ar
 } // namespace fast
 

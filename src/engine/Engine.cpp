@@ -2,12 +2,28 @@
 
 #include "engine/Engine.h"
 
+#include <stdexcept>
+
 using namespace fast;
 using namespace fast::engine;
 
 SessionEngine &SessionEngine::of(Solver &Solv) {
-  if (auto *Existing = dynamic_cast<SessionEngine *>(Solv.extension()))
+  if (auto *Existing = dynamic_cast<SessionEngine *>(Solv.extension())) {
+    // An engine caches guard verdicts and reports stats for exactly the
+    // solver it was constructed over.  Handing it out for a different
+    // solver would alias one session's engine state into another (and the
+    // old solver's destructor would clear the wrong tracer), so a
+    // mismatched binding is a hard error rather than a silent reattach.
+    if (&Existing->Solv != &Solv)
+      throw std::logic_error(
+          "SessionEngine::of: extension is bound to a different Solver; "
+          "each live Session must keep its own engine");
     return *Existing;
+  }
+  if (Solv.extension())
+    throw std::logic_error(
+        "SessionEngine::of: solver carries a foreign SolverExtension; "
+        "refusing to destroy it to install a SessionEngine");
   auto Fresh = std::make_unique<SessionEngine>(Solv);
   SessionEngine &Engine = *Fresh;
   Solv.setExtension(std::move(Fresh));

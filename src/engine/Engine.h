@@ -36,10 +36,19 @@ namespace fast::engine {
 class SessionEngine : public SolverExtension {
 public:
   /// The engine of \p Solv's session, created and installed on first use.
+  /// An engine installed on one solver is never handed out for another:
+  /// of() verifies the binding, so two live Sessions can never alias one
+  /// engine's caches/stats even if an extension is moved between solvers.
   static SessionEngine &of(Solver &Solv);
 
-  explicit SessionEngine(Solver &Solv) : Solv(Solv), Guards(Solv, Stats) {
-    Trace.configureFromEnv();
+  /// \p ConfigureFromEnv applies FAST_TRACE / FAST_PROGRESS to the new
+  /// tracer; worker contexts of a parallel run pass false, because the
+  /// base session already owns the trace file and workers buffer their
+  /// events for replay into it instead.
+  explicit SessionEngine(Solver &Solv, bool ConfigureFromEnv = true)
+      : Solv(Solv), Guards(Solv, Stats) {
+    if (ConfigureFromEnv)
+      Trace.configureFromEnv();
     Stats.setTracer(&Trace);
     Solv.setTracer(&Trace);
   }

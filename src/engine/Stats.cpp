@@ -7,6 +7,29 @@
 
 using namespace fast::engine;
 
+void ConstructionStats::mergeFrom(const ConstructionStats &Other) {
+  Runs += Other.Runs;
+  StatesExplored += Other.StatesExplored;
+  StatesInterned += Other.StatesInterned;
+  RulesEmitted += Other.RulesEmitted;
+  SatQueries += Other.SatQueries;
+  SatCacheHits += Other.SatCacheHits;
+  MintermSplits += Other.MintermSplits;
+  MintermCacheHits += Other.MintermCacheHits;
+  MintermsProduced += Other.MintermsProduced;
+  TrieNodesDecided += Other.TrieNodesDecided;
+  TrieNodeHits += Other.TrieNodeHits;
+  TrieSubsumed += Other.TrieSubsumed;
+  WallMs += Other.WallMs;
+  SolverQueryUs.merge(Other.SolverQueryUs);
+  MintermSplitUs.merge(Other.MintermSplitUs);
+}
+
+void StatsRegistry::mergeFrom(const StatsRegistry &Other) {
+  for (const auto &[Name, C] : Other.Constructions)
+    construction(Name).mergeFrom(C);
+}
+
 ConstructionStats &StatsRegistry::construction(std::string_view Name) {
   auto It = Constructions.find(Name);
   if (It == Constructions.end())

@@ -76,6 +76,10 @@ struct ConstructionStats {
   /// Latency of minterm enumerations actually computed (split misses),
   /// per enumeration.
   obs::LatencyHistogram MintermSplitUs;
+
+  /// Accumulates \p Other into this slot (counter sums, histogram merge);
+  /// the deterministic join-point merge of per-worker stats shards.
+  void mergeFrom(const ConstructionStats &Other);
 };
 
 /// The per-session registry, keyed by construction name.
@@ -102,6 +106,11 @@ public:
 
   /// Machine-readable single-line JSON object, keyed by construction name.
   std::string json() const;
+
+  /// Accumulates every construction slot of \p Other into this registry —
+  /// the join-point merge of a worker context's stats shard.  Commutative
+  /// and associative, so merge order cannot influence final counters.
+  void mergeFrom(const StatsRegistry &Other);
 
   /// Zeroes every construction's counters in place.  Slots are never
   /// erased, so ConstructionStats references — including the ones held by

@@ -143,7 +143,12 @@ bool FastCompiler::compileType(const TypeDecl &D) {
 
 TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
                                   bool ConstOnly) {
-  TermFactory &F = S.Terms;
+  return compileAexp(E, Sig, ConstOnly, S.Terms, Diags);
+}
+
+TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
+                                  bool ConstOnly, TermFactory &F,
+                                  DiagnosticEngine &D) const {
   switch (E.Op) {
   case AexpOp::Const:
     switch (E.Lit) {
@@ -152,12 +157,12 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
       char *End = nullptr;
       long long V = std::strtoll(E.Text.c_str(), &End, 10);
       if (errno == ERANGE) {
-        Diags.error(E.Loc, "integer literal '" + E.Text +
+        D.error(E.Loc, "integer literal '" + E.Text +
                                "' does not fit in 64 bits");
         return nullptr;
       }
       if (End == E.Text.c_str() || *End != '\0') {
-        Diags.error(E.Loc, "malformed integer literal '" + E.Text + "'");
+        D.error(E.Loc, "malformed integer literal '" + E.Text + "'");
         return nullptr;
       }
       return F.intConst(V);
@@ -165,7 +170,7 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
     case AexpLit::Real: {
       Rational R;
       if (!Rational::parse(E.Text, R)) {
-        Diags.error(E.Loc, "malformed real literal '" + E.Text + "'");
+        D.error(E.Loc, "malformed real literal '" + E.Text + "'");
         return nullptr;
       }
       return F.realConst(R);
@@ -177,17 +182,17 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
     case AexpLit::None:
       break;
     }
-    Diags.error(E.Loc, "malformed literal");
+    D.error(E.Loc, "malformed literal");
     return nullptr;
   case AexpOp::Name: {
     std::optional<unsigned> Index = Sig->findAttr(E.Text);
     if (!Index) {
-      Diags.error(E.Loc, "unknown attribute '" + E.Text + "' of type '" +
+      D.error(E.Loc, "unknown attribute '" + E.Text + "' of type '" +
                              Sig->typeName() + "'");
       return nullptr;
     }
     if (ConstOnly) {
-      Diags.error(E.Loc, "attribute '" + E.Text +
+      D.error(E.Loc, "attribute '" + E.Text +
                              "' not allowed in a constant context");
       return nullptr;
     }
@@ -200,7 +205,7 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   std::vector<TermRef> Args;
   Args.reserve(E.Args.size());
   for (const AexpPtr &Arg : E.Args) {
-    TermRef T = compileAexp(*Arg, Sig, ConstOnly);
+    TermRef T = compileAexp(*Arg, Sig, ConstOnly, F, D);
     if (!T)
       return nullptr;
     Args.push_back(T);
@@ -209,14 +214,14 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   auto RequireArity = [&](size_t N) {
     if (Args.size() == N)
       return true;
-    Diags.error(E.Loc, "operator expects " + std::to_string(N) +
+    D.error(E.Loc, "operator expects " + std::to_string(N) +
                            " argument(s), got " + std::to_string(Args.size()));
     return false;
   };
   auto RequireSameSort = [&]() {
     for (size_t I = 1; I < Args.size(); ++I)
       if (Args[I]->sort() != Args[0]->sort()) {
-        Diags.error(E.Loc, "operands have different sorts");
+        D.error(E.Loc, "operands have different sorts");
         return false;
       }
     return true;
@@ -224,7 +229,7 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   auto RequireNumeric = [&]() {
     for (TermRef A : Args)
       if (!isNumericSort(A->sort())) {
-        Diags.error(E.Loc, "operator needs numeric operands");
+        D.error(E.Loc, "operator needs numeric operands");
         return false;
       }
     return RequireSameSort();
@@ -232,7 +237,7 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   auto RequireBool = [&]() {
     for (TermRef A : Args)
       if (A->sort() != Sort::Bool) {
-        Diags.error(E.Loc, "operator needs boolean operands");
+        D.error(E.Loc, "operator needs boolean operands");
         return false;
       }
     return true;
@@ -240,7 +245,7 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
   auto RequireInt = [&]() {
     for (TermRef A : Args)
       if (A->sort() != Sort::Int) {
-        Diags.error(E.Loc, "operator needs integer operands");
+        D.error(E.Loc, "operator needs integer operands");
         return false;
       }
     return true;
@@ -292,17 +297,17 @@ TermRef FastCompiler::compileAexp(const Aexp &E, const SignatureRef &Sig,
     if (!RequireArity(3))
       return nullptr;
     if (Args[0]->sort() != Sort::Bool) {
-      Diags.error(E.Loc, "ite condition must be boolean");
+      D.error(E.Loc, "ite condition must be boolean");
       return nullptr;
     }
     if (Args[1]->sort() != Args[2]->sort()) {
-      Diags.error(E.Loc, "ite branches have different sorts");
+      D.error(E.Loc, "ite branches have different sorts");
       return nullptr;
     }
     return F.mkIte(Args[0], Args[1], Args[2]);
   }
   default:
-    Diags.error(E.Loc, "malformed attribute expression");
+    D.error(E.Loc, "malformed attribute expression");
     return nullptr;
   }
 }

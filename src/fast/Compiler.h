@@ -72,6 +72,12 @@ public:
   /// attribute references are rejected (tree-literal context).
   TermRef compileAexp(const Aexp &E, const SignatureRef &Sig, bool ConstOnly);
 
+  /// The re-entrant variant parallel assertion workers use: interns into
+  /// \p F (a worker overlay factory) and reports into \p D instead of the
+  /// compiler's session and diagnostics, touching no compiler state.
+  TermRef compileAexp(const Aexp &E, const SignatureRef &Sig, bool ConstOnly,
+                      TermFactory &F, DiagnosticEngine &D) const;
+
   const std::map<std::string, CompiledType> &types() const { return Types; }
 
 private:

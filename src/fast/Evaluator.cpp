@@ -4,15 +4,20 @@
 
 #include "automata/Determinize.h"
 #include "fast/Parser.h"
+#include "transducers/Parallel.h"
 #include "transducers/Run.h"
 
 using namespace fast;
 
 namespace {
 
+/// Evaluates value and assertion expressions against one session.  Holds
+/// the compiler by const reference: the sequential driver points it at the
+/// base session, the parallel driver builds one evaluator per assertion
+/// over a worker overlay session — both against the same compiled program.
 class Evaluator {
 public:
-  Evaluator(Session &S, DiagnosticEngine &Diags, FastCompiler &Compiler)
+  Evaluator(Session &S, DiagnosticEngine &Diags, const FastCompiler &Compiler)
       : S(S), Diags(Diags), Compiler(Compiler) {}
 
   std::map<std::string, FastValue> Env;
@@ -196,7 +201,7 @@ public:
     std::vector<Value> Attrs;
     for (unsigned I = 0; I < E.LabelExprs.size(); ++I) {
       TermRef T = Compiler.compileAexp(*E.LabelExprs[I], Sig,
-                                       /*ConstOnly=*/true);
+                                       /*ConstOnly=*/true, S.Terms, Diags);
       if (!T)
         return std::nullopt;
       if (T->sort() != Sig->attrSpec(I).TheSort) {
@@ -345,7 +350,7 @@ public:
 private:
   Session &S;
   DiagnosticEngine &Diags;
-  FastCompiler &Compiler;
+  const FastCompiler &Compiler;
 };
 
 } // namespace
@@ -373,13 +378,44 @@ TreeRef FastProgramResult::tree(const std::string &Name) const {
   return It->second.Tree;
 }
 
+namespace {
+
+/// One assertion deferred by the parallel driver: the declaration plus a
+/// snapshot of the environment at its program point, so an assertion
+/// referencing a def declared *after* it still fails with "unknown name"
+/// exactly as it does sequentially.
+struct PendingAssert {
+  const AssertDecl *Decl = nullptr;
+  std::map<std::string, FastValue> Env;
+};
+
+AssertionOutcome makeOutcome(const AssertDecl &D,
+                             const std::pair<bool, std::string> &V,
+                             std::optional<ExplainedWitness> &&Explanation) {
+  AssertionOutcome Outcome;
+  Outcome.Loc = D.Loc;
+  Outcome.Expected = D.ExpectTrue;
+  Outcome.Actual = V.first;
+  Outcome.Detail = V.second;
+  Outcome.Explanation = std::move(Explanation);
+  return Outcome;
+}
+
+} // namespace
+
 FastProgramResult fast::runFastProgram(Session &S, const std::string &Source) {
+  return runFastProgram(S, Source, FastRunOptions());
+}
+
+FastProgramResult fast::runFastProgram(Session &S, const std::string &Source,
+                                       const FastRunOptions &Opts) {
   FastProgramResult Result;
   DiagnosticEngine Diags;
   Program P = parseFast(Source, Diags);
   FastCompiler Compiler(S, Diags);
   Compiler.compile(P);
   Evaluator Eval(S, Diags, Compiler);
+  std::vector<PendingAssert> Pending;
 
   if (!Diags.hasErrors()) {
     for (const auto &[Kind, Index] : P.Order) {
@@ -438,18 +474,19 @@ FastProgramResult fast::runFastProgram(Session &S, const std::string &Source) {
       }
       case Program::DeclKind::Assert: {
         const AssertDecl &D = P.Asserts[Index];
+        if (Opts.Threads != 0) {
+          // Parallel mode defers assertions to phase 2; the Env snapshot
+          // pins the names visible at this program point.
+          Pending.push_back(PendingAssert{&D, Eval.Env});
+          break;
+        }
         std::optional<std::pair<bool, std::string>> V =
             Eval.evalAssertion(*D.Condition);
         if (!V)
           break;
-        AssertionOutcome Outcome;
-        Outcome.Loc = D.Loc;
-        Outcome.Expected = D.ExpectTrue;
-        Outcome.Actual = V->first;
-        Outcome.Detail = V->second;
-        Outcome.Explanation = std::move(Eval.Explanation);
+        Result.Assertions.push_back(
+            makeOutcome(D, *V, std::move(Eval.Explanation)));
         Eval.Explanation.reset();
-        Result.Assertions.push_back(std::move(Outcome));
         break;
       }
       default:
@@ -458,6 +495,38 @@ FastProgramResult fast::runFastProgram(Session &S, const std::string &Source) {
       if (Diags.hasErrors())
         break;
     }
+  }
+
+  // Phase 2 (parallel mode): the declaration tier is complete, so freeze
+  // the session into the shared artifact tier and evaluate the assertions
+  // over fresh worker overlays — one per assertion, so results cannot
+  // depend on scheduling.  All joins are in assertion order: diagnostics,
+  // outcomes, and (inside the runner) trace replay.
+  if (Opts.Threads != 0 && !Diags.hasErrors() && !Pending.empty()) {
+    ParallelRunner Runner(S, Opts.Threads);
+    std::vector<DiagnosticEngine> WorkerDiags(Pending.size());
+    std::vector<std::optional<AssertionOutcome>> Outcomes(Pending.size());
+    std::vector<std::unique_ptr<WorkerContext>> Workers = Runner.run(
+        Pending.size(),
+        [&](size_t K, WorkerContext &Worker) {
+          Evaluator WEval(Worker.session(), WorkerDiags[K], Compiler);
+          WEval.Env = Pending[K].Env;
+          std::optional<std::pair<bool, std::string>> V =
+              WEval.evalAssertion(*Pending[K].Decl->Condition);
+          if (V)
+            Outcomes[K] = makeOutcome(*Pending[K].Decl, *V,
+                                      std::move(WEval.Explanation));
+        },
+        /*RetainWorkers=*/true);
+    for (size_t K = 0; K < Pending.size(); ++K) {
+      Diags.appendFrom(WorkerDiags[K]);
+      if (Outcomes[K])
+        Result.Assertions.push_back(std::move(*Outcomes[K]));
+    }
+    // Witness trees and derivations point into worker-owned factories;
+    // keep the contexts alive for as long as the result is.
+    for (std::unique_ptr<WorkerContext> &Worker : Workers)
+      Result.Retained.push_back(std::shared_ptr<void>(std::move(Worker)));
   }
 
   // Export the environment plus every named lang/trans for host access.

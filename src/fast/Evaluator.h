@@ -88,10 +88,30 @@ struct FastProgramResult {
   std::optional<TreeLanguage> language(const std::string &Name) const;
   std::shared_ptr<Sttr> transducer(const std::string &Name) const;
   TreeRef tree(const std::string &Name) const;
+
+  /// Keep-alives of a parallel run: the worker contexts whose overlay
+  /// factories own witness trees and derivation nodes referenced by
+  /// Assertions.  Opaque here so this header stays free of the parallel
+  /// driver; empty for sequential runs.
+  std::vector<std::shared_ptr<void>> Retained;
+};
+
+/// Options for runFastProgram.
+struct FastRunOptions {
+  /// Worker threads for assertion evaluation.  0 selects the legacy
+  /// sequential path (everything runs in the caller's session, in program
+  /// order).  N >= 1 evaluates declarations sequentially in program
+  /// order, freezes the session, and fans the assertions out over N
+  /// workers with a fresh overlay context per assertion — so any two
+  /// thread counts >= 1 produce byte-identical diagnostics, verdicts, and
+  /// witness text (1 is the parallel path too, for such comparisons).
+  unsigned Threads = 0;
 };
 
 /// Parses, compiles, and evaluates \p Source within \p S.
 FastProgramResult runFastProgram(Session &S, const std::string &Source);
+FastProgramResult runFastProgram(Session &S, const std::string &Source,
+                                 const FastRunOptions &Opts);
 
 } // namespace fast
 

@@ -90,6 +90,27 @@ void ProvenanceStore::countFiring(const StateProvenance *P,
     ++Rules[CanonId].Fired;
 }
 
+void ProvenanceStore::adoptSharedFrom(const ProvenanceStore &Base) {
+  Anchors = Base.Anchors;
+  Rules = Base.Rules;
+  for (RuleOrigin &R : Rules)
+    R.Fired = 0;
+  setEnabled(Base.enabled());
+}
+
+void ProvenanceStore::mergeCoverageFrom(const ProvenanceStore &Worker) {
+  for (unsigned Id = 0; Id < Worker.Anchors.size(); ++Id)
+    if (Id >= Anchors.size())
+      Anchors.push_back(Worker.Anchors[Id]);
+  for (unsigned Id = 0; Id < Worker.Rules.size(); ++Id) {
+    if (Id >= Rules.size())
+      Rules.push_back(RuleOrigin{Worker.Rules[Id].AnchorId,
+                                 Worker.Rules[Id].Line, Worker.Rules[Id].Col,
+                                 0});
+    Rules[Id].Fired += Worker.Rules[Id].Fired;
+  }
+}
+
 std::vector<unsigned> ProvenanceStore::deadRules() const {
   std::vector<unsigned> Dead;
   for (unsigned Id = 0; Id < Rules.size(); ++Id)

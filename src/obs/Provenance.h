@@ -138,6 +138,17 @@ public:
   void countFiring(const StateProvenance *P, unsigned RuleIndex);
   void countCanon(unsigned CanonId) { ++Rules[CanonId].Fired; }
 
+  /// Seeds a worker store from the frozen base session's: copies the
+  /// anchor/rule tables (same id space, Fired counts zeroed — the worker
+  /// accumulates only its own firings) and the enabled flag, so shared
+  /// StateProvenance tables resolve identically in the worker.
+  void adoptSharedFrom(const ProvenanceStore &Base);
+
+  /// Join-point merge: adds a worker store's Fired counts (and any rules
+  /// or anchors it registered beyond the shared prefix) into this store.
+  /// Commutative over workers, so merge order cannot change coverage.
+  void mergeCoverageFrom(const ProvenanceStore &Worker);
+
   /// Canonical rule ids whose Fired count is still zero, in id order.
   std::vector<unsigned> deadRules() const;
 

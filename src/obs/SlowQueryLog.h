@@ -70,6 +70,15 @@ public:
       recomputeMin();
   }
 
+  /// Re-admits every retained entry of \p Other into this log — the
+  /// join-point merge of a worker context's slow-query shard.  The final
+  /// worst-K set is merge-order independent; only tie-breaking among
+  /// equal-latency entries at the admission boundary is not.
+  void mergeFrom(const SlowQueryLog &Other) {
+    for (const Entry &E : Other.Entries)
+      record(E.Us, E.Kind, E.Construction, [&] { return E.Query; });
+  }
+
   /// The retained queries, slowest first.
   std::vector<Entry> sorted() const {
     std::vector<Entry> Result = Entries;

@@ -77,7 +77,8 @@ namespace {
 void writeEventBody(std::ostream &Out, const TraceEvent &E) {
   Out << "{\"name\":\"" << jsonEscape(E.Name) << "\",\"cat\":\""
       << jsonEscape(E.Category) << "\",\"ph\":\"" << E.Phase
-      << "\",\"ts\":" << number(E.TsUs) << ",\"pid\":1,\"tid\":1";
+      << "\",\"ts\":" << number(E.TsUs)
+      << ",\"pid\":1,\"tid\":" << static_cast<long long>(E.Tid);
   if (E.Phase == 'X')
     Out << ",\"dur\":" << number(E.DurUs);
   if (E.Phase == 'i')

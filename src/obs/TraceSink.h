@@ -32,6 +32,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace fast::obs {
 
@@ -68,6 +69,11 @@ struct TraceEvent {
   /// 'X' events only: the span's duration.
   double DurUs = 0;
   std::span<const TraceAttr> Attrs;
+  /// Thread lane (the Chrome "tid" field).  Lane 1 is the session's own
+  /// thread; a parallel run replays each task's buffered events onto lane
+  /// 2 + task index, which keeps timestamps monotone per lane even though
+  /// the tasks overlapped in real time.
+  double Tid = 1;
 };
 
 class TraceSink {
@@ -103,6 +109,45 @@ public:
 
 private:
   std::ofstream Out;
+};
+
+/// In-memory sink that owns full copies of every event it receives, for
+/// deferred replay.  Worker contexts of a parallel run record into one of
+/// these; at the join point the driver replays each buffer into the base
+/// session's sink in task-index order, so the merged trace is byte-stable
+/// across thread counts and schedules.
+class BufferTraceSink : public TraceSink {
+public:
+  /// A TraceEvent with owned strings (TraceEvent itself only borrows).
+  struct OwnedEvent {
+    char Phase;
+    std::string Name;
+    std::string Category;
+    double TsUs;
+    double DurUs;
+    std::vector<TraceAttr> Attrs;
+    double Tid;
+  };
+
+  void event(const TraceEvent &E) override {
+    Events.push_back({E.Phase, std::string(E.Name), std::string(E.Category),
+                      E.TsUs, E.DurUs,
+                      std::vector<TraceAttr>(E.Attrs.begin(), E.Attrs.end()),
+                      E.Tid});
+  }
+
+  const std::vector<OwnedEvent> &events() const { return Events; }
+
+  /// Replays the buffered events into \p Sink in recorded order, with
+  /// their original timestamps.
+  void replayInto(TraceSink &Sink) const {
+    for (const OwnedEvent &E : Events)
+      Sink.event(TraceEvent{E.Phase, E.Name, E.Category, E.TsUs, E.DurUs,
+                            E.Attrs, E.Tid});
+  }
+
+private:
+  std::vector<OwnedEvent> Events;
 };
 
 /// Opens a file sink for \p Path, choosing the format by extension

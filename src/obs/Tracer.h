@@ -73,6 +73,18 @@ public:
   /// to stderr).  Called by the SessionEngine constructor.
   void configureFromEnv();
 
+  /// Adopts \p Base's timebase, so events this tracer emits (into a
+  /// worker's BufferTraceSink) carry timestamps directly comparable with
+  /// the base session's and can be replayed into its sink unadjusted.
+  void alignEpochTo(const Tracer &Base) { Epoch = Base.Epoch; }
+
+  /// Forwards an already-timestamped event (a worker buffer replay) to
+  /// this tracer's sink; no-op when inactive.
+  void emitForeign(const TraceEvent &E) {
+    if (active())
+      Sink->event(E);
+  }
+
   /// Microseconds since tracer construction (the trace timebase).
   double nowUs() const {
     return std::chrono::duration<double, std::micro>(

@@ -219,7 +219,7 @@ struct Solver::Impl {
 };
 
 Solver::Solver(TermFactory &Factory, unsigned TimeoutMs)
-    : Factory(Factory), Z3(std::make_unique<Impl>()) {
+    : Factory(Factory), Z3(std::make_unique<Impl>()), TimeoutMs(TimeoutMs) {
   ScopeStack.emplace_back(); // The permanent base scope.
   if (TimeoutMs != 0) {
     z3::params P(Z3->Ctx);
@@ -233,6 +233,25 @@ Solver::Solver(TermFactory &Factory, unsigned TimeoutMs)
 Solver::~Solver() = default;
 
 SolverExtension::~SolverExtension() = default;
+
+void Solver::Stats::mergeFrom(const Stats &Other) {
+  Queries += Other.Queries;
+  CacheHits += Other.CacheHits;
+  SatAnswers += Other.SatAnswers;
+  UnsatAnswers += Other.UnsatAnswers;
+  UnknownAnswers += Other.UnknownAnswers;
+  FastPathAnswers += Other.FastPathAnswers;
+  TrivialAnswers += Other.TrivialAnswers;
+  CoreChecks += Other.CoreChecks;
+  Z3Checks += Other.Z3Checks;
+  Z3ModelChecks += Other.Z3ModelChecks;
+  ScopedChecks += Other.ScopedChecks;
+  LiteralsAsserted += Other.LiteralsAsserted;
+  SubsumptionAnswers += Other.SubsumptionAnswers;
+  ImplicationQueries += Other.ImplicationQueries;
+  ImplicationCacheHits += Other.ImplicationCacheHits;
+  Z3CheckUs.merge(Other.Z3CheckUs);
+}
 
 void Solver::setCacheEnabled(bool Enabled) {
   CacheEnabled = Enabled;

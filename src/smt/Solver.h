@@ -156,22 +156,35 @@ public:
     /// Latency of individual Z3 check() invocations (one-shot, scoped,
     /// and model checks), per call; percentile source for the benchmarks.
     obs::LatencyHistogram Z3CheckUs;
+
+    /// Accumulates \p Other (counter sums, histogram merge); the
+    /// join-point merge of a worker solver's counters into the base's.
+    void mergeFrom(const Stats &Other);
   };
   const Stats &stats() const { return Counters; }
   void resetStats() { Counters = Stats(); }
+  /// Join-point merge of a worker solver's counters into this solver's.
+  void mergeStatsFrom(const Solver &Other) { Counters.mergeFrom(Other.Counters); }
 
   /// Enables/disables the satisfiability/validity/implication caches
   /// (ablation knob).
   void setCacheEnabled(bool Enabled);
+  bool cacheEnabled() const { return CacheEnabled; }
 
   /// Enables/disables the built-in decision procedure consulted before
   /// Z3 (smt/SimpleSolver.h); on by default (ablation knob).
   void setFastPathEnabled(bool Enabled) { FastPathEnabled = Enabled; }
+  bool fastPathEnabled() const { return FastPathEnabled; }
 
   /// Enables/disables incremental solving (ablation knob).  Disabled,
   /// checkSat() rebuilds the full conjunction term and answers through
   /// the one-shot isSat() path, reproducing the pre-incremental layer.
   void setIncrementalEnabled(bool Enabled) { IncrementalEnabled = Enabled; }
+  bool incrementalEnabled() const { return IncrementalEnabled; }
+
+  /// The per-query Z3 timeout this solver was created with, so worker
+  /// solvers can be configured identically to the base session's.
+  unsigned timeoutMs() const { return TimeoutMs; }
 
   /// The installed session extension, or null.
   SolverExtension *extension() const { return Ext.get(); }
@@ -231,6 +244,7 @@ private:
   bool CacheEnabled = true;
   bool FastPathEnabled = true;
   bool IncrementalEnabled = true;
+  unsigned TimeoutMs = 0;
   Stats Counters;
 };
 

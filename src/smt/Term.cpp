@@ -2,6 +2,7 @@
 
 #include "smt/Term.h"
 
+#include "support/Freeze.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -113,16 +114,38 @@ TermFactory::TermFactory() {
   False = constant(Value::boolean(false));
 }
 
+TermFactory::TermFactory(const TermFactory *Base)
+    : Base(Base), IdOffset(static_cast<unsigned>(Base->numTerms())) {
+  assert(Base->frozen() && "overlay requires a frozen base factory");
+  True = Base->True;
+  False = Base->False;
+}
+
+const Term *TermFactory::findInterned(const Term *Probe) const {
+  if (Base)
+    if (const Term *Hit = Base->findInterned(Probe))
+      return Hit;
+  auto It = Interned.find(const_cast<Term *>(Probe));
+  return It == Interned.end() ? nullptr : *It;
+}
+
 TermRef TermFactory::intern(TermKind Kind, Sort TheSort, Value Payload,
                             unsigned AttrIndex, std::string Name,
                             std::vector<TermRef> Operands) {
   auto Node = std::unique_ptr<Term>(new Term(Kind, TheSort, std::move(Payload),
                                              AttrIndex, std::move(Name),
                                              std::move(Operands)));
+  // The base chain is frozen, so probing it is a lock-free read shared by
+  // every overlay; only local misses touch this factory's tables.
+  if (Base)
+    if (const Term *Hit = Base->findInterned(Node.get()))
+      return Hit;
   auto It = Interned.find(Node.get());
   if (It != Interned.end())
     return *It;
-  Node->Id = static_cast<unsigned>(Nodes.size());
+  if (Frozen)
+    throw FrozenFactoryError("TermFactory");
+  Node->Id = IdOffset + static_cast<unsigned>(Nodes.size());
   Term *Raw = Node.get();
   Nodes.push_back(std::move(Node));
   Interned.insert(Raw);

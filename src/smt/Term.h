@@ -108,14 +108,35 @@ private:
 ///
 /// All automata/transducers participating in one analysis must share a
 /// factory (pointer identity of predicates is relied upon throughout).
+/// "Share" generalizes to a frozen base plus per-thread overlays: after
+/// freeze() the factory is an immutable shared artifact (interning an
+/// existing term is a lock-free read; interning a new one throws
+/// FrozenFactoryError), and overlay factories constructed over it resolve
+/// existing structures to the base pointers while interning genuinely new
+/// terms locally — so pointer identity still equals structural equality
+/// across the base/overlay union.
 class TermFactory {
 public:
   TermFactory();
+  /// Overlay over frozen \p Base (which must outlive this factory):
+  /// lookups consult Base first, new terms intern locally with ids above
+  /// Base's id range.
+  explicit TermFactory(const TermFactory *Base);
   TermFactory(const TermFactory &) = delete;
   TermFactory &operator=(const TermFactory &) = delete;
 
-  /// Number of distinct interned terms (used by ablation benchmarks).
-  size_t numTerms() const { return Nodes.size(); }
+  /// Makes the factory immutable: from here on, interning an existing
+  /// term returns the interned pointer without mutation (safe from any
+  /// number of threads), and interning a new term throws
+  /// FrozenFactoryError.  One-way.
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+  /// The frozen base this factory overlays, or null.
+  const TermFactory *base() const { return Base; }
+
+  /// Number of distinct interned terms (used by ablation benchmarks);
+  /// includes the frozen base's terms for an overlay.
+  size_t numTerms() const { return IdOffset + Nodes.size(); }
 
   // Constants ---------------------------------------------------------------
   TermRef constant(Value V);
@@ -170,6 +191,8 @@ private:
   TermRef intern(TermKind Kind, Sort TheSort, Value Payload, unsigned AttrIndex,
                  std::string Name, std::vector<TermRef> Operands);
   TermRef mkAssocCommut(TermKind Kind, std::span<const TermRef> Operands);
+  /// Read-only probe of this factory's (and its bases') intern table.
+  const Term *findInterned(const Term *Probe) const;
 
   struct NodeHash {
     std::size_t operator()(const Term *T) const { return T->hash(); }
@@ -178,6 +201,11 @@ private:
     bool operator()(const Term *A, const Term *B) const;
   };
 
+  const TermFactory *Base = nullptr;
+  /// Base->numTerms() at overlay creation; local ids start here so every
+  /// term reachable from this factory has a distinct id.
+  unsigned IdOffset = 0;
+  bool Frozen = false;
   std::deque<std::unique_ptr<Term>> Nodes;
   std::unordered_set<Term *, NodeHash, NodeEq> Interned;
   TermRef True = nullptr;

@@ -56,6 +56,15 @@ public:
   /// Renders every diagnostic, one per line.
   std::string str() const;
 
+  /// Appends every diagnostic of \p Other, preserving its order.  The
+  /// parallel evaluator gives each worker its own engine and appends the
+  /// shards at the join point in assertion order, so the merged text is
+  /// identical across thread counts.
+  void appendFrom(const DiagnosticEngine &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    NumErrors += Other.NumErrors;
+  }
+
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;

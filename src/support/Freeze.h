@@ -1,0 +1,41 @@
+//===- support/Freeze.h - Frozen-factory diagnosis --------------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error every interning factory (TermFactory, TreeFactory,
+/// OutputFactory) raises when a *new* node is requested after freeze().
+/// Freezing turns a factory into an immutable shared artifact: interning
+/// an already-present node is a lock-free read that any number of threads
+/// may perform concurrently, while genuinely new nodes must be routed to a
+/// per-thread overlay factory (see transducers/Parallel.h).  Raising a
+/// typed error instead of racing on the intern tables keeps the mistake a
+/// diagnosable bug rather than UB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SUPPORT_FREEZE_H
+#define FAST_SUPPORT_FREEZE_H
+
+#include <stdexcept>
+#include <string>
+
+namespace fast {
+
+/// Thrown when a frozen factory is asked to intern a node it does not
+/// already contain.  The fix is always the same: build through a
+/// WorkerContext overlay (or freeze later).
+class FrozenFactoryError : public std::logic_error {
+public:
+  explicit FrozenFactoryError(const std::string &Factory)
+      : std::logic_error(Factory +
+                         ": interning a new node after freeze(); route "
+                         "per-thread construction through a WorkerContext "
+                         "overlay instead") {}
+};
+
+} // namespace fast
+
+#endif // FAST_SUPPORT_FREEZE_H

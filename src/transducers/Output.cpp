@@ -2,6 +2,7 @@
 
 #include "transducers/Output.h"
 
+#include "support/Freeze.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -64,30 +65,46 @@ bool OutputFactory::NodeEq::operator()(const Output *A, const Output *B) const {
   return std::equal(AC.begin(), AC.end(), BC.begin(), BC.end());
 }
 
-OutputRef OutputFactory::mkState(unsigned State, unsigned ChildIndex) {
-  auto Node = std::unique_ptr<Output>(
-      new Output(OutputKind::State, State, ChildIndex, 0, {}, {}));
+OutputFactory::OutputFactory(const OutputFactory *Base) : Base(Base) {
+  assert(Base->frozen() && "overlay requires a frozen base factory");
+}
+
+const Output *OutputFactory::findInterned(const Output *Probe) const {
+  if (Base)
+    if (const Output *Hit = Base->findInterned(Probe))
+      return Hit;
+  auto It = Interned.find(const_cast<Output *>(Probe));
+  return It == Interned.end() ? nullptr : *It;
+}
+
+OutputRef OutputFactory::internNode(std::unique_ptr<Output> Node) {
+  // The base chain is frozen, so probing it is a lock-free read shared by
+  // every overlay; only local misses touch this factory's tables.
+  if (Base)
+    if (const Output *Hit = Base->findInterned(Node.get()))
+      return Hit;
   auto It = Interned.find(Node.get());
   if (It != Interned.end())
     return *It;
+  if (Frozen)
+    throw FrozenFactoryError("OutputFactory");
   Output *Raw = Node.get();
   Nodes.push_back(std::move(Node));
   Interned.insert(Raw);
   return Raw;
 }
 
+OutputRef OutputFactory::mkState(unsigned State, unsigned ChildIndex) {
+  return internNode(std::unique_ptr<Output>(
+      new Output(OutputKind::State, State, ChildIndex, 0, {}, {})));
+}
+
 OutputRef OutputFactory::mkCons(unsigned CtorId,
                                 std::vector<TermRef> LabelExprs,
                                 std::vector<OutputRef> Children) {
-  auto Node = std::unique_ptr<Output>(new Output(
-      OutputKind::Cons, 0, 0, CtorId, std::move(LabelExprs), std::move(Children)));
-  auto It = Interned.find(Node.get());
-  if (It != Interned.end())
-    return *It;
-  Output *Raw = Node.get();
-  Nodes.push_back(std::move(Node));
-  Interned.insert(Raw);
-  return Raw;
+  return internNode(std::unique_ptr<Output>(
+      new Output(OutputKind::Cons, 0, 0, CtorId, std::move(LabelExprs),
+                 std::move(Children))));
 }
 
 std::vector<unsigned> fast::statesAppliedTo(OutputRef Out, unsigned ChildIndex) {

@@ -81,11 +81,22 @@ private:
 };
 
 /// Interns output terms.
+///
+/// Freezable into an immutable shared artifact like TermFactory: frozen
+/// lookups are lock-free reads, new interning throws FrozenFactoryError,
+/// and per-thread overlays resolve base structures to base pointers.
 class OutputFactory {
 public:
   OutputFactory() = default;
+  /// Overlay over frozen \p Base, which must outlive this factory.
+  explicit OutputFactory(const OutputFactory *Base);
   OutputFactory(const OutputFactory &) = delete;
   OutputFactory &operator=(const OutputFactory &) = delete;
+
+  /// Makes the factory immutable (one-way); see TermFactory::freeze().
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+  const OutputFactory *base() const { return Base; }
 
   /// q~(y_i).
   OutputRef mkState(unsigned State, unsigned ChildIndex);
@@ -93,7 +104,10 @@ public:
   OutputRef mkCons(unsigned CtorId, std::vector<TermRef> LabelExprs,
                    std::vector<OutputRef> Children);
 
-  size_t numOutputs() const { return Nodes.size(); }
+  /// Distinct interned outputs, including the frozen base's for overlays.
+  size_t numOutputs() const {
+    return (Base ? Base->numOutputs() : 0) + Nodes.size();
+  }
 
 private:
   struct NodeHash {
@@ -103,6 +117,12 @@ private:
     bool operator()(const Output *A, const Output *B) const;
   };
 
+  /// Read-only probe of this factory's (and its bases') intern table.
+  const Output *findInterned(const Output *Probe) const;
+  OutputRef internNode(std::unique_ptr<Output> Node);
+
+  const OutputFactory *Base = nullptr;
+  bool Frozen = false;
   std::deque<std::unique_ptr<Output>> Nodes;
   std::unordered_set<Output *, NodeHash, NodeEq> Interned;
 };

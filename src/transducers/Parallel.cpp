@@ -1,0 +1,130 @@
+//===- transducers/Parallel.cpp - Worker contexts & parallel driver -------===//
+
+#include "transducers/Parallel.h"
+
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace fast;
+
+unsigned fast::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+WorkerContext::WorkerContext(Session &Base)
+    : BaseS(Base), Work(Session::OverlayTag{}, Base) {
+  assert(Base.frozen() && "WorkerContext requires a frozen base session");
+  engine::SessionEngine &BaseEngine = Base.engine();
+  engine::SessionEngine &WorkEngine = Work.engine();
+
+  // Budgets apply per construction, so a copy (not a share) is right.
+  WorkEngine.Limits = BaseEngine.Limits;
+
+  // Same anchor/rule id space as the base, own Fired shard.
+  WorkEngine.Prov.adoptSharedFrom(BaseEngine.Prov);
+
+  // Slow-query admission uses the base's capacity so the merged worst-K
+  // set matches what a sequential run would have retained.
+  WorkEngine.Trace.slowQueries().setCapacity(
+      BaseEngine.Trace.slowQueries().capacity());
+
+  // Trace events are order-sensitive: buffer them on the base timebase
+  // for replay at the join point.  Without a base sink nothing buffers
+  // and the worker tracer stays inactive (one branch per hook).
+  if (BaseEngine.Trace.active()) {
+    auto Sink = std::make_unique<obs::BufferTraceSink>();
+    Buffer = Sink.get();
+    WorkEngine.Trace.alignEpochTo(BaseEngine.Trace);
+    WorkEngine.Trace.setSink(std::move(Sink));
+  }
+}
+
+void WorkerContext::mergeInto(Session &Base) {
+  Base.stats().mergeFrom(Work.stats());
+  Base.Solv.mergeStatsFrom(Work.Solv);
+  Base.tracer().slowQueries().mergeFrom(Work.tracer().slowQueries());
+  Base.provenance().mergeCoverageFrom(Work.provenance());
+}
+
+void WorkerContext::replayTraceInto(obs::Tracer &BaseTrace, double Lane) {
+  if (!Buffer)
+    return;
+  for (const obs::BufferTraceSink::OwnedEvent &E : Buffer->events())
+    BaseTrace.emitForeign(
+        {E.Phase, E.Name, E.Category, E.TsUs, E.DurUs, E.Attrs, Lane});
+}
+
+ParallelRunner::ParallelRunner(Session &Base, unsigned Threads)
+    : BaseS(Base), NumThreads(Threads == 0 ? hardwareThreads() : Threads) {
+  // Materialize the engine before any worker thread exists — worker
+  // contexts read it, and SessionEngine::of installs on first use.
+  Base.engine();
+  if (!Base.frozen())
+    Base.freeze();
+}
+
+std::vector<std::unique_ptr<WorkerContext>>
+ParallelRunner::run(size_t NumTasks,
+                    const std::function<void(size_t, WorkerContext &)> &Fn,
+                    bool RetainWorkers) {
+  const bool KeepContexts =
+      RetainWorkers || BaseS.engine().Trace.active();
+  std::vector<std::unique_ptr<WorkerContext>> Retained(
+      KeepContexts ? NumTasks : 0);
+  std::vector<std::exception_ptr> Errors(NumTasks);
+  std::atomic<size_t> Next{0};
+  std::mutex MergeMutex;
+
+  auto RunTasks = [&] {
+    for (size_t Task = Next.fetch_add(1); Task < NumTasks;
+         Task = Next.fetch_add(1)) {
+      // A fresh context per *task* (not per thread) makes the task's
+      // computation independent of scheduling: -j 1 and -j N produce
+      // byte-identical results.
+      auto Worker = std::make_unique<WorkerContext>(BaseS);
+      try {
+        Fn(Task, *Worker);
+        std::lock_guard<std::mutex> Lock(MergeMutex);
+        Worker->mergeInto(BaseS);
+      } catch (...) {
+        Errors[Task] = std::current_exception();
+      }
+      if (KeepContexts)
+        Retained[Task] = std::move(Worker);
+    }
+  };
+
+  unsigned Pool = static_cast<unsigned>(
+      std::min<size_t>(NumThreads, NumTasks == 0 ? 1 : NumTasks));
+  if (Pool <= 1) {
+    RunTasks();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Pool);
+    for (unsigned I = 0; I < Pool; ++I)
+      Threads.emplace_back(RunTasks);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  // Join point: replay order-sensitive trace buffers in task order, so
+  // the merged trace file is identical across schedules.
+  obs::Tracer &BaseTrace = BaseS.tracer();
+  if (BaseTrace.active())
+    for (size_t Task = 0; Task < Retained.size(); ++Task)
+      if (Retained[Task])
+        Retained[Task]->replayTraceInto(BaseTrace,
+                                        /*Lane=*/2 + static_cast<double>(Task));
+
+  for (size_t Task = 0; Task < NumTasks; ++Task)
+    if (Errors[Task])
+      std::rethrow_exception(Errors[Task]);
+
+  if (!RetainWorkers)
+    Retained.clear();
+  return Retained;
+}

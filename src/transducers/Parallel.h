@@ -1,0 +1,118 @@
+//===- transducers/Parallel.h - Worker contexts & parallel driver -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scratch tier of a parallel analysis run.  A frozen Session is the
+/// shared tier: its interning factories answer lookups lock-free and its
+/// checked automata/transducers are immutable, so any number of workers
+/// may read them concurrently.  Everything mutable lives in a
+/// WorkerContext: an overlay Session (overlay factories, own Solver with
+/// its own Z3 context, own SessionEngine with guard cache, stats shard,
+/// trace buffer, provenance shard).
+///
+/// ParallelRunner schedules N independent tasks over a small thread pool.
+/// Determinism is by construction, not by luck:
+///
+///  - every task gets a *fresh* WorkerContext, so what a task computes
+///    never depends on which thread ran it or what ran before it — the
+///    results of `-j 1` and `-j N` are byte-identical;
+///  - commutative state (stats counters, latency histograms, slow-query
+///    entries, rule-coverage counts) is merged into the base session at
+///    task end under a mutex — sums and worst-K sets are merge-order
+///    independent;
+///  - order-sensitive state (trace events) is buffered per task and
+///    replayed into the base tracer's sink at the join point in
+///    task-index order.
+///
+/// A task that throws does not abort its siblings; the runner re-throws
+/// the lowest-indexed task's exception after the join, again independent
+/// of schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_TRANSDUCERS_PARALLEL_H
+#define FAST_TRANSDUCERS_PARALLEL_H
+
+#include "transducers/Session.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fast {
+
+/// The number of worker threads to use when the caller does not specify
+/// one: std::thread::hardware_concurrency(), or 1 if unknown.
+unsigned hardwareThreads();
+
+/// One task's private scratch state, layered over a frozen base session.
+class WorkerContext {
+public:
+  /// \p Base must already be frozen and must have its engine attached
+  /// (ParallelRunner arranges both); it must outlive this context.
+  explicit WorkerContext(Session &Base);
+  WorkerContext(const WorkerContext &) = delete;
+  WorkerContext &operator=(const WorkerContext &) = delete;
+
+  /// The overlay session a task runs its constructions in.
+  Session &session() { return Work; }
+  const Session &base() const { return BaseS; }
+
+  /// Merges this context's commutative state into the base session:
+  /// construction stats, solver counters, slow-query entries, and rule
+  /// coverage.  Call at most once, at task end; the caller serializes
+  /// (ParallelRunner holds its merge mutex).
+  void mergeInto(Session &Base);
+
+  /// Replays this context's buffered trace events into \p BaseTrace's
+  /// sink with their original timestamps, rewritten onto thread lane
+  /// \p Lane (lane 1 is the base session's own thread; the runner passes
+  /// 2 + task index).  Distinct lanes keep per-lane timestamps monotone
+  /// even though tasks overlapped in real time.  Called at the join point
+  /// in task-index order; no-op when the base tracer was inactive at
+  /// construction (nothing was buffered).
+  void replayTraceInto(obs::Tracer &BaseTrace, double Lane);
+
+private:
+  Session &BaseS;
+  Session Work;
+  /// Owned by Work's tracer; non-null iff the base tracer had a sink.
+  obs::BufferTraceSink *Buffer = nullptr;
+};
+
+/// A small thread pool running independent tasks over fresh WorkerContexts.
+class ParallelRunner {
+public:
+  /// Freezes \p Base (if not already frozen) and materializes its engine,
+  /// so worker threads only ever read it.  \p Threads = 0 selects
+  /// hardwareThreads().
+  explicit ParallelRunner(Session &Base, unsigned Threads = 0);
+
+  unsigned threads() const { return NumThreads; }
+  Session &base() { return BaseS; }
+
+  /// Runs \p Fn(TaskIndex, Worker) for every TaskIndex in [0, NumTasks),
+  /// each on a fresh WorkerContext, across the pool.  Merges every
+  /// worker's commutative state at task end and replays trace buffers at
+  /// the join in task-index order.  If tasks threw, re-throws the
+  /// lowest-indexed task's exception after the join.
+  ///
+  /// With \p RetainWorkers the per-task contexts are kept alive and
+  /// returned (indexed by task), for results — witness trees, explained
+  /// derivations — that point into worker-owned factories; otherwise the
+  /// returned vector is empty and contexts die at the join.
+  std::vector<std::unique_ptr<WorkerContext>>
+  run(size_t NumTasks, const std::function<void(size_t, WorkerContext &)> &Fn,
+      bool RetainWorkers = false);
+
+private:
+  Session &BaseS;
+  unsigned NumThreads;
+};
+
+} // namespace fast
+
+#endif // FAST_TRANSDUCERS_PARALLEL_H

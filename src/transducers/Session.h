@@ -24,15 +24,56 @@
 namespace fast {
 
 /// Shared state of one analysis session.
+///
+/// For parallel runs a session splits into two tiers: freeze() turns the
+/// three interning factories into immutable shared artifacts (lock-free
+/// concurrent lookups; new interning throws FrozenFactoryError), and each
+/// worker builds an overlay Session whose factories resolve base structure
+/// to the base pointers while interning new nodes locally.  Each overlay
+/// owns its own Solver (its own Z3 context — Z3 contexts are thread-safe
+/// only when not shared) and its own SessionEngine, so workers never touch
+/// the base session's caches, stats, or tracer.
 struct Session {
+  /// Tag selecting the worker-overlay constructor.
+  struct OverlayTag {};
+
   TermFactory Terms;
   TreeFactory Trees;
   OutputFactory Outputs;
   Solver Solv;
 
   Session() : Solv(Terms) {}
+
+  /// A worker overlay over \p Base, which must be frozen and must outlive
+  /// this session.  The overlay's solver copies the base solver's timeout
+  /// and ablation knobs; its engine is installed eagerly with environment
+  /// configuration suppressed (the base session owns FAST_TRACE /
+  /// FAST_PROGRESS — workers buffer trace events for replay instead).
+  Session(OverlayTag, const Session &Base)
+      : Terms(&Base.Terms), Trees(&Base.Trees), Outputs(&Base.Outputs),
+        Solv(Terms, Base.Solv.timeoutMs()) {
+    Solv.setCacheEnabled(Base.Solv.cacheEnabled());
+    Solv.setFastPathEnabled(Base.Solv.fastPathEnabled());
+    Solv.setIncrementalEnabled(Base.Solv.incrementalEnabled());
+    Solv.setExtension(
+        std::make_unique<engine::SessionEngine>(Solv, /*ConfigureFromEnv=*/false));
+  }
+
   Session(const Session &) = delete;
   Session &operator=(const Session &) = delete;
+
+  /// Freezes the three interning factories (one-way), making this session
+  /// a sharable immutable base for worker overlays.
+  void freeze() {
+    Terms.freeze();
+    Trees.freeze();
+    Outputs.freeze();
+  }
+  bool frozen() const {
+    return Terms.frozen() && Trees.frozen() && Outputs.frozen();
+  }
+  /// True for a worker overlay created over a frozen base session.
+  bool isOverlay() const { return Terms.base() != nullptr; }
 
   /// The exploration engine attached to this session's solver (created on
   /// first use).  Holds the stats registry, the guard cache, and the

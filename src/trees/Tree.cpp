@@ -2,6 +2,7 @@
 
 #include "trees/Tree.h"
 
+#include "support/Freeze.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -74,14 +75,35 @@ TreeRef TreeFactory::make(const SignatureRef &Sig, unsigned CtorId,
     assert(&Child->signature() == Sig.get() &&
            "child belongs to a different signature");
 
-  LiveSignatures.insert(Sig);
   auto Node = std::unique_ptr<TreeNode>(
       new TreeNode(Sig.get(), CtorId, std::move(Attrs), std::move(Children)));
+  // The base chain is frozen, so probing it is a lock-free read shared by
+  // every overlay; only local misses touch this factory's tables.
+  if (Base)
+    if (const TreeNode *Hit = Base->findInterned(Node.get()))
+      return Hit;
   auto It = Interned.find(Node.get());
   if (It != Interned.end())
     return *It;
+  if (Frozen)
+    throw FrozenFactoryError("TreeFactory");
+  // Keeping the signature alive matters only for nodes this factory owns;
+  // base hits are kept alive by the base's own table.
+  LiveSignatures.insert(Sig);
   TreeNode *Raw = Node.get();
   Nodes.push_back(std::move(Node));
   Interned.insert(Raw);
   return Raw;
+}
+
+TreeFactory::TreeFactory(const TreeFactory *Base) : Base(Base) {
+  assert(Base->frozen() && "overlay requires a frozen base factory");
+}
+
+const TreeNode *TreeFactory::findInterned(const TreeNode *Probe) const {
+  if (Base)
+    if (const TreeNode *Hit = Base->findInterned(Probe))
+      return Hit;
+  auto It = Interned.find(const_cast<TreeNode *>(Probe));
+  return It == Interned.end() ? nullptr : *It;
 }

@@ -66,11 +66,24 @@ private:
 };
 
 /// Interns TreeNodes and keeps their signatures alive.
+///
+/// Like TermFactory, a TreeFactory can be frozen into an immutable shared
+/// artifact: interning an existing tree is then a lock-free read, interning
+/// a new one throws FrozenFactoryError, and per-thread overlay factories
+/// resolve base structures to the base pointers while interning new nodes
+/// locally (pointer identity stays structural across the union).
 class TreeFactory {
 public:
   TreeFactory() = default;
+  /// Overlay over frozen \p Base, which must outlive this factory.
+  explicit TreeFactory(const TreeFactory *Base);
   TreeFactory(const TreeFactory &) = delete;
   TreeFactory &operator=(const TreeFactory &) = delete;
+
+  /// Makes the factory immutable (one-way); see TermFactory::freeze().
+  void freeze() { Frozen = true; }
+  bool frozen() const { return Frozen; }
+  const TreeFactory *base() const { return Base; }
 
   /// Creates (or reuses) the tree `ctor[attrs](children)`.  Children must
   /// already belong to this factory and use the same signature object.
@@ -83,7 +96,10 @@ public:
     return make(Sig, CtorId, std::move(Attrs), {});
   }
 
-  size_t numNodes() const { return Nodes.size(); }
+  /// Distinct interned trees, including the frozen base's for an overlay.
+  size_t numNodes() const {
+    return (Base ? Base->numNodes() : 0) + Nodes.size();
+  }
 
 private:
   struct NodeHash {
@@ -93,6 +109,11 @@ private:
     bool operator()(const TreeNode *A, const TreeNode *B) const;
   };
 
+  /// Read-only probe of this factory's (and its bases') intern table.
+  const TreeNode *findInterned(const TreeNode *Probe) const;
+
+  const TreeFactory *Base = nullptr;
+  bool Frozen = false;
   std::deque<std::unique_ptr<TreeNode>> Nodes;
   std::unordered_set<TreeNode *, NodeHash, NodeEq> Interned;
   std::unordered_set<SignatureRef> LiveSignatures;

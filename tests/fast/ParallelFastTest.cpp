@@ -1,0 +1,183 @@
+//===- tests/fast/ParallelFastTest.cpp - Parallel assertion evaluation ----===//
+//
+// End-to-end coverage of `fastc -j`-style runs: runFastProgram with
+// FastRunOptions::Threads fans assertions out over worker contexts after
+// the declarations compile sequentially.  The contract under test: any two
+// thread counts >= 1 produce byte-identical diagnostics, verdicts, witness
+// text, and stats counters; the sequential path agrees on verdicts and
+// name-visibility semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fast/Explain.h"
+#include "fast/Fast.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace fast;
+
+namespace {
+
+/// Figure 8's analysis plus extra assertions — a mixed pass/fail batch
+/// whose failing `is-empty` carries a witness in Detail.
+const char *multiAssertProgram() {
+  return "type IList[i : Int] { nil(0), cons(1) }\n"
+         "trans map_caesar : IList -> IList {\n"
+         "  nil() to (nil [0])\n"
+         "| cons(y) to (cons [(i + 5) % 26] (map_caesar y))\n"
+         "}\n"
+         "trans filter_ev : IList -> IList {\n"
+         "  nil() to (nil [0])\n"
+         "| cons(y) where (i % 2 = 0) to (cons [i] (filter_ev y))\n"
+         "| cons(y) where !(i % 2 = 0) to (filter_ev y)\n"
+         "}\n"
+         "lang not_emp_list : IList { cons(x) }\n"
+         "def comp  : IList -> IList := (compose map_caesar filter_ev)\n"
+         "def comp2 : IList -> IList := (compose comp comp)\n"
+         "def restr : IList -> IList := (restrict-out comp2 not_emp_list)\n"
+         "assert-true (is-empty restr)\n"
+         "assert-false (is-empty (restrict-out comp not_emp_list))\n"
+         // Deliberately wrong polarity: fails with a witness in Detail.
+         "assert-true (is-empty (restrict-out comp not_emp_list))\n"
+         "tree sample : IList := "
+         "(cons [1] (cons [2] (cons [3] (cons [4] (nil [0])))))\n"
+         "tree mapped : IList := (apply comp sample)\n"
+         "assert-true mapped in not_emp_list\n"
+         "assert-false (is-empty (domain comp))\n";
+}
+
+struct RunDigest {
+  unsigned ErrorCount = 0;
+  std::string DiagText;
+  std::vector<std::string> Outcomes; // "loc expected actual detail" per assert
+  std::string Counters;
+};
+
+/// Serializes everything that must be identical between two parallel runs:
+/// diagnostics, per-assertion verdict + witness text, and the
+/// scheduling-independent stats counters (wall times and latency
+/// histograms excluded — those are clock-dependent).
+RunDigest runProgram(unsigned Threads) {
+  Session S;
+  FastRunOptions Opts;
+  Opts.Threads = Threads;
+  FastProgramResult R = runFastProgram(S, multiAssertProgram(), Opts);
+  RunDigest D;
+  D.ErrorCount = R.ErrorCount;
+  D.DiagText = R.DiagText;
+  for (const AssertionOutcome &A : R.Assertions) {
+    std::ostringstream Out;
+    Out << A.Loc.str() << " " << A.Expected << " " << A.Actual << " "
+        << A.Detail;
+    D.Outcomes.push_back(Out.str());
+  }
+  std::ostringstream C;
+  for (const auto &[Name, Stats] : S.stats().constructions())
+    C << Name << ":" << Stats.Runs << "," << Stats.StatesExplored << ","
+      << Stats.StatesInterned << "," << Stats.RulesEmitted << ","
+      << Stats.SatQueries << "," << Stats.MintermSplits << ","
+      << Stats.MintermsProduced << ";";
+  D.Counters = C.str();
+  return D;
+}
+
+TEST(ParallelFastTest, VerdictsMatchSequentialRun) {
+  RunDigest Seq = runProgram(0);
+  RunDigest Par = runProgram(4);
+  ASSERT_EQ(Seq.ErrorCount, 0u) << Seq.DiagText;
+  ASSERT_EQ(Par.ErrorCount, 0u) << Par.DiagText;
+  ASSERT_EQ(Seq.Outcomes.size(), 5u);
+  ASSERT_EQ(Par.Outcomes.size(), 5u);
+  // Verdict per assertion matches the sequential run; compare only the
+  // loc/expected/actual prefix — witness text may differ, since a fresh
+  // worker context makes different (equally valid) model choices than a
+  // session that has answered prior queries.
+  auto Verdicts = [](const RunDigest &D) {
+    std::vector<std::string> V;
+    for (const std::string &O : D.Outcomes) {
+      std::istringstream In(O);
+      std::string Loc, Exp, Act;
+      In >> Loc >> Exp >> Act;
+      V.push_back(Loc + " " + Exp + " " + Act);
+    }
+    return V;
+  };
+  EXPECT_EQ(Verdicts(Seq), Verdicts(Par));
+}
+
+TEST(ParallelFastTest, ThreadCountDoesNotChangeAnyOutput) {
+  RunDigest J1 = runProgram(1);
+  RunDigest J4 = runProgram(4);
+  ASSERT_EQ(J1.ErrorCount, 0u) << J1.DiagText;
+  // Between parallel runs everything is byte-identical — including the
+  // failing assertion's witness text and the merged stats counters: each
+  // assertion always runs in a fresh worker context, so neither thread
+  // count nor scheduling can change the work done.
+  EXPECT_EQ(J1.ErrorCount, J4.ErrorCount);
+  EXPECT_EQ(J1.DiagText, J4.DiagText);
+  EXPECT_EQ(J1.Outcomes, J4.Outcomes);
+  EXPECT_EQ(J1.Counters, J4.Counters);
+}
+
+TEST(ParallelFastTest, AssertBeforeDefErrorsIdentically) {
+  // The assertion references a def that appears later in the program
+  // (trans/lang names are program-wide, but defs are program-order
+  // scoped).  Sequentially this is an unknown-name error; the parallel
+  // path must reproduce it (workers see an Env snapshot from the assert's
+  // position, not the final one).
+  const char *Source =
+      "type IList[i : Int] { nil(0), cons(1) }\n"
+      "trans id : IList -> IList { nil() to (nil [0])\n"
+      "| cons(y) to (cons [i] (id y)) }\n"
+      "assert-true (is-empty later)\n"
+      "def later : IList -> IList := (compose id id)\n";
+  Session Seq;
+  FastProgramResult RSeq = runFastProgram(Seq, Source);
+  Session Par;
+  FastRunOptions Opts;
+  Opts.Threads = 4;
+  FastProgramResult RPar = runFastProgram(Par, Source, Opts);
+  EXPECT_GT(RSeq.ErrorCount, 0u);
+  EXPECT_EQ(RSeq.ErrorCount, RPar.ErrorCount);
+  EXPECT_EQ(RSeq.DiagText, RPar.DiagText);
+}
+
+TEST(ParallelFastTest, ExplainedWitnessSurvivesParallelRun) {
+  // A failing is-empty under provenance recording: the worker that finds
+  // the witness owns the trees/derivations in its overlay factories, and
+  // Result.Retained must keep that worker alive for rendering.
+  const char *Source =
+      "type IList[i : Int] { nil(0), cons(1) }\n"
+      "lang not_emp_list : IList { cons(x) }\n"
+      "assert-true (is-empty not_emp_list)\n";
+  Session S;
+  S.provenance().setEnabled(true);
+  FastRunOptions Opts;
+  Opts.Threads = 2;
+  FastProgramResult R = runFastProgram(S, Source, Opts);
+  ASSERT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  ASSERT_EQ(R.Assertions.size(), 1u);
+  EXPECT_FALSE(R.Assertions[0].passed());
+  EXPECT_FALSE(R.Retained.empty());
+  ASSERT_TRUE(R.Assertions[0].Explanation.has_value());
+  std::string Rendered =
+      renderExplanation(S.provenance(), *R.Assertions[0].Explanation, "t.fast");
+  EXPECT_NE(Rendered.find("cons"), std::string::npos) << Rendered;
+}
+
+TEST(ParallelFastTest, ZeroAssertionProgramRunsUnderParallelMode) {
+  const char *Source = "type IList[i : Int] { nil(0), cons(1) }\n"
+                       "trans id : IList -> IList { nil() to (nil [0])\n"
+                       "| cons(y) to (cons [i] (id y)) }\n";
+  Session S;
+  FastRunOptions Opts;
+  Opts.Threads = 4;
+  FastProgramResult R = runFastProgram(S, Source, Opts);
+  EXPECT_EQ(R.ErrorCount, 0u) << R.DiagText;
+  EXPECT_TRUE(R.Assertions.empty());
+  EXPECT_NE(R.transducer("id"), nullptr);
+}
+
+} // namespace
