@@ -56,6 +56,23 @@ double msSince(Clock::time_point Start) {
 constexpr double SmokeRelTolerance = 1.35;
 constexpr double SmokeAbsToleranceMs = 250.0;
 
+/// Sanitizer instrumentation inflates the per-context constant costs
+/// unpredictably (allocator interception dominates the fresh-context
+/// path), so the wall-time gate is only enforced on uninstrumented
+/// builds; the verdict cross-checks always apply — running the workloads
+/// under the sanitizers is the point of those presets.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool InstrumentedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool InstrumentedBuild = true;
+#else
+constexpr bool InstrumentedBuild = false;
+#endif
+#else
+constexpr bool InstrumentedBuild = false;
+#endif
+
 struct Measurement {
   double WallMs = 0;
   std::string Verdicts; // order-sensitive fingerprint, e.g. "CC.C.."
@@ -192,9 +209,16 @@ int main(int Argc, char **Argv) {
       std::cout << "\n";
     }
     if (Smoke && J1Ms > Seq.WallMs * SmokeRelTolerance + SmokeAbsToleranceMs) {
-      std::cout << "FAIL: -j1 (" << J1Ms << " ms) lost to sequential ("
-                << Seq.WallMs << " ms) beyond tolerance\n";
-      Ok = false;
+      if (InstrumentedBuild) {
+        std::cout << "note: -j1 (" << J1Ms << " ms) vs sequential ("
+                  << Seq.WallMs
+                  << " ms) over tolerance; gate not enforced under "
+                     "sanitizer instrumentation\n";
+      } else {
+        std::cout << "FAIL: -j1 (" << J1Ms << " ms) lost to sequential ("
+                  << Seq.WallMs << " ms) beyond tolerance\n";
+        Ok = false;
+      }
     }
   }
 

@@ -502,7 +502,13 @@ FastProgramResult fast::runFastProgram(Session &S, const std::string &Source,
   // over fresh worker overlays — one per assertion, so results cannot
   // depend on scheduling.  All joins are in assertion order: diagnostics,
   // outcomes, and (inside the runner) trace replay.
-  if (Opts.Threads != 0 && !Diags.hasErrors() && !Pending.empty()) {
+  //
+  // Runs even when phase 1 produced errors: the decl loop stops at the
+  // first error, so every pending assertion was reached *before* it —
+  // exactly the set the sequential path already evaluated and reported
+  // by that point.  Skipping them here would silently change the
+  // "N assertion(s), M failed" output between -j 0 and -j N.
+  if (Opts.Threads != 0 && !Pending.empty()) {
     ParallelRunner Runner(S, Opts.Threads);
     std::vector<DiagnosticEngine> WorkerDiags(Pending.size());
     std::vector<std::optional<AssertionOutcome>> Outcomes(Pending.size());

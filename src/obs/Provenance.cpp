@@ -9,6 +9,7 @@
 #include "obs/TraceSink.h" // jsonEscape
 
 #include <algorithm>
+#include <cassert>
 
 using namespace fast::obs;
 
@@ -99,16 +100,18 @@ void ProvenanceStore::adoptSharedFrom(const ProvenanceStore &Base) {
 }
 
 void ProvenanceStore::mergeCoverageFrom(const ProvenanceStore &Worker) {
-  for (unsigned Id = 0; Id < Worker.Anchors.size(); ++Id)
-    if (Id >= Anchors.size())
-      Anchors.push_back(Worker.Anchors[Id]);
-  for (unsigned Id = 0; Id < Worker.Rules.size(); ++Id) {
-    if (Id >= Rules.size())
-      Rules.push_back(RuleOrigin{Worker.Rules[Id].AnchorId,
-                                 Worker.Rules[Id].Line, Worker.Rules[Id].Col,
-                                 0});
+  // Workers share the frozen base id space — anchors and rules are
+  // registered by the Compiler before freeze, never by workers.  Entries
+  // beyond the shared tables cannot be merged soundly: every worker
+  // numbers its first new entry at the same id, so adopting one worker's
+  // extras would credit every other worker's same-id firings to them.
+  assert(Worker.Anchors.size() <= Anchors.size() &&
+         Worker.Rules.size() <= Rules.size() &&
+         "worker provenance store registered entries beyond the frozen "
+         "base tables");
+  size_t Shared = std::min(Worker.Rules.size(), Rules.size());
+  for (unsigned Id = 0; Id < Shared; ++Id)
     Rules[Id].Fired += Worker.Rules[Id].Fired;
-  }
 }
 
 std::vector<unsigned> ProvenanceStore::deadRules() const {

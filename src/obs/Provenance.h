@@ -144,9 +144,13 @@ public:
   /// StateProvenance tables resolve identically in the worker.
   void adoptSharedFrom(const ProvenanceStore &Base);
 
-  /// Join-point merge: adds a worker store's Fired counts (and any rules
-  /// or anchors it registered beyond the shared prefix) into this store.
-  /// Commutative over workers, so merge order cannot change coverage.
+  /// Join-point merge: adds a worker store's Fired counts into this
+  /// store's rules.  The worker must share this store's id space (it was
+  /// seeded by adoptSharedFrom and anchors/rules are only registered
+  /// before freeze); worker-registered entries beyond the shared tables
+  /// are rejected by assertion, since same-numbered extras from
+  /// different workers would be indistinguishable.  Commutative over
+  /// workers, so merge order cannot change coverage.
   void mergeCoverageFrom(const ProvenanceStore &Worker);
 
   /// Canonical rule ids whose Fired count is still zero, in id order.

@@ -15,7 +15,8 @@ unsigned fast::hardwareThreads() {
   return N == 0 ? 1 : N;
 }
 
-WorkerContext::WorkerContext(Session &Base)
+WorkerContext::WorkerContext(Session &Base,
+                             const obs::ProvenanceStore *ProvSnapshot)
     : BaseS(Base), Work(Session::OverlayTag{}, Base) {
   assert(Base.frozen() && "WorkerContext requires a frozen base session");
   engine::SessionEngine &BaseEngine = Base.engine();
@@ -24,8 +25,12 @@ WorkerContext::WorkerContext(Session &Base)
   // Budgets apply per construction, so a copy (not a share) is right.
   WorkEngine.Limits = BaseEngine.Limits;
 
-  // Same anchor/rule id space as the base, own Fired shard.
-  WorkEngine.Prov.adoptSharedFrom(BaseEngine.Prov);
+  // Same anchor/rule id space as the base, own Fired shard.  Seed from
+  // the runner's main-thread snapshot when given: this constructor runs
+  // on a worker thread, and the base store's Fired counters are being
+  // written by sibling tasks' merges.
+  WorkEngine.Prov.adoptSharedFrom(ProvSnapshot ? *ProvSnapshot
+                                               : BaseEngine.Prov);
 
   // Slow-query admission uses the base's capacity so the merged worst-K
   // set matches what a sequential run would have retained.
@@ -65,6 +70,10 @@ ParallelRunner::ParallelRunner(Session &Base, unsigned Threads)
   Base.engine();
   if (!Base.frozen())
     Base.freeze();
+  // Snapshot the provenance tables while still single-threaded: worker
+  // contexts constructed mid-run must not read the live base store,
+  // whose Fired counters finishing tasks write under the merge mutex.
+  ProvSnapshot.adoptSharedFrom(Base.engine().Prov);
 }
 
 std::vector<std::unique_ptr<WorkerContext>>
@@ -85,7 +94,7 @@ ParallelRunner::run(size_t NumTasks,
       // A fresh context per *task* (not per thread) makes the task's
       // computation independent of scheduling: -j 1 and -j N produce
       // byte-identical results.
-      auto Worker = std::make_unique<WorkerContext>(BaseS);
+      auto Worker = std::make_unique<WorkerContext>(BaseS, &ProvSnapshot);
       try {
         Fn(Task, *Worker);
         std::lock_guard<std::mutex> Lock(MergeMutex);
@@ -112,11 +121,14 @@ ParallelRunner::run(size_t NumTasks,
   }
 
   // Join point: replay order-sensitive trace buffers in task order, so
-  // the merged trace file is identical across schedules.
+  // the merged trace file is identical across schedules.  A task that
+  // threw had its whole scratch state discarded (mergeInto never ran),
+  // so its buffer is skipped too — the trace stream never shows spans
+  // whose counters were not merged.
   obs::Tracer &BaseTrace = BaseS.tracer();
   if (BaseTrace.active())
     for (size_t Task = 0; Task < Retained.size(); ++Task)
-      if (Retained[Task])
+      if (Retained[Task] && !Errors[Task])
         Retained[Task]->replayTraceInto(BaseTrace,
                                         /*Lane=*/2 + static_cast<double>(Task));
 

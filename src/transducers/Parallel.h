@@ -27,9 +27,12 @@
 ///    replayed into the base tracer's sink at the join point in
 ///    task-index order.
 ///
-/// A task that throws does not abort its siblings; the runner re-throws
-/// the lowest-indexed task's exception after the join, again independent
-/// of schedule.
+/// A task that throws does not abort its siblings; its scratch state is
+/// discarded wholesale — neither its stats/coverage shards nor its
+/// buffered trace events reach the base session, so the trace stream
+/// never shows spans whose counters were not merged — and the runner
+/// re-throws the lowest-indexed task's exception after the join, again
+/// independent of schedule.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,7 +56,16 @@ class WorkerContext {
 public:
   /// \p Base must already be frozen and must have its engine attached
   /// (ParallelRunner arranges both); it must outlive this context.
-  explicit WorkerContext(Session &Base);
+  ///
+  /// \p ProvSnapshot, when given, seeds the worker's provenance store
+  /// instead of the base's live one.  Required whenever the context is
+  /// constructed while sibling tasks may be merging into \p Base: the
+  /// live store's Fired counters are written by those merges, and this
+  /// constructor runs unserialized on a worker thread.  ParallelRunner
+  /// always passes its own main-thread snapshot; nullptr is only safe
+  /// when no other worker of \p Base is running.
+  explicit WorkerContext(Session &Base,
+                         const obs::ProvenanceStore *ProvSnapshot = nullptr);
   WorkerContext(const WorkerContext &) = delete;
   WorkerContext &operator=(const WorkerContext &) = delete;
 
@@ -86,9 +98,10 @@ private:
 /// A small thread pool running independent tasks over fresh WorkerContexts.
 class ParallelRunner {
 public:
-  /// Freezes \p Base (if not already frozen) and materializes its engine,
-  /// so worker threads only ever read it.  \p Threads = 0 selects
-  /// hardwareThreads().
+  /// Freezes \p Base (if not already frozen), materializes its engine,
+  /// and snapshots its provenance tables — all on the constructing
+  /// thread, before any worker exists — so worker threads only ever read
+  /// immutable state.  \p Threads = 0 selects hardwareThreads().
   explicit ParallelRunner(Session &Base, unsigned Threads = 0);
 
   unsigned threads() const { return NumThreads; }
@@ -111,6 +124,11 @@ public:
 private:
   Session &BaseS;
   unsigned NumThreads;
+  /// Immutable copy of the base provenance tables, taken in the
+  /// constructor.  Worker contexts seed from this rather than from the
+  /// live base store, whose Fired counters are concurrently written by
+  /// task-end merges.
+  obs::ProvenanceStore ProvSnapshot;
 };
 
 } // namespace fast

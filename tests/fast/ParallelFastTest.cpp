@@ -144,6 +144,32 @@ TEST(ParallelFastTest, AssertBeforeDefErrorsIdentically) {
   EXPECT_EQ(RSeq.DiagText, RPar.DiagText);
 }
 
+TEST(ParallelFastTest, DeclErrorAfterAssertStillReportsAssertions) {
+  // Sequentially the assertion runs at its program point, before the
+  // later tree decl's unknown-type error stops the decl loop — so its
+  // outcome is reported alongside the error.  The parallel path defers
+  // the assertion to phase 2 and must still evaluate it there rather
+  // than dropping every assertion because the program has errors.
+  const char *Source =
+      "type IList[i : Int] { nil(0), cons(1) }\n"
+      "lang not_emp_list : IList { cons(x) }\n"
+      "assert-false (is-empty not_emp_list)\n"
+      "tree bad : NoSuchType := (nil [0])\n";
+  Session Seq;
+  FastProgramResult RSeq = runFastProgram(Seq, Source);
+  Session Par;
+  FastRunOptions Opts;
+  Opts.Threads = 4;
+  FastProgramResult RPar = runFastProgram(Par, Source, Opts);
+  ASSERT_EQ(RSeq.Assertions.size(), 1u);
+  ASSERT_EQ(RPar.Assertions.size(), 1u);
+  EXPECT_TRUE(RSeq.Assertions[0].passed());
+  EXPECT_TRUE(RPar.Assertions[0].passed());
+  EXPECT_GT(RSeq.ErrorCount, 0u);
+  EXPECT_EQ(RSeq.ErrorCount, RPar.ErrorCount);
+  EXPECT_EQ(RSeq.DiagText, RPar.DiagText);
+}
+
 TEST(ParallelFastTest, ExplainedWitnessSurvivesParallelRun) {
   // A failing is-empty under provenance recording: the worker that finds
   // the witness owns the trees/derivations in its overlay factories, and

@@ -191,6 +191,72 @@ TEST(ParallelRunnerTest, MergesWorkerStatsIntoBase) {
   EXPECT_GT(S.Solv.stats().Queries, 0u);
 }
 
+TEST(ParallelRunnerTest, ProvenanceCoverageMergesAcrossManyTasks) {
+  // Regression for a data race: worker contexts are constructed on worker
+  // threads while finishing siblings merge Fired counts into the base
+  // store.  The runner must seed workers from a pre-thread snapshot, so
+  // this passes clean under TSan with provenance recording on and enough
+  // tasks that constructions and merges overlap.
+  Session S;
+  obs::ProvenanceStore &Prov = S.provenance();
+  Prov.setEnabled(true);
+  unsigned Anchor = Prov.internAnchor(obs::DeclAnchor::Kind::Lang, "L", 1, 1);
+  std::vector<unsigned> RuleIds;
+  for (unsigned R = 0; R < 4; ++R)
+    RuleIds.push_back(Prov.registerRule(Anchor, 1, 1 + R));
+
+  ParallelRunner Runner(S, 4);
+  Runner.run(32, [&](size_t K, WorkerContext &Worker) {
+    obs::ProvenanceStore &WProv = Worker.session().provenance();
+    for (unsigned R = 0; R < 4; ++R)
+      for (size_t N = 0; N <= K % 3; ++N)
+        WProv.countCanon(RuleIds[R]);
+  });
+
+  uint64_t Expected = 0;
+  for (size_t K = 0; K < 32; ++K)
+    Expected += K % 3 + 1;
+  for (unsigned R = 0; R < 4; ++R)
+    EXPECT_EQ(Prov.ruleOrigin(RuleIds[R]).Fired, Expected) << "rule " << R;
+}
+
+TEST(ParallelRunnerTest, FailedTaskLeavesNoStatsOrTrace) {
+  // A task that throws is discarded wholesale: its stats shard is never
+  // merged AND its trace buffer is never replayed, so the trace stream
+  // and the stats registry stay consistent after a partially failed run.
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::shared_ptr<Sttr> Caesar = makeMapCaesar(S, Sig);
+  auto Sink = std::make_unique<obs::BufferTraceSink>();
+  obs::BufferTraceSink *Raw = Sink.get();
+  S.tracer().setSink(std::move(Sink));
+
+  ParallelRunner Runner(S, 2);
+  try {
+    Runner.run(3, [&](size_t K, WorkerContext &Worker) {
+      Session &WS = Worker.session();
+      ComposeResult R = composeSttr(WS.Solv, WS.Outputs, *Caesar, *Caesar);
+      ASSERT_NE(R.Composed, nullptr);
+      if (K == 1)
+        throw std::runtime_error("task 1");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "task 1");
+  }
+
+  // Tasks 0 and 2 merged; task 1 shows up in neither counters nor spans.
+  const auto &Stats = S.stats().constructions();
+  auto It = Stats.find("compose");
+  ASSERT_NE(It, Stats.end());
+  EXPECT_EQ(It->second.Runs, 2u);
+  unsigned ComposeBegins = 0;
+  for (const obs::BufferTraceSink::OwnedEvent &E : Raw->events())
+    if (E.Phase == 'B' && E.Name == "compose")
+      ++ComposeBegins;
+  EXPECT_EQ(ComposeBegins, 2u);
+}
+
 TEST(ParallelRunnerTest, TaskExceptionsRethrowLowestIndex) {
   Session S;
   ParallelRunner Runner(S, 4);
