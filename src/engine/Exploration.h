@@ -42,13 +42,34 @@ namespace fast::engine {
 /// Budgets applied to one exploration; all unlimited by default.
 struct ExplorationLimits {
   /// Maximum distinct items enqueued over the whole run (0 = unlimited).
+  /// Enforced inside enqueue(): once the budget is reached further items
+  /// are dropped (not queued) and the run stops with StateBudgetExceeded
+  /// at the next loop top, so a single pathological expansion cannot
+  /// enqueue unboundedly past the budget.
   size_t MaxStates = 0;
   /// Maximum items expanded (0 = unlimited).
   size_t MaxSteps = 0;
-  /// Wall-clock bound on the run (zero = unlimited).
+  /// Wall-clock bound on the run (zero = unlimited).  The deadline is
+  /// polled on the same batched stride as the progress heartbeat — every
+  /// BatchSize expansions at most, never per step.
   std::chrono::milliseconds Timeout{0};
   /// Polled before each expansion; returning true aborts the run.
   std::function<bool()> CancelRequested;
+  /// Worker lanes for constructions routed through the parallel frontier
+  /// (engine/ParallelExploration.h); 0 or 1 keeps every construction on
+  /// the sequential path.  Parallel runs produce byte-identical output to
+  /// sequential ones: lanes only warm the shared verdict cache, and the
+  /// canonical replay pass emits states and rules in the legacy order.
+  unsigned ParallelExploration = 0;
+  /// Inputs with fewer rules than this skip the parallel frontier even
+  /// when ParallelExploration asks for lanes — spawning threads for tiny
+  /// fixpoints costs more than it saves.  The threshold is a property of
+  /// the input, so the fallback decision itself is deterministic.
+  size_t ParallelMinInputRules = 24;
+  /// Test hook: when set, deadline polls read this clock instead of
+  /// steady_clock::now().  Lets tests count clock reads and simulate the
+  /// passage of time without sleeping.
+  std::function<std::chrono::steady_clock::time_point()> Clock;
 };
 
 enum class ExplorationOutcome {
@@ -85,34 +106,50 @@ public:
       : Stats(Stats), Limits(std::move(Limits)), Trace(Trace) {}
 
   /// Enqueues item \p Id.  Callers deduplicate (typically through a
-  /// StateInterner's Fresh bit or a visited bitset); every enqueued id is
-  /// expanded exactly once.
+  /// StateInterner's Fresh bit or a visited bitset); every admitted id is
+  /// expanded exactly once.  The state budget is enforced here, not just
+  /// between expansions: once MaxStates items have been admitted, further
+  /// ids are dropped and the run stops with StateBudgetExceeded at the
+  /// next loop top — a single expansion enqueueing 10x the budget holds
+  /// O(budget) memory, not O(blowup).
   void enqueue(unsigned Id) {
+    if (Limits.MaxStates != 0 && Enqueued >= Limits.MaxStates) {
+      StateBudgetTripped = true;
+      return;
+    }
     Queue.push_back(Id);
     ++Enqueued;
   }
 
-  /// Total items ever enqueued.
+  /// Total items ever admitted by enqueue().
   size_t enqueued() const { return Enqueued; }
+
+  /// True once enqueue() has dropped an item because the state budget was
+  /// exhausted; the next run() loop top reports StateBudgetExceeded.
+  bool stateBudgetTripped() const { return StateBudgetTripped; }
 
   /// Drains the worklist, calling `Expand(Id)` on each item; Expand may
   /// enqueue further items.  Returns Completed when the worklist is empty,
   /// or the limit outcome that stopped the run early.  May be called again
   /// after items are enqueued later (budgets keep accumulating).
   template <typename ExpandFn> ExplorationOutcome run(ExpandFn &&Expand) {
+    const bool HasDeadline = Limits.Timeout.count() > 0;
     auto Deadline = std::chrono::steady_clock::time_point::max();
-    if (Limits.Timeout.count() > 0)
-      Deadline = std::chrono::steady_clock::now() + Limits.Timeout;
+    if (HasDeadline)
+      Deadline = readClock() + Limits.Timeout;
     bool Observed = Trace && (Trace->active() || Trace->progressStream());
     if (Observed)
       beginObservedRun();
+    else if (HasDeadline)
+      NextObserveStep = Steps; // Poll once before the first expansion.
     ExplorationOutcome Outcome = ExplorationOutcome::Completed;
     while (!Queue.empty()) {
       if (Limits.CancelRequested && Limits.CancelRequested()) {
         Outcome = ExplorationOutcome::Cancelled;
         break;
       }
-      if (Limits.MaxStates != 0 && Enqueued > Limits.MaxStates) {
+      if (StateBudgetTripped ||
+          (Limits.MaxStates != 0 && Enqueued > Limits.MaxStates)) {
         Outcome = ExplorationOutcome::StateBudgetExceeded;
         break;
       }
@@ -120,20 +157,32 @@ public:
         Outcome = ExplorationOutcome::StepBudgetExceeded;
         break;
       }
-      if (Limits.Timeout.count() > 0 &&
-          std::chrono::steady_clock::now() >= Deadline) {
-        Outcome = ExplorationOutcome::TimedOut;
-        break;
-      }
       unsigned Id = Queue.front();
       Queue.pop_front();
       ++Steps;
       if (Stats)
         ++Stats->StatesExplored;
-      if (Observed && Steps >= NextObserveStep)
-        observeBatch();
+      // The deadline shares the heartbeat's batched stride: the clock is
+      // consulted every BatchSize steps at most, never per expansion.  A
+      // deadline that is already expired trips here, before the first
+      // Expand call (NextObserveStep starts at the pre-run step count).
+      if ((Observed || HasDeadline) && Steps >= NextObserveStep) {
+        if (HasDeadline && readClock() >= Deadline) {
+          Outcome = ExplorationOutcome::TimedOut;
+          break;
+        }
+        if (Observed)
+          observeBatch();
+        else
+          NextObserveStep = Steps + BatchSize;
+      }
       Expand(Id);
     }
+    // A tripped state budget means enqueue() dropped items, so an empty
+    // queue is exhaustion, not completion — without this, a drop during
+    // the final expansion would drain the queue and report Completed.
+    if (Outcome == ExplorationOutcome::Completed && StateBudgetTripped)
+      Outcome = ExplorationOutcome::StateBudgetExceeded;
     if (Observed)
       endObservedRun(Outcome);
     return Outcome;
@@ -154,6 +203,11 @@ public:
   }
 
 private:
+  /// The deadline clock: steady_clock unless the test hook overrides it.
+  std::chrono::steady_clock::time_point readClock() const {
+    return Limits.Clock ? Limits.Clock() : std::chrono::steady_clock::now();
+  }
+
   /// Out-of-line tracing slow paths (Exploration.cpp), so the template
   /// above stays lean.
   void beginObservedRun();
@@ -169,6 +223,8 @@ private:
   std::deque<unsigned> Queue;
   size_t Steps = 0;
   size_t Enqueued = 0;
+  /// Set by enqueue() when the state budget stops admitting items.
+  bool StateBudgetTripped = false;
   /// Heartbeat bookkeeping, valid during an observed run().
   bool BatchSpanOpen = false;
   size_t BatchStartStep = 0;

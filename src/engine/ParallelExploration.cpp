@@ -1,0 +1,350 @@
+//===- engine/ParallelExploration.cpp - Parallel warm-up frontier ---------===//
+
+#include "engine/ParallelExploration.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <thread>
+
+using namespace fast;
+using namespace fast::engine;
+
+unsigned fast::engine::parallelLanesFor(const ExplorationLimits &Limits,
+                                        size_t NumInputRules) {
+  if (Limits.ParallelExploration < 2)
+    return 0;
+  if (NumInputRules < Limits.ParallelMinInputRules)
+    return 0;
+  return Limits.ParallelExploration;
+}
+
+//===----------------------------------------------------------------------===//
+// ExploreLane
+//===----------------------------------------------------------------------===//
+
+/// One region of the lane's trie, identified by its root path of literals.
+/// Children are keyed by the *base-session* guard ref (cheap, stable), so
+/// overlapping guard sets from successive expansions share decided
+/// prefixes exactly as in the session MintermTrie.
+struct ExploreLane::RegionNode {
+  /// -1 undecided, 0 unsat, 1 sat.  Never reset once decided.
+  int Verdict = -1;
+  std::unordered_map<TermRef, std::array<std::unique_ptr<RegionNode>, 2>>
+      Children;
+};
+
+ExploreLane::ExploreLane(VerdictCache &Shared, unsigned SolverTimeoutMs)
+    : Shared(Shared), Solv(std::make_unique<Solver>(LaneF, SolverTimeoutMs)),
+      Root(std::make_unique<RegionNode>()) {
+  Root->Verdict = 1; // The empty region is the whole label space.
+}
+
+ExploreLane::~ExploreLane() = default;
+
+TermRef ExploreLane::import(TermRef T) {
+  auto It = ImportMemo.find(T);
+  if (It != ImportMemo.end())
+    return It->second;
+  TermRef Result = nullptr;
+  switch (T->kind()) {
+  case TermKind::ConstValue:
+    Result = LaneF.constant(T->constValue());
+    break;
+  case TermKind::Attr:
+    Result = LaneF.attr(T->attrIndex(), T->sort(), T->attrName());
+    break;
+  default: {
+    std::vector<TermRef> Ops;
+    Ops.reserve(T->numOperands());
+    for (TermRef Op : T->operands())
+      Ops.push_back(import(Op));
+    switch (T->kind()) {
+    case TermKind::Not:
+      Result = LaneF.mkNot(Ops[0]);
+      break;
+    case TermKind::And:
+      Result = LaneF.mkAnd(Ops);
+      break;
+    case TermKind::Or:
+      Result = LaneF.mkOr(Ops);
+      break;
+    case TermKind::Ite:
+      Result = LaneF.mkIte(Ops[0], Ops[1], Ops[2]);
+      break;
+    case TermKind::Eq:
+      Result = LaneF.mkEq(Ops[0], Ops[1]);
+      break;
+    case TermKind::Lt:
+      Result = LaneF.mkLt(Ops[0], Ops[1]);
+      break;
+    case TermKind::Le:
+      Result = LaneF.mkLe(Ops[0], Ops[1]);
+      break;
+    case TermKind::Add:
+      Result = LaneF.mkAdd(Ops);
+      break;
+    case TermKind::Neg:
+      Result = LaneF.mkNeg(Ops[0]);
+      break;
+    case TermKind::Mul:
+      Result = LaneF.mkMul(Ops);
+      break;
+    case TermKind::Mod:
+      Result = LaneF.mkMod(Ops[0], Ops[1]);
+      break;
+    case TermKind::Div:
+      Result = LaneF.mkDiv(Ops[0], Ops[1]);
+      break;
+    case TermKind::ConstValue:
+    case TermKind::Attr:
+      break; // Handled above.
+    }
+    break;
+  }
+  }
+  assert(Result && "unhandled term kind in lane import");
+  ImportMemo.emplace(T, Result);
+  return Result;
+}
+
+bool ExploreLane::isSat(TermRef Pred) {
+  ++Counters.SatQueries;
+  auto [It, Fresh] = SatMemo.try_emplace(Pred, false);
+  if (!Fresh)
+    return It->second;
+  if (std::optional<bool> Hit = Shared.lookup(Pred->fingerprint())) {
+    ++Counters.SharedHits;
+    It->second = *Hit;
+    return It->second;
+  }
+  It->second = Solv->isSat(import(Pred));
+  ++Counters.SolverDecisions;
+  Shared.publish(Pred->fingerprint(), It->second);
+  return It->second;
+}
+
+bool ExploreLane::isSatLane(TermRef LanePred) {
+  ++Counters.SatQueries;
+  // Base and lane refs come from disjoint factories, so one memo map
+  // serves both entry points without key collisions.
+  auto [It, Fresh] = SatMemo.try_emplace(LanePred, false);
+  if (!Fresh)
+    return It->second;
+  if (std::optional<bool> Hit = Shared.lookup(LanePred->fingerprint())) {
+    ++Counters.SharedHits;
+    It->second = *Hit;
+    return It->second;
+  }
+  It->second = Solv->isSat(LanePred);
+  ++Counters.SolverDecisions;
+  Shared.publish(LanePred->fingerprint(), It->second);
+  return It->second;
+}
+
+const ExploreLane::MintermRows &
+ExploreLane::minterms(std::span<const TermRef> BaseGuards) {
+  // Canonicalize exactly as GuardCache::minterms does, so the descent
+  // visits the same literal sets (hence publishes the same region keys)
+  // the replay pass will look up.
+  std::vector<TermRef> Canonical(BaseGuards.begin(), BaseGuards.end());
+  std::sort(Canonical.begin(), Canonical.end(),
+            [](TermRef A, TermRef B) { return A->id() < B->id(); });
+  Canonical.erase(std::unique(Canonical.begin(), Canonical.end()),
+                  Canonical.end());
+
+  auto [It, Fresh] = SplitIndex.try_emplace(Canonical, nullptr);
+  if (!Fresh)
+    return *It->second;
+  auto Result = std::make_unique<MintermRows>();
+  Result->Guards = Canonical;
+  std::vector<TermRef> LaneLits;
+  std::vector<bool> Pols;
+  LaneLits.reserve(Canonical.size());
+  Pols.reserve(Canonical.size());
+  descend(*Root, Canonical, 0, LaneLits, Pols, TermFingerprint{},
+          Result->Rows);
+  It->second = std::move(Result);
+  return *It->second;
+}
+
+void ExploreLane::descend(RegionNode &Node, std::span<const TermRef> Guards,
+                          size_t Depth, std::vector<TermRef> &LaneLits,
+                          std::vector<bool> &Pols, TermFingerprint PathKey,
+                          std::vector<std::vector<bool>> &Rows) {
+  if (Depth == Guards.size()) {
+    Rows.push_back(Pols);
+    return;
+  }
+  TermRef G = Guards[Depth];
+  TermRef LaneG = import(G);
+  auto &Branches = Node.Children[G];
+  // Positive branch first, matching the sequential region order.
+  for (int Branch = 0; Branch < 2; ++Branch) {
+    bool Positive = Branch == 0;
+    TermRef Lit = Positive ? LaneG : LaneF.mkNot(LaneG);
+    std::unique_ptr<RegionNode> &ChildPtr = Branches[Branch];
+    if (!ChildPtr)
+      ChildPtr = std::make_unique<RegionNode>();
+    RegionNode &Child = *ChildPtr;
+    Solv->push();
+    Solv->assertTerm(Lit);
+    TermFingerprint ChildKey = PathKey;
+    ChildKey.accumulate(Lit->fingerprint());
+    if (Child.Verdict < 0) {
+      Child.Verdict = decideVerdict(LaneLits, Lit, ChildKey);
+      ++Counters.NodesDecided;
+    } else {
+      ++Counters.NodeHits;
+    }
+    if (Child.Verdict == 1) {
+      LaneLits.push_back(Lit);
+      Pols.push_back(Positive);
+      descend(Child, Guards, Depth + 1, LaneLits, Pols, ChildKey, Rows);
+      Pols.pop_back();
+      LaneLits.pop_back();
+    }
+    Solv->pop();
+  }
+}
+
+int ExploreLane::decideVerdict(std::span<const TermRef> LaneAncestors,
+                               TermRef LaneLit,
+                               const TermFingerprint &RegionKey) {
+  TermRef NotLit = LaneF.mkNot(LaneLit);
+  // Subsumption mirrors MintermTrie::decideVerdict: verdicts it answers
+  // are derivable without a solver on both sides, so they are neither
+  // published nor looked up — the shared cache holds checkSat facts only.
+  for (TermRef A : LaneAncestors) {
+    if (Solv->impliesFast(A, NotLit) == Trilean::True)
+      return 0;
+    if (Solv->impliesFast(A, LaneLit) == Trilean::True)
+      return 1;
+  }
+  if (std::optional<bool> Hit = Shared.lookup(RegionKey)) {
+    ++Counters.SharedHits;
+    return *Hit ? 1 : 0;
+  }
+  bool Sat = Solv->checkSat();
+  ++Counters.SolverDecisions;
+  Shared.publish(RegionKey, Sat);
+  return Sat ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// LanePool
+//===----------------------------------------------------------------------===//
+
+std::span<const std::unique_ptr<ExploreLane>>
+LanePool::acquire(size_t N, VerdictCache &Shared, unsigned SolverTimeoutMs) {
+  while (Lanes.size() < N)
+    Lanes.push_back(std::make_unique<ExploreLane>(Shared, SolverTimeoutMs));
+  return {Lanes.data(), N};
+}
+
+//===----------------------------------------------------------------------===//
+// WarmFrontier
+//===----------------------------------------------------------------------===//
+
+void WarmFrontier::enqueue(unsigned Id) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stop)
+      return;
+    Queue.push_back(Id);
+  }
+  CV.notify_one();
+}
+
+size_t WarmFrontier::run(
+    std::span<const std::unique_ptr<ExploreLane>> Lanes,
+    const WarmConfig &Config,
+    const std::function<void(ExploreLane &, unsigned)> &Expand) {
+  assert(!Lanes.empty() && "warm run needs at least one lane");
+  auto Deadline = std::chrono::steady_clock::time_point::max();
+  if (Config.Timeout.count() > 0) {
+    auto Now = Config.Clock ? Config.Clock() : std::chrono::steady_clock::now();
+    Deadline = Now + Config.Timeout;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(Lanes.size() - 1);
+  for (size_t I = 1; I < Lanes.size(); ++I)
+    Workers.emplace_back([this, &Lanes, I, &Config, Deadline, &Expand] {
+      workerLoop(*Lanes[I], I, Config, Deadline, Expand);
+    });
+  workerLoop(*Lanes[0], 0, Config, Deadline, Expand);
+  for (std::thread &W : Workers)
+    W.join();
+  std::lock_guard<std::mutex> Lock(M);
+  return Expanded;
+}
+
+void WarmFrontier::workerLoop(
+    ExploreLane &Lane, size_t LaneIndex, const WarmConfig &Config,
+    std::chrono::steady_clock::time_point Deadline,
+    const std::function<void(ExploreLane &, unsigned)> &Expand) {
+  /// Ids claimed per trip to the shared queue: large enough to amortize
+  /// the lock, small enough to keep lanes load-balanced on skewed
+  /// expansion costs.
+  constexpr size_t ClaimBatch = 8;
+  std::vector<unsigned> Batch;
+  for (;;) {
+    bool Abort = false;
+    // Stop conditions are polled between batches only, so their cost is
+    // amortized over ClaimBatch expansions (the warm-phase analogue of
+    // the sequential driver's batched deadline stride).
+    if (LaneIndex == 0 && Config.CancelRequested && Config.CancelRequested())
+      Abort = true;
+    if (!Abort && Config.AbortWhen && Config.AbortWhen())
+      Abort = true;
+    if (!Abort && Deadline != std::chrono::steady_clock::time_point::max()) {
+      auto Now =
+          Config.Clock ? Config.Clock() : std::chrono::steady_clock::now();
+      if (Now >= Deadline)
+        Abort = true;
+    }
+    Batch.clear();
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      if (Abort)
+        Stop = true;
+      while (!Stop && Queue.empty() && InFlight != 0)
+        CV.wait_for(Lock, std::chrono::milliseconds(10));
+      if (Stop || Queue.empty())
+        break;
+      size_t N = std::min(Queue.size(), ClaimBatch);
+      if (Config.MaxSteps != 0) {
+        if (Expanded >= Config.MaxSteps) {
+          Stop = true;
+          break;
+        }
+        N = std::min(N, Config.MaxSteps - Expanded);
+      }
+      for (size_t I = 0; I < N; ++I) {
+        Batch.push_back(Queue.front());
+        Queue.pop_front();
+      }
+      InFlight += N;
+      Expanded += N;
+    }
+    for (unsigned Id : Batch) {
+      try {
+        Expand(Lane, Id);
+      } catch (...) {
+        // The warm phase is advisory: a failing expansion (solver error,
+        // bad_alloc, ...) stops warming, and the replay pass reproduces
+        // any real error with deterministic sequential semantics.
+        std::lock_guard<std::mutex> Lock(M);
+        Stop = true;
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      InFlight -= Batch.size();
+    }
+    CV.notify_all();
+  }
+  // Wake workers parked on an empty queue so they observe completion.
+  CV.notify_all();
+}

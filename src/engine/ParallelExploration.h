@@ -1,0 +1,216 @@
+//===- engine/ParallelExploration.h - Parallel warm-up frontier -*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-construction parallelism by *warm-and-replay*: a construction
+/// routed through the parallel frontier first explores its reachable state
+/// space with N worker lanes whose only durable output is the session's
+/// shared VerdictCache (smt/VerdictCache.h), then runs the unchanged
+/// sequential construction code, which finds every solver query answered
+/// from the warmed cache.  The replay pass is the only code that creates
+/// output states, rules, names, and provenance, so parallel runs are
+/// byte-identical to sequential ones by construction — lanes influence
+/// *when* verdicts are computed, never *what* is emitted.
+///
+/// Each ExploreLane owns a private TermFactory and Solver (its own Z3
+/// context), importing base-session terms structurally on demand; verdicts
+/// cross the factory boundary through structural fingerprints, which are
+/// stable across factories (smt/Term.h).  Lanes are pooled per session
+/// (LanePool) so repeated constructions reuse warmed Z3 contexts and
+/// import memos instead of paying the context setup cost each time.
+///
+/// Budgets and failures: the warm phase never throws.  It stops early on
+/// state/step budget exhaustion, timeout, or cancellation and lets the
+/// replay pass re-enforce the limits with the exact sequential semantics
+/// (including which ExplorationError is thrown), so failure behaviour is
+/// deterministic too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_ENGINE_PARALLELEXPLORATION_H
+#define FAST_ENGINE_PARALLELEXPLORATION_H
+
+#include "engine/Exploration.h"
+#include "smt/Solver.h"
+#include "smt/VerdictCache.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace fast::engine {
+
+/// Number of lanes a construction over \p NumInputRules rules should use
+/// under \p Limits: Limits.ParallelExploration when parallel exploration
+/// is requested and the input is big enough to amortize thread + lane
+/// setup, 0 (sequential) otherwise.  The decision depends only on the
+/// input, so routing itself is deterministic.
+unsigned parallelLanesFor(const ExplorationLimits &Limits,
+                          size_t NumInputRules);
+
+/// One warm-up worker: a private term factory + solver pair that evaluates
+/// guard queries posed in base-session terms, publishing every decided
+/// verdict to the shared cache under the term's structural fingerprint.
+/// A lane is single-threaded (one frontier worker drives it at a time)
+/// but lives as long as its LanePool, accumulating import memos, sat
+/// memos, and a minterm region trie across constructions — all of which
+/// cache *facts*, so reuse can change timing only, never results.
+class ExploreLane {
+public:
+  ExploreLane(VerdictCache &Shared, unsigned SolverTimeoutMs);
+  ~ExploreLane();
+  ExploreLane(const ExploreLane &) = delete;
+  ExploreLane &operator=(const ExploreLane &) = delete;
+
+  /// The lane-factory term structurally equal to base-session term \p T;
+  /// memoized, so repeated imports of shared subterms are O(1).
+  TermRef import(TermRef T);
+
+  /// Satisfiability of base-session predicate \p Pred, answered from the
+  /// shared cache when some lane (or the base session) already decided a
+  /// structurally equal predicate, decided on this lane's solver and
+  /// published otherwise.
+  bool isSat(TermRef Pred);
+
+  /// isSat for a predicate already built in this lane's factory — used by
+  /// warm expansions that replicate guard *construction* (e.g. the merge
+  /// conjunctions of normalization), where the base-session term never
+  /// exists during the warm phase.  The structural fingerprint makes the
+  /// published verdict land on the same key the replay pass computes.
+  bool isSatLane(TermRef LanePred);
+
+  /// The lane's private factory, for warm expansions that build guards.
+  TermFactory &factory() { return LaneF; }
+
+  /// A minterm enumeration reduced to what warm expansions need: the
+  /// canonical guard order plus one polarity row per non-empty region.
+  /// Predicates and region terms are never materialized (the replay pass
+  /// builds those in the base factory).
+  struct MintermRows {
+    /// The input guards, canonicalized exactly as GuardCache::minterms
+    /// canonicalizes them: sorted by base term id, deduplicated.
+    std::vector<TermRef> Guards;
+    /// Rows[R][I] is the polarity of Guards[I] in region R; region order
+    /// matches the sequential enumeration (positive branch first).
+    std::vector<std::vector<bool>> Rows;
+  };
+
+  /// Minterm regions of \p BaseGuards, enumerated over this lane's region
+  /// trie.  Every trie-node verdict decided by the lane's solver is
+  /// published to the shared cache under the region's order-independent
+  /// literal-set fingerprint — the same key MintermTrie::decideVerdict
+  /// uses — so the replay pass descends the session trie without Z3.
+  /// The returned reference is stable for the lane's lifetime.
+  const MintermRows &minterms(std::span<const TermRef> BaseGuards);
+
+  struct Stats {
+    uint64_t SatQueries = 0;
+    uint64_t SharedHits = 0;
+    uint64_t SolverDecisions = 0;
+    uint64_t NodesDecided = 0;
+    uint64_t NodeHits = 0;
+  };
+  const Stats &stats() const { return Counters; }
+
+private:
+  struct RegionNode;
+  int decideVerdict(std::span<const TermRef> LaneAncestors, TermRef LaneLit,
+                    const TermFingerprint &RegionKey);
+  void descend(RegionNode &Node, std::span<const TermRef> Guards,
+               size_t Depth, std::vector<TermRef> &LaneLits,
+               std::vector<bool> &Pols, TermFingerprint PathKey,
+               std::vector<std::vector<bool>> &Rows);
+
+  VerdictCache &Shared;
+  TermFactory LaneF;
+  std::unique_ptr<Solver> Solv;
+  std::unordered_map<TermRef, TermRef> ImportMemo;
+  std::unordered_map<TermRef, bool> SatMemo;
+  /// Region trie keyed by *base* guard refs (children [0] positive, [1]
+  /// negative), mirroring the session MintermTrie's shape so lane descents
+  /// reuse verdicts across overlapping guard sets.
+  std::unique_ptr<RegionNode> Root;
+  /// Split index: canonical base guard sequence -> enumerated rows.
+  std::map<std::vector<TermRef>, std::unique_ptr<MintermRows>> SplitIndex;
+  Stats Counters;
+};
+
+/// Session-lifetime pool of ExploreLanes, so successive parallel
+/// constructions reuse lanes (and their Z3 contexts) instead of paying
+/// per-construction setup.  Lanes are appended, never dropped; acquire()
+/// with a smaller count reuses a prefix.
+class LanePool {
+public:
+  /// At least \p N lanes wired to \p Shared; returns the first N.
+  std::span<const std::unique_ptr<ExploreLane>>
+  acquire(size_t N, VerdictCache &Shared, unsigned SolverTimeoutMs);
+
+  size_t size() const { return Lanes.size(); }
+
+private:
+  std::vector<std::unique_ptr<ExploreLane>> Lanes;
+};
+
+/// Stop conditions of one warm run; all optional.  Mirrors the subset of
+/// ExplorationLimits the warm phase can honour without changing replay
+/// semantics (MaxStates lives in the caller's sharded interner budget,
+/// surfaced here through AbortWhen).
+struct WarmConfig {
+  /// Maximum ids expanded across all lanes (0 = unlimited).
+  size_t MaxSteps = 0;
+  /// Wall-clock bound (zero = unlimited); polled per claimed batch.
+  std::chrono::milliseconds Timeout{0};
+  /// Polled by lane 0 only — cancellation hooks are not assumed
+  /// thread-safe (matches the sequential driver, which polls from the
+  /// construction thread).
+  std::function<bool()> CancelRequested;
+  /// Test hook mirroring ExplorationLimits::Clock.
+  std::function<std::chrono::steady_clock::time_point()> Clock;
+  /// Polled by every lane between batches; returning true drains the run
+  /// (used to stop warming once a state budget has tripped).
+  std::function<bool()> AbortWhen;
+};
+
+/// A work-sharing frontier of dense ids, drained by one thread per lane.
+/// enqueue() is thread-safe and may be called both while seeding (before
+/// run) and from inside expansions.  Expansion exceptions stop the run
+/// and are swallowed: the warm phase is advisory, and the replay pass
+/// reproduces any real error deterministically.
+class WarmFrontier {
+public:
+  void enqueue(unsigned Id);
+
+  /// Drains the frontier with Lanes.size() workers (the calling thread
+  /// drives lane 0); returns the number of ids expanded.  Not reentrant.
+  size_t run(std::span<const std::unique_ptr<ExploreLane>> Lanes,
+             const WarmConfig &Config,
+             const std::function<void(ExploreLane &, unsigned)> &Expand);
+
+private:
+  void workerLoop(ExploreLane &Lane, size_t LaneIndex, const WarmConfig &Config,
+                  std::chrono::steady_clock::time_point Deadline,
+                  const std::function<void(ExploreLane &, unsigned)> &Expand);
+
+  std::mutex M;
+  std::condition_variable CV;
+  std::deque<unsigned> Queue;
+  /// Ids claimed but not yet fully expanded; run() terminates when the
+  /// queue is empty and nothing is in flight.
+  size_t InFlight = 0;
+  size_t Expanded = 0;
+  bool Stop = false;
+};
+
+} // namespace fast::engine
+
+#endif // FAST_ENGINE_PARALLELEXPLORATION_H

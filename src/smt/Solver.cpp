@@ -262,6 +262,23 @@ void Solver::setCacheEnabled(bool Enabled) {
   }
 }
 
+void Solver::resetForReuse() {
+  assert(numScopes() == 0 && "resetForReuse with open assertion scopes");
+  SatCache.clear();
+  ValidCache.clear();
+  ImplCache.clear();
+  ScopeStack.assign(1, AssertScope{});
+  // The Z3 context survives (creating one is the constant this reset
+  // exists to avoid paying per task); the solver objects hanging off it
+  // are dropped and lazily rebuilt, which also releases any assertions
+  // synced into the scoped solver's frames.
+  Z3->Memo.clear();
+  Z3->MemoExprs.clear();
+  Z3->Sol.reset();
+  Z3->ScopedSol.reset();
+  Z3->SyncedFrames = 0;
+}
+
 bool Solver::isSat(TermRef Pred) {
   assert(Pred->sort() == Sort::Bool && "satisfiability of non-boolean term");
   ++Counters.Queries;

@@ -163,6 +163,16 @@ public:
   };
   const Stats &stats() const { return Counters; }
   void resetStats() { Counters = Stats(); }
+
+  /// Returns the solver to its just-constructed state while keeping the
+  /// (expensive-to-create) Z3 context: drops every sat/validity/
+  /// implication cache entry, the term-to-Z3 translation memo, and the
+  /// lazily built Z3 solver objects, and re-establishes the empty base
+  /// assertion scope.  The pooled worker-context reset path calls this
+  /// before its overlay term factory is reset, so no cache survives that
+  /// is keyed by about-to-dangle TermRefs.  Requires balanced scopes
+  /// (numScopes() == 0).  Stats are left alone (resetStats is separate).
+  void resetForReuse();
   /// Join-point merge of a worker solver's counters into this solver's.
   void mergeStatsFrom(const Solver &Other) { Counters.mergeFrom(Other.Counters); }
 

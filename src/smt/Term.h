@@ -23,6 +23,8 @@
 
 #include "smt/Value.h"
 
+#include <cassert>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <span>
@@ -37,6 +39,34 @@ class Term;
 
 /// Terms are owned by their TermFactory; users pass them by pointer.
 using TermRef = const Term *;
+
+/// A 128-bit structural fingerprint of a term, stable across factories
+/// and interning orders.  Two terms that denote the same canonical
+/// structure — even when built in different factories, where commutative
+/// operand lists end up sorted by different interning-order ids — carry
+/// equal fingerprints, because children of commutative operators (And,
+/// Or, Add, Mul, Eq) are combined order-independently.  This is the key
+/// of the shared guard-verdict cache (smt/VerdictCache.h): worker-lane
+/// solvers and the base session agree on it without sharing a factory.
+struct TermFingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  friend bool operator==(const TermFingerprint &A, const TermFingerprint &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo;
+  }
+  friend bool operator!=(const TermFingerprint &A, const TermFingerprint &B) {
+    return !(A == B);
+  }
+
+  /// Order-independent accumulation of another fingerprint, for keys over
+  /// literal *sets* (e.g. the root path of a minterm-trie region): wrapping
+  /// sums commute, so every permutation of the same set yields one key.
+  void accumulate(const TermFingerprint &Other) {
+    Hi += Other.Hi;
+    Lo += Other.Lo;
+  }
+};
 
 /// The operator of a term node.
 enum class TermKind : uint8_t {
@@ -68,6 +98,8 @@ public:
   /// canonical ordering for commutative operands.
   unsigned id() const { return Id; }
   std::size_t hash() const { return Hash; }
+  /// Structural fingerprint, stable across factories (see TermFingerprint).
+  const TermFingerprint &fingerprint() const { return Fp; }
 
   bool isConst() const { return Kind == TermKind::ConstValue; }
   bool isTrue() const { return isConst() && sort() == Sort::Bool && Payload.getBool(); }
@@ -98,6 +130,7 @@ private:
   Sort TheSort;
   unsigned Id = 0;
   std::size_t Hash = 0;
+  TermFingerprint Fp;
   Value Payload;
   unsigned AttrIndex = 0;
   std::string Name;
@@ -137,6 +170,18 @@ public:
   /// Number of distinct interned terms (used by ablation benchmarks);
   /// includes the frozen base's terms for an overlay.
   size_t numTerms() const { return IdOffset + Nodes.size(); }
+
+  /// Discards every locally interned term, returning the overlay to its
+  /// just-constructed state (the pooled worker-context reset path, so a
+  /// reused overlay assigns the same local ids a fresh one would).  Only
+  /// valid for unfrozen overlays.  Every TermRef that does not resolve
+  /// into the base dangles afterwards; the caller must clear any
+  /// structure keyed by such refs in the same operation.
+  void resetOverlay() {
+    assert(Base && !Frozen && "resetOverlay requires an unfrozen overlay");
+    Interned.clear();
+    Nodes.clear();
+  }
 
   // Constants ---------------------------------------------------------------
   TermRef constant(Value V);

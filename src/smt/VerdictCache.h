@@ -1,0 +1,112 @@
+//===- smt/VerdictCache.h - Shared guard-verdict cache ----------*- C++ -*-===//
+//
+// Part of the fast-transducers project (see support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A read-mostly, sharded satisfiability-verdict cache shared between the
+/// base session and any number of concurrent solver lanes (parallel
+/// frontier workers, task-level WorkerContexts).  Keys are structural
+/// TermFingerprints rather than interned TermRefs, so a verdict computed
+/// by a lane solver over its own factory is directly consumable by the
+/// base session's GuardCache / MintermTrie and vice versa — sharing facts
+/// without sharing factories.
+///
+/// Entries are facts about immutable term structure ("this predicate is
+/// satisfiable"), so they are never invalidated and the map only grows.
+/// Shards are hash-partitioned by fingerprint with a shared_mutex each:
+/// lookups (the common case once warm) take a shared lock, publishes an
+/// exclusive one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FAST_SMT_VERDICTCACHE_H
+#define FAST_SMT_VERDICTCACHE_H
+
+#include "smt/Term.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace fast {
+
+class VerdictCache {
+public:
+  VerdictCache() = default;
+  VerdictCache(const VerdictCache &) = delete;
+  VerdictCache &operator=(const VerdictCache &) = delete;
+
+  /// The cached verdict for \p Key, or nullopt.  Thread-safe.
+  std::optional<bool> lookup(const TermFingerprint &Key) const {
+    const Shard &S = shardFor(Key);
+    std::shared_lock<std::shared_mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+
+  /// Records \p Verdict for \p Key.  Thread-safe; a concurrent publish of
+  /// the same key keeps the first value (both publishers decided the same
+  /// fact, so which one lands is immaterial).
+  void publish(const TermFingerprint &Key, bool Verdict) {
+    Shard &S = shardFor(Key);
+    std::unique_lock<std::shared_mutex> Lock(S.M);
+    if (S.Map.emplace(Key, Verdict).second)
+      Published.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Published = 0;
+  };
+  Stats stats() const {
+    return {Hits.load(std::memory_order_relaxed),
+            Misses.load(std::memory_order_relaxed),
+            Published.load(std::memory_order_relaxed)};
+  }
+
+  size_t size() const {
+    size_t Total = 0;
+    for (const Shard &S : Shards) {
+      std::shared_lock<std::shared_mutex> Lock(S.M);
+      Total += S.Map.size();
+    }
+    return Total;
+  }
+
+private:
+  static constexpr size_t NumShards = 16;
+
+  struct KeyHash {
+    size_t operator()(const TermFingerprint &K) const {
+      return static_cast<size_t>(K.Lo);
+    }
+  };
+  struct Shard {
+    mutable std::shared_mutex M;
+    std::unordered_map<TermFingerprint, bool, KeyHash> Map;
+  };
+
+  // Shard selection uses the Hi half, bucket hashing the Lo half, so the
+  // two decisions stay independent.
+  Shard &shardFor(const TermFingerprint &K) const {
+    return Shards[static_cast<size_t>(K.Hi) % NumShards];
+  }
+
+  mutable Shard Shards[NumShards];
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Published{0};
+};
+
+} // namespace fast
+
+#endif // FAST_SMT_VERDICTCACHE_H

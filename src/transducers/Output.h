@@ -28,6 +28,7 @@
 
 #include "smt/Term.h"
 
+#include <cassert>
 #include <deque>
 #include <functional>
 #include <span>
@@ -107,6 +108,15 @@ public:
   /// Distinct interned outputs, including the frozen base's for overlays.
   size_t numOutputs() const {
     return (Base ? Base->numOutputs() : 0) + Nodes.size();
+  }
+
+  /// Discards every locally interned output; see
+  /// TermFactory::resetOverlay.  OutputRefs not resolving into the base
+  /// dangle afterwards.
+  void resetOverlay() {
+    assert(Base && !Frozen && "resetOverlay requires an unfrozen overlay");
+    Interned.clear();
+    Nodes.clear();
   }
 
 private:

@@ -17,13 +17,29 @@ unsigned fast::hardwareThreads() {
 
 WorkerContext::WorkerContext(Session &Base,
                              const obs::ProvenanceStore *ProvSnapshot)
-    : BaseS(Base), Work(Session::OverlayTag{}, Base) {
+    : BaseS(Base), Work(Session::OverlayTag{}, Base),
+      ProvSnapshot(ProvSnapshot) {
   assert(Base.frozen() && "WorkerContext requires a frozen base session");
   engine::SessionEngine &BaseEngine = Base.engine();
   engine::SessionEngine &WorkEngine = Work.engine();
 
-  // Budgets apply per construction, so a copy (not a share) is right.
+  // Budgets apply per construction, so a copy (not a share) is right —
+  // except the intra-construction lane count, which is zeroed: tasks of a
+  // parallel run are themselves the parallelism, and nesting lane pools
+  // inside worker threads would oversubscribe the machine.
   WorkEngine.Limits = BaseEngine.Limits;
+  WorkEngine.Limits.ParallelExploration = 0;
+
+  // Detach the worker's guard cache from any verdict-fact cache (the
+  // engine constructor wires its own by default).  Deliberately NOT the
+  // base session's: the facts themselves would be sound, but which task
+  // pays for a verdict — and with it every merged cache-hit counter —
+  // would depend on scheduling, breaking the guarantee that -j 1 and
+  // -j N merge identical counters.  The worker's own cache is detached
+  // too, so a pooled context cannot carry fingerprint-keyed verdicts
+  // across reset() (the term-identity memos cover everything within one
+  // task; fingerprints only add cross-factory reach the task never needs).
+  WorkEngine.Guards.setSharedVerdicts(nullptr);
 
   // Same anchor/rule id space as the base, own Fired shard.  Seed from
   // the runner's main-thread snapshot when given: this constructor runs
@@ -46,6 +62,34 @@ WorkerContext::WorkerContext(Session &Base,
     WorkEngine.Trace.alignEpochTo(BaseEngine.Trace);
     WorkEngine.Trace.setSink(std::move(Sink));
   }
+}
+
+void WorkerContext::reset() {
+  assert(!Buffer && "pooled reuse requires an untraced context");
+  engine::SessionEngine &WorkEngine = Work.engine();
+  // Restore *observational* freshness: the next task must compute exactly
+  // what it would in a brand-new context — same query counts, same cache
+  // hits, same term ids, same constructed automata — no matter which
+  // thread runs it or what ran before.  Only the Z3 context (the ~ms
+  // per-task constant pooling exists to kill) survives.
+  //
+  // Order matters: the solver's translation memo and the guard cache's
+  // memos/trie are keyed by TermRefs into the overlay factory, so they
+  // are dropped before resetOverlay() frees those terms.
+  Work.Solv.resetForReuse();
+  WorkEngine.Guards.clearMemos();
+  Work.Terms.resetOverlay();
+  Work.Trees.resetOverlay();
+  Work.Outputs.resetOverlay();
+  WorkEngine.Stats.reset();
+  Work.Solv.resetStats();
+  WorkEngine.Trace.slowQueries().clear();
+  // Re-seed the provenance shard (same tables, Fired counts zeroed), so a
+  // previous task's firings — merged or discarded — never leak into the
+  // next task's coverage merge.  From the snapshot, never the live store:
+  // reset() runs on a worker thread while sibling merges write Fired.
+  WorkEngine.Prov.adoptSharedFrom(ProvSnapshot ? *ProvSnapshot
+                                               : BaseS.engine().Prov);
 }
 
 void WorkerContext::mergeInto(Session &Base) {
@@ -86,24 +130,40 @@ ParallelRunner::run(size_t NumTasks,
       KeepContexts ? NumTasks : 0);
   std::vector<std::exception_ptr> Errors(NumTasks);
   std::atomic<size_t> Next{0};
+  std::atomic<size_t> Built{0};
   std::mutex MergeMutex;
 
   auto RunTasks = [&] {
+    // Contexts are built lazily, inside the claim loop: a pool thread
+    // that never claims a task never constructs one.
+    std::unique_ptr<WorkerContext> Pooled;
     for (size_t Task = Next.fetch_add(1); Task < NumTasks;
          Task = Next.fetch_add(1)) {
-      // A fresh context per *task* (not per thread) makes the task's
-      // computation independent of scheduling: -j 1 and -j N produce
-      // byte-identical results.
-      auto Worker = std::make_unique<WorkerContext>(BaseS, &ProvSnapshot);
+      std::unique_ptr<WorkerContext> Worker;
+      if (KeepContexts) {
+        // A fresh context per *task* (not per thread) keeps retained
+        // results and replayed trace buffers independent of scheduling:
+        // -j 1 and -j N stay byte-identical.
+        Worker = std::make_unique<WorkerContext>(BaseS, &ProvSnapshot);
+        Built.fetch_add(1, std::memory_order_relaxed);
+      } else if (!Pooled) {
+        Pooled = std::make_unique<WorkerContext>(BaseS, &ProvSnapshot);
+        Built.fetch_add(1, std::memory_order_relaxed);
+      }
+      WorkerContext &Ctx = Worker ? *Worker : *Pooled;
       try {
-        Fn(Task, *Worker);
+        Fn(Task, Ctx);
         std::lock_guard<std::mutex> Lock(MergeMutex);
-        Worker->mergeInto(BaseS);
+        Ctx.mergeInto(BaseS);
       } catch (...) {
         Errors[Task] = std::current_exception();
       }
       if (KeepContexts)
         Retained[Task] = std::move(Worker);
+      else
+        // Whether the task merged or threw, strip its per-task state so
+        // nothing leaks into the next task this thread claims.
+        Pooled->reset();
     }
   };
 
@@ -119,6 +179,12 @@ ParallelRunner::run(size_t NumTasks,
     for (std::thread &T : Threads)
       T.join();
   }
+
+  ContextsBuilt = Built.load(std::memory_order_relaxed);
+  assert(ContextsBuilt <= NumTasks &&
+         "a context was constructed for a never-claimed task");
+  assert((KeepContexts || ContextsBuilt <= Pool) &&
+         "pooled run built more contexts than pool threads");
 
   // Join point: replay order-sensitive trace buffers in task order, so
   // the merged trace file is identical across schedules.  A task that

@@ -73,6 +73,21 @@ public:
   Session &session() { return Work; }
   const Session &base() const { return BaseS; }
 
+  /// Returns the context to its just-constructed state so the next task
+  /// can reuse it.  Everything a task could observe is cleared — overlay
+  /// factories (so term/tree/output ids restart where a fresh overlay's
+  /// would), solver caches and the Z3 translation memo, guard-cache
+  /// memos and the minterm trie, construction stats, solver counters,
+  /// the slow-query shard, and the provenance Fired shard — because the
+  /// reuse contract is observational freshness: a task computes exactly
+  /// what it would in a new context (same counters, same byte-identical
+  /// products), no matter which thread runs it or what ran before.  Only
+  /// the Z3 *context* survives, which is the per-task construction
+  /// constant pooling exists to avoid.  Only valid for contexts without
+  /// a trace buffer (the runner never pools when tracing, because
+  /// buffered events are per-task state).
+  void reset();
+
   /// Merges this context's commutative state into the base session:
   /// construction stats, solver counters, slow-query entries, and rule
   /// coverage.  Call at most once, at task end; the caller serializes
@@ -91,6 +106,11 @@ public:
 private:
   Session &BaseS;
   Session Work;
+  /// The snapshot this context's provenance shard was seeded from (null
+  /// when seeded from the live base store); reset() re-seeds from it, for
+  /// the same reason the constructor used it — the live store is written
+  /// by sibling merges while a pooled context resets on a worker thread.
+  const obs::ProvenanceStore *ProvSnapshot = nullptr;
   /// Owned by Work's tracer; non-null iff the base tracer had a sink.
   obs::BufferTraceSink *Buffer = nullptr;
 };
@@ -117,13 +137,30 @@ public:
   /// returned (indexed by task), for results — witness trees, explained
   /// derivations — that point into worker-owned factories; otherwise the
   /// returned vector is empty and contexts die at the join.
+  ///
+  /// Context economy: when contexts need not outlive their task (neither
+  /// RetainWorkers nor an active trace), each pool thread builds one
+  /// context lazily on its first claimed task and reuses it (reset
+  /// between tasks) for the rest — at most min(threads, tasks) contexts
+  /// per run, never one per task, killing the per-task Z3-context setup
+  /// constant.  When contexts are retained, each task still gets a fresh
+  /// one, so results that point into worker factories (and replayed trace
+  /// buffers) stay byte-identical across -j values, and a context is
+  /// still only constructed by a thread that actually claimed a task.
   std::vector<std::unique_ptr<WorkerContext>>
   run(size_t NumTasks, const std::function<void(size_t, WorkerContext &)> &Fn,
       bool RetainWorkers = false);
 
+  /// Number of WorkerContexts constructed by the last run() — at most
+  /// min(threads(), tasks) when pooling, exactly the task count when
+  /// contexts are retained.  Exposed so tests can pin the context
+  /// economy; run() itself asserts the pooled bound.
+  size_t contextsBuilt() const { return ContextsBuilt; }
+
 private:
   Session &BaseS;
   unsigned NumThreads;
+  size_t ContextsBuilt = 0;
   /// Immutable copy of the base provenance tables, taken in the
   /// constructor.  Worker contexts seed from this rather than from the
   /// live base store, whose Fired counters are concurrently written by

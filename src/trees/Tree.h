@@ -17,6 +17,7 @@
 
 #include "trees/Signature.h"
 
+#include <cassert>
 #include <deque>
 #include <span>
 #include <unordered_set>
@@ -99,6 +100,15 @@ public:
   /// Distinct interned trees, including the frozen base's for an overlay.
   size_t numNodes() const {
     return (Base ? Base->numNodes() : 0) + Nodes.size();
+  }
+
+  /// Discards every locally interned tree; see TermFactory::resetOverlay.
+  /// TreeRefs not resolving into the base dangle afterwards.
+  void resetOverlay() {
+    assert(Base && !Frozen && "resetOverlay requires an unfrozen overlay");
+    Interned.clear();
+    Nodes.clear();
+    LiveSignatures.clear();
   }
 
 private:

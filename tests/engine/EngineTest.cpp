@@ -97,6 +97,68 @@ TEST(ExplorationTest, StateBudgetStopsBlowup) {
             ExplorationOutcome::StateBudgetExceeded);
 }
 
+TEST(ExplorationTest, StateBudgetHoldsInsideOneExpansion) {
+  // Regression test: the budget used to be enforced only between
+  // expansions, so a single pathological Expand could enqueue unboundedly
+  // past MaxStates.  It is now enforced inside enqueue(): one expansion
+  // offering 10x the budget gets exactly MaxStates items admitted.
+  ExplorationLimits Limits;
+  Limits.MaxStates = 10;
+  Exploration E(nullptr, Limits);
+  E.enqueue(0);
+  EXPECT_EQ(E.run([&](unsigned Id) {
+    for (unsigned K = 1; K <= 100; ++K)
+      E.enqueue(100 * Id + K);
+  }),
+            ExplorationOutcome::StateBudgetExceeded);
+  EXPECT_EQ(E.enqueued(), 10u) << "admissions must stop at the budget";
+  EXPECT_TRUE(E.stateBudgetTripped());
+}
+
+TEST(ExplorationTest, DeadlinePollsClockOnBatchedStrideOnly) {
+  // The doc contract says the clock is consulted every BatchSize steps at
+  // most; a timeout-bearing run used to read steady_clock::now() once per
+  // expansion.  Count reads through the test clock hook.
+  size_t ClockReads = 0;
+  ExplorationLimits Limits;
+  Limits.Timeout = std::chrono::milliseconds(3600000);
+  Limits.Clock = [&] {
+    ++ClockReads;
+    return std::chrono::steady_clock::time_point{};
+  };
+  Exploration E(nullptr, Limits);
+  const size_t Items = 600; // > 2x BatchSize, so several strides elapse.
+  for (unsigned I = 0; I < Items; ++I)
+    E.enqueue(I);
+  EXPECT_EQ(E.run([](unsigned) {}), ExplorationOutcome::Completed);
+  // One read computes the deadline; at most one more per BatchSize steps
+  // (plus the poll before the first expansion) checks it.
+  EXPECT_LE(ClockReads, 2 + Items / Exploration::BatchSize);
+  EXPECT_GE(ClockReads, 2u) << "the deadline must actually be polled";
+}
+
+TEST(ExplorationTest, ExpiredDeadlineTripsBeforeFirstExpansion) {
+  // The batched stride must not delay an already-expired deadline past
+  // the first expansion: the poll schedule starts at the pre-run step
+  // count, so a pre-expired clock times the run out at zero expansions.
+  size_t Expanded = 0;
+  size_t ClockReads = 0;
+  auto T0 = std::chrono::steady_clock::time_point{};
+  ExplorationLimits Limits;
+  Limits.Timeout = std::chrono::milliseconds(10);
+  Limits.Clock = [&] {
+    // First read computes the deadline at T0; every later read is far
+    // past it.
+    return ClockReads++ == 0 ? T0 : T0 + std::chrono::hours(1);
+  };
+  Exploration E(nullptr, Limits);
+  for (unsigned I = 0; I < 50; ++I)
+    E.enqueue(I);
+  EXPECT_EQ(E.run([&](unsigned) { ++Expanded; }),
+            ExplorationOutcome::TimedOut);
+  EXPECT_EQ(Expanded, 0u);
+}
+
 TEST(ExplorationTest, CancellationHookAborts) {
   unsigned Expanded = 0;
   ExplorationLimits Limits;

@@ -1,0 +1,487 @@
+//===- tests/engine/ParallelExploreTest.cpp - Intra-construction lanes ----===//
+//
+// Part of the fast-transducers project (see src/support/Hashing.h).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the parallel warm-up frontier (engine/ParallelExploration.h)
+/// and its supporting machinery: the sharded state interner, the shared
+/// verdict cache with its cross-factory fingerprints, the routing
+/// predicate, and — the contract everything exists for — byte-identical
+/// construction output across lane counts.  The determinism tests build
+/// the same seeded automaton in *separate* sessions per lane count: within
+/// one session a second construction would replay the first's term-keyed
+/// memos, masking any verdict the warm phase got wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#include "../TestUtil.h"
+#include "automata/StaOps.h"
+#include "engine/Engine.h"
+#include "engine/ParallelExploration.h"
+#include "engine/StateInterner.h"
+#include "smt/VerdictCache.h"
+
+#include <atomic>
+#include <random>
+#include <sstream>
+#include <thread>
+
+using namespace fast;
+using namespace fast::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ShardedStateInterner
+//===----------------------------------------------------------------------===//
+
+struct SetHash {
+  size_t operator()(const StateSet &Set) const {
+    size_t H = Set.size();
+    for (unsigned Q : Set)
+      H = H * 1000003 + Q;
+    return H;
+  }
+};
+
+using TestInterner = engine::ShardedStateInterner<StateSet, SetHash>;
+
+TEST(ParallelInternerTest, AssignsDenseIdsAndDeduplicates) {
+  TestInterner Interner;
+  auto A = Interner.intern({1, 2, 3});
+  EXPECT_TRUE(A.Fresh);
+  EXPECT_TRUE(A.Admitted);
+  EXPECT_EQ(A.Id, 0u);
+  auto B = Interner.intern({4});
+  EXPECT_TRUE(B.Fresh);
+  EXPECT_EQ(B.Id, 1u);
+  auto A2 = Interner.intern({1, 2, 3});
+  EXPECT_FALSE(A2.Fresh);
+  EXPECT_TRUE(A2.Admitted);
+  EXPECT_EQ(A2.Id, 0u);
+  EXPECT_EQ(Interner.size(), 2u);
+  EXPECT_EQ(Interner.key(0), (StateSet{1, 2, 3}));
+  EXPECT_EQ(Interner.key(1), (StateSet{4}));
+  EXPECT_FALSE(Interner.tripped());
+}
+
+TEST(ParallelInternerTest, KeyBudgetRejectsWithoutAssigningIds) {
+  TestInterner Interner(/*MaxKeys=*/3);
+  for (unsigned K = 0; K < 3; ++K)
+    EXPECT_TRUE(Interner.intern({K}).Admitted);
+  EXPECT_FALSE(Interner.tripped());
+  auto Rejected = Interner.intern({99});
+  EXPECT_FALSE(Rejected.Admitted);
+  EXPECT_FALSE(Rejected.Fresh);
+  EXPECT_TRUE(Interner.tripped());
+  EXPECT_EQ(Interner.size(), 3u);
+  // Already-admitted keys still resolve after the trip.
+  auto Again = Interner.intern({1});
+  EXPECT_TRUE(Again.Admitted);
+  EXPECT_FALSE(Again.Fresh);
+  EXPECT_EQ(Again.Id, 1u);
+}
+
+TEST(ParallelInternerTest, ConcurrentInterningStaysConsistent) {
+  TestInterner Interner;
+  constexpr unsigned Distinct = 48;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&Interner, Distinct] {
+      for (unsigned K = 0; K < 4 * Distinct; ++K) {
+        auto R = Interner.intern({K % Distinct, K % Distinct + 7});
+        EXPECT_TRUE(R.Admitted);
+        EXPECT_LT(R.Id, Distinct);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Interner.size(), Distinct);
+  // Every id round-trips through its key, and ids stayed dense.
+  for (unsigned Id = 0; Id < Distinct; ++Id) {
+    StateSet Key = Interner.key(Id);
+    auto R = Interner.intern(std::move(Key));
+    EXPECT_FALSE(R.Fresh);
+    EXPECT_EQ(R.Id, Id);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Routing predicate
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelRoutingTest, LaneCountIsAPureFunctionOfKnobAndInputSize) {
+  engine::ExplorationLimits Limits;
+  // Knob off (default) — always sequential.
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 1000), 0u);
+  // One lane is just the sequential path with extra steps.
+  Limits.ParallelExploration = 1;
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 1000), 0u);
+  // Inputs below the rule threshold fall back deterministically.
+  Limits.ParallelExploration = 4;
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 23), 0u);
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 24), 4u);
+  Limits.ParallelMinInputRules = 1;
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 1), 4u);
+  EXPECT_EQ(engine::parallelLanesFor(Limits, 0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// VerdictCache & cross-factory fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelVerdictCacheTest, LookupMissPublishHit) {
+  VerdictCache Cache;
+  TermFingerprint Key{0x1234, 0x5678};
+  EXPECT_FALSE(Cache.lookup(Key).has_value());
+  Cache.publish(Key, true);
+  auto Hit = Cache.lookup(Key);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_TRUE(*Hit);
+  EXPECT_EQ(Cache.size(), 1u);
+  VerdictCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Published, 1u);
+}
+
+TEST(ParallelVerdictCacheTest, ConcurrentPublishKeepsOneEntryPerKey) {
+  VerdictCache Cache;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&Cache] {
+      for (uint64_t K = 0; K < 256; ++K) {
+        // Entries are facts: every publisher of a key agrees on the value.
+        Cache.publish({K, K * 3 + 1}, K % 2 == 0);
+        auto Hit = Cache.lookup({K, K * 3 + 1});
+        ASSERT_TRUE(Hit.has_value());
+        EXPECT_EQ(*Hit, K % 2 == 0);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Cache.size(), 256u);
+  EXPECT_EQ(Cache.stats().Published, 256u);
+}
+
+TEST(ParallelVerdictCacheTest, FingerprintsBridgeFactories) {
+  // The same structure built in two factories — with different interning
+  // orders, so the ids differ — carries the same fingerprint, even with
+  // commutative operands supplied in opposite order.
+  TermFactory F1, F2;
+  TermRef X1 = F1.attr(0, Sort::Int, "i");
+  TermRef A1 = F1.mkAnd(F1.mkGt(X1, F1.intConst(1)),
+                        F1.mkLe(X1, F1.intConst(8)));
+  TermRef Pad = F2.intConst(99); // Shift F2's id space.
+  (void)Pad;
+  TermRef X2 = F2.attr(0, Sort::Int, "i");
+  TermRef A2 = F2.mkAnd(F2.mkLe(X2, F2.intConst(8)),
+                        F2.mkGt(X2, F2.intConst(1)));
+  EXPECT_EQ(A1->fingerprint(), A2->fingerprint());
+  EXPECT_NE(A1->id(), A2->id());
+  EXPECT_NE(A1->fingerprint(), F1.mkGt(X1, F1.intConst(2))->fingerprint());
+
+  VerdictCache Cache;
+  Cache.publish(A1->fingerprint(), true);
+  auto Hit = Cache.lookup(A2->fingerprint());
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_TRUE(*Hit);
+}
+
+//===----------------------------------------------------------------------===//
+// ExploreLane
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelLaneTest, ImportPreservesStructureAcrossFactories) {
+  TermFactory Base;
+  TermRef I = Base.attr(0, Sort::Int, "i");
+  TermRef Pred = Base.mkOr(Base.mkAnd(Base.mkGt(I, Base.intConst(0)),
+                                      Base.mkLe(I, Base.intConst(9))),
+                           Base.mkEq(Base.mkMod(I, Base.intConst(2)),
+                                     Base.intConst(1)));
+  VerdictCache Shared;
+  engine::ExploreLane Lane(Shared, /*SolverTimeoutMs=*/0);
+  TermRef Imported = Lane.import(Pred);
+  EXPECT_EQ(Imported->fingerprint(), Pred->fingerprint());
+  // Memoized: a second import returns the identical lane term.
+  EXPECT_EQ(Lane.import(Pred), Imported);
+}
+
+TEST(ParallelLaneTest, LanesShareVerdictsByFingerprint) {
+  TermFactory Base;
+  TermRef I = Base.attr(0, Sort::Int, "i");
+  TermRef Sat = Base.mkGt(I, Base.intConst(3));
+  TermRef Unsat = Base.mkAnd(Base.mkGt(I, Base.intConst(5)),
+                             Base.mkLe(I, Base.intConst(2)));
+  VerdictCache Shared;
+  engine::ExploreLane L1(Shared, 0), L2(Shared, 0);
+  EXPECT_TRUE(L1.isSat(Sat));
+  EXPECT_FALSE(L1.isSat(Unsat));
+  EXPECT_EQ(L1.stats().SolverDecisions, 2u);
+  // The second lane answers both from the shared cache.
+  EXPECT_TRUE(L2.isSat(Sat));
+  EXPECT_FALSE(L2.isSat(Unsat));
+  EXPECT_EQ(L2.stats().SolverDecisions, 0u);
+  EXPECT_EQ(L2.stats().SharedHits, 2u);
+}
+
+TEST(ParallelLaneTest, BaseSessionConsumesLaneVerdicts) {
+  // A verdict decided on a lane's private solver is consumed by the base
+  // session's GuardCache through the session VerdictCache — the warm
+  // phase's entire effect channel.
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  TermRef Pred = S.Terms.mkGt(I, S.Terms.intConst(3));
+  VerdictCache &Shared = S.engine().Verdicts;
+  engine::ExploreLane Lane(Shared, S.Solv.timeoutMs());
+  EXPECT_TRUE(Lane.isSat(Pred));
+  EXPECT_EQ(Lane.stats().SolverDecisions, 1u);
+  VerdictCache::Stats Before = Shared.stats();
+  EXPECT_TRUE(S.engine().Guards.isSat(Pred));
+  EXPECT_EQ(Shared.stats().Hits, Before.Hits + 1);
+}
+
+TEST(ParallelLaneTest, MintermRowsMatchSequentialEnumeration) {
+  // The lane's warm minterm descent must visit the same canonical guard
+  // order and produce the same non-empty regions (same polarity rows, in
+  // the same order) as GuardCache::minterms — that alignment is what lets
+  // the replay pass descend the session trie without Z3.
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  std::vector<TermRef> Guards = {
+      S.Terms.mkGt(I, S.Terms.intConst(0)),
+      S.Terms.mkLe(I, S.Terms.intConst(5)),
+      S.Terms.mkGt(I, S.Terms.intConst(3)),
+      S.Terms.mkEq(S.Terms.mkMod(I, S.Terms.intConst(2)), S.Terms.intConst(0)),
+  };
+  VerdictCache Shared;
+  engine::ExploreLane Lane(Shared, S.Solv.timeoutMs());
+  const engine::ExploreLane::MintermRows &Rows = Lane.minterms(Guards);
+  const MintermSplit &Split = S.engine().Guards.minterms(Guards);
+  ASSERT_EQ(Rows.Guards.size(), Split.Guards.size());
+  for (size_t G = 0; G < Rows.Guards.size(); ++G)
+    EXPECT_EQ(Rows.Guards[G], Split.Guards[G]);
+  ASSERT_EQ(Rows.Rows.size(), Split.Regions.size());
+  for (size_t R = 0; R < Rows.Rows.size(); ++R)
+    EXPECT_EQ(Rows.Rows[R], Split.Regions[R].Polarity);
+}
+
+//===----------------------------------------------------------------------===//
+// WarmFrontier
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFrontierTest, DrainsEveryIdExactlyOnce) {
+  VerdictCache Shared;
+  engine::LanePool Pool;
+  auto Lanes = Pool.acquire(2, Shared, 0);
+  engine::WarmFrontier Frontier;
+  constexpr unsigned Seeded = 100;
+  for (unsigned Id = 0; Id < Seeded; ++Id)
+    Frontier.enqueue(Id);
+  std::vector<std::atomic<unsigned>> Count(2 * Seeded);
+  size_t Expanded = Frontier.run(
+      Lanes, engine::WarmConfig{},
+      [&](engine::ExploreLane &, unsigned Id) {
+        Count[Id].fetch_add(1, std::memory_order_relaxed);
+        // Expansions may enqueue further (caller-deduplicated) work.
+        if (Id < Seeded)
+          Frontier.enqueue(Id + Seeded);
+      });
+  EXPECT_EQ(Expanded, 2 * Seeded);
+  for (unsigned Id = 0; Id < 2 * Seeded; ++Id)
+    EXPECT_EQ(Count[Id].load(), 1u) << "id " << Id;
+}
+
+TEST(ParallelFrontierTest, MaxStepsBoundsExpansion) {
+  VerdictCache Shared;
+  engine::LanePool Pool;
+  auto Lanes = Pool.acquire(1, Shared, 0);
+  engine::WarmFrontier Frontier;
+  for (unsigned Id = 0; Id < 100; ++Id)
+    Frontier.enqueue(Id);
+  engine::WarmConfig Config;
+  Config.MaxSteps = 10;
+  size_t Expanded =
+      Frontier.run(Lanes, Config, [](engine::ExploreLane &, unsigned) {});
+  EXPECT_EQ(Expanded, 10u);
+}
+
+TEST(ParallelFrontierTest, AbortWhenDrainsTheRunEarly) {
+  VerdictCache Shared;
+  engine::LanePool Pool;
+  auto Lanes = Pool.acquire(2, Shared, 0);
+  engine::WarmFrontier Frontier;
+  for (unsigned Id = 0; Id < 1000; ++Id)
+    Frontier.enqueue(Id);
+  std::atomic<size_t> Seen{0};
+  engine::WarmConfig Config;
+  Config.AbortWhen = [&] { return Seen.load() >= 5; };
+  size_t Expanded = Frontier.run(Lanes, Config,
+                                 [&](engine::ExploreLane &, unsigned) {
+                                   Seen.fetch_add(1);
+                                 });
+  // The abort poll is batched, so a few extra expansions are fine — but
+  // the run must stop far short of the full frontier.
+  EXPECT_LT(Expanded, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identical construction output across lane counts
+//===----------------------------------------------------------------------===//
+
+/// A seeded STA over BT with interval/parity guards, set-valued lookaheads
+/// (so normalization's merge loop has real work), and every state/rule
+/// annotated with provenance — ids are interned in a fixed order, so the
+/// resulting anchor/canon numbering is identical across sessions.
+std::shared_ptr<Sta> buildSeededSta(Session &S, const SignatureRef &Sig,
+                                    unsigned Seed, unsigned NumStates) {
+  auto A = std::make_shared<Sta>(Sig);
+  std::mt19937 Rng(Seed);
+  TermRef I = Sig->attrTerm(S.Terms, 0);
+  unsigned Leaf = *Sig->findConstructor("L");
+  unsigned Node = *Sig->findConstructor("N");
+  for (unsigned Q = 0; Q < NumStates; ++Q)
+    A->addState("q" + std::to_string(Q));
+
+  auto Atom = [&]() -> TermRef {
+    TermRef C = S.Terms.intConst(static_cast<int64_t>(Rng() % 7));
+    return Rng() % 2 ? S.Terms.mkGt(I, C) : S.Terms.mkLe(I, C);
+  };
+  auto Guard = [&]() -> TermRef {
+    TermRef G = Atom();
+    switch (Rng() % 3) {
+    case 0:
+      return G;
+    case 1:
+      return S.Terms.mkAnd(G, Atom());
+    default:
+      return S.Terms.mkOr(G, Atom());
+    }
+  };
+  auto SomeStates = [&]() {
+    StateSet Set;
+    for (unsigned Q = 0; Q < NumStates; ++Q)
+      if (Rng() % 2)
+        Set.push_back(Q);
+    if (Set.empty())
+      Set.push_back(Rng() % NumStates);
+    return Set;
+  };
+
+  obs::ProvenanceStore &Store = S.provenance();
+  obs::StateProvenance &Prov = A->provenanceRW();
+  for (unsigned Q = 0; Q < NumStates; ++Q) {
+    unsigned Anchor = Store.internAnchor(obs::DeclAnchor::Kind::Lang,
+                                         "rand" + std::to_string(Q), Q + 1, 1);
+    Prov.addStateAnchor(Q, Anchor);
+    unsigned FirstRule = static_cast<unsigned>(A->numRules());
+    A->addRule(Q, Leaf, Guard(), {});
+    A->addRule(Q, Node, Guard(), {SomeStates(), SomeStates()});
+    A->addRule(Q, Node, Guard(), {SomeStates(), SomeStates()});
+    for (unsigned R = FirstRule; R < A->numRules(); ++R)
+      Prov.addRuleCanon(R, Store.registerRule(Anchor, Q + 1, R - FirstRule + 2));
+  }
+  return A;
+}
+
+/// Serializes an automaton's provenance side table (anchors per state,
+/// canonical rule ids per rule) for byte comparison.
+std::string provString(const Sta &A) {
+  const obs::StateProvenance *Prov = A.provenance();
+  if (!Prov)
+    return "<none>";
+  std::ostringstream Out;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    Out << "s" << Q << ":";
+    for (unsigned Id : Prov->anchors(Q))
+      Out << " " << Id;
+    Out << "\n";
+  }
+  for (unsigned R = 0; R < A.numRules(); ++R) {
+    Out << "r" << R << ":";
+    for (unsigned Id : Prov->ruleCanon(R))
+      Out << " " << Id;
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+struct ConstructionSnapshot {
+  std::string Norm;
+  std::string NormRoots;
+  std::string Det;
+  std::string Prov;
+  size_t LanesBuilt = 0;
+};
+
+/// Runs the seeded normalize + determinize pipeline in a *fresh* session
+/// with the given lane knob and returns everything observable about the
+/// products.  Sta::str() renders state names and guard term text, both
+/// independent of interned term ids, so snapshots from different sessions
+/// compare byte-for-byte.
+ConstructionSnapshot runConstruction(unsigned Seed, unsigned Lanes,
+                                     size_t MinInputRules = 1) {
+  Session S;
+  S.provenance().setEnabled(true);
+  engine::ExplorationLimits &Limits = S.engine().Limits;
+  Limits.ParallelExploration = Lanes;
+  Limits.ParallelMinInputRules = MinInputRules;
+
+  SignatureRef Sig = makeBtSig();
+  std::shared_ptr<Sta> A = buildSeededSta(S, Sig, Seed, /*NumStates=*/3);
+  TreeLanguage Lang(A, StateSet{0, 1});
+
+  TreeLanguage Norm = normalize(S.Solv, Lang);
+  DeterminizedSta Det = determinize(S.Solv, Norm.automaton());
+
+  ConstructionSnapshot Out;
+  Out.Norm = Norm.automaton().str();
+  std::ostringstream Roots;
+  for (unsigned R : Norm.roots())
+    Roots << R << " ";
+  Out.NormRoots = Roots.str();
+  Out.Det = Det.Automaton->str();
+  Out.Prov = provString(Norm.automaton()) + "|" + provString(*Det.Automaton);
+  Out.LanesBuilt = S.engine().Lanes.size();
+  return Out;
+}
+
+TEST(ParallelExploreDeterminismTest, LaneCountsProduceByteIdenticalAutomata) {
+  for (unsigned Seed : {5u, 23u}) {
+    ConstructionSnapshot Sequential = runConstruction(Seed, /*Lanes=*/0);
+    EXPECT_EQ(Sequential.LanesBuilt, 0u);
+    for (unsigned Lanes : {1u, 2u, 4u}) {
+      ConstructionSnapshot Parallel = runConstruction(Seed, Lanes);
+      // ParallelExploration=1 is the sequential path; >=2 must actually
+      // have taken the warm route for the comparison to mean anything.
+      EXPECT_EQ(Parallel.LanesBuilt, Lanes >= 2 ? Lanes : 0u)
+          << "seed " << Seed << " lanes " << Lanes;
+      EXPECT_EQ(Sequential.Norm, Parallel.Norm)
+          << "seed " << Seed << " lanes " << Lanes;
+      EXPECT_EQ(Sequential.NormRoots, Parallel.NormRoots)
+          << "seed " << Seed << " lanes " << Lanes;
+      EXPECT_EQ(Sequential.Det, Parallel.Det)
+          << "seed " << Seed << " lanes " << Lanes;
+      EXPECT_EQ(Sequential.Prov, Parallel.Prov)
+          << "seed " << Seed << " lanes " << Lanes;
+    }
+  }
+}
+
+TEST(ParallelExploreDeterminismTest, SmallInputsFallBackToSequentialPath) {
+  // With the rule threshold above the input size, the lane knob must not
+  // spin up lanes — and the output is trivially identical.
+  ConstructionSnapshot Off = runConstruction(7, /*Lanes=*/0);
+  ConstructionSnapshot Thresholded =
+      runConstruction(7, /*Lanes=*/4, /*MinInputRules=*/1000);
+  EXPECT_EQ(Thresholded.LanesBuilt, 0u);
+  EXPECT_EQ(Off.Norm, Thresholded.Norm);
+  EXPECT_EQ(Off.Det, Thresholded.Det);
+  EXPECT_EQ(Off.Prov, Thresholded.Prov);
+}
+
+} // namespace

@@ -328,4 +328,59 @@ TEST(ParallelRunnerTest, WorkerWitnessTreesSurviveViaRetention) {
   }
 }
 
+TEST(ParallelRunnerTest, PooledRunBuildsAtMostOneContextPerThread) {
+  Session S;
+  SignatureRef Sig = makeIListSig();
+  std::shared_ptr<Sttr> Caesar = makeMapCaesar(S, Sig);
+  std::shared_ptr<Sttr> Filter = makeFilterEven(S, Sig);
+  ParallelRunner Runner(S, 4);
+  Runner.run(12, [&](size_t K, WorkerContext &Worker) {
+    Session &WS = Worker.session();
+    ComposeResult R = composeSttr(WS.Solv, WS.Outputs, *Caesar,
+                                  K % 2 ? *Filter : *Caesar);
+    ASSERT_NE(R.Composed, nullptr);
+  });
+  // Pooled contexts are reset between tasks, not rebuilt — at most one
+  // per pool thread, never one per task.
+  EXPECT_GE(Runner.contextsBuilt(), 1u);
+  EXPECT_LE(Runner.contextsBuilt(), 4u);
+  // Pooling did not leak state across tasks: all twelve compositions'
+  // counters merged, exactly as the per-task-context runs above.
+  auto It = S.stats().constructions().find("compose");
+  ASSERT_NE(It, S.stats().constructions().end());
+  EXPECT_EQ(It->second.Runs, 12u);
+}
+
+TEST(ParallelRunnerTest, RetainedRunBuildsOneContextPerTask) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage Positive = makeAllPositiveLang(S, Sig);
+  ParallelRunner Runner(S, 2);
+  std::vector<std::unique_ptr<WorkerContext>> Workers = Runner.run(
+      5,
+      [&](size_t, WorkerContext &Worker) {
+        Session &WS = Worker.session();
+        ASSERT_TRUE(witness(WS.Solv, Positive, WS.Trees).has_value());
+      },
+      /*RetainWorkers=*/true);
+  EXPECT_EQ(Workers.size(), 5u);
+  EXPECT_EQ(Runner.contextsBuilt(), 5u);
+}
+
+TEST(ParallelRunnerTest, OversizedPoolBuildsNoContextForUnclaimedThreads) {
+  Session S;
+  SignatureRef Sig = makeBtSig();
+  TreeLanguage Positive = makeAllPositiveLang(S, Sig);
+  // Eight threads, two tasks: the pool is clamped to the task count, and
+  // no WorkerContext (with its Z3 context) is ever constructed for a
+  // thread that never claims a task.
+  ParallelRunner Runner(S, 8);
+  Runner.run(2, [&](size_t, WorkerContext &Worker) {
+    Session &WS = Worker.session();
+    ASSERT_TRUE(witness(WS.Solv, Positive, WS.Trees).has_value());
+  });
+  EXPECT_GE(Runner.contextsBuilt(), 1u);
+  EXPECT_LE(Runner.contextsBuilt(), 2u);
+}
+
 } // namespace
